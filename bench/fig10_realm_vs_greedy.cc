@@ -1,0 +1,25 @@
+// Figure 10: end-to-end comparison on Real-M against budget-aware
+// greedy variants across budgets and K in {5, 10, 20}.
+// Set BATI_SCALE=full for the paper-scale sweep.
+
+#include <string>
+
+#include "harness/experiment.h"
+
+int main() {
+  using namespace bati;
+  const WorkloadBundle& bundle = LoadBundle("real-m");
+  BenchScale scale = GetBenchScale();
+  const std::vector<std::string> algos = {
+      "vanilla-greedy", "two-phase-greedy", "autoadmin-greedy", "mcts"};
+  const char* panel = "abc";
+  for (size_t i = 0; i < scale.cardinalities.size(); ++i) {
+    int k = scale.cardinalities[i];
+    PrintSeriesTable("Figure 10(" + std::string(1, panel[i]) +
+                         "): Real-M, K=" + std::to_string(k) +
+                         " - improvement (%) vs budget",
+                     bundle, algos, scale.large_budgets, k,
+                     /*storage_bytes=*/0.0, scale.seeds);
+  }
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Figure 14: per-round convergence of DBA-bandits and No-DBA with the MCTS
+// average improvement as a reference line. Budget = 5000 what-if calls
+// (reduced by default; BATI_SCALE=full for paper scale).
+// Panels: TPC-DS K=10, Real-D K=10, Real-M K=20.
+
+#include <cstdio>
+#include <string>
+
+#include "common/stats.h"
+#include "harness/experiment.h"
+
+namespace {
+
+void Panel(const char* label, const char* workload, int k, int64_t budget,
+           const std::vector<uint64_t>& seeds) {
+  using namespace bati;
+  const WorkloadBundle& bundle = LoadBundle(workload);
+
+  // MCTS reference: mean final improvement across seeds.
+  RunningStats mcts_stats;
+  for (uint64_t seed : seeds) {
+    RunSpec spec;
+    spec.workload = workload;
+    spec.algorithm = "mcts";
+    spec.budget = budget;
+    spec.max_indexes = k;
+    spec.seed = seed;
+    mcts_stats.Add(RunOnce(bundle, spec).true_improvement);
+  }
+
+  RunSpec bandit_spec;
+  bandit_spec.workload = workload;
+  bandit_spec.algorithm = "dba-bandits";
+  bandit_spec.budget = budget;
+  bandit_spec.max_indexes = k;
+  bandit_spec.seed = seeds.front();
+  RunOutcome bandit = RunOnce(bundle, bandit_spec);
+
+  RunSpec dqn_spec = bandit_spec;
+  dqn_spec.algorithm = "no-dba";
+  RunOutcome dqn = RunOnce(bundle, dqn_spec);
+
+  std::printf("# Figure 14(%s): %s, K=%d, budget=%lld\n", label, workload, k,
+              static_cast<long long>(budget));
+  std::printf("# MCTS average improvement (reference line): %.2f%%\n",
+              mcts_stats.mean());
+  std::printf("%-6s %14s %10s\n", "round", "dba-bandits", "no-dba");
+  size_t rounds = std::max(bandit.trace.size(), dqn.trace.size());
+  for (size_t r = 0; r < rounds; ++r) {
+    double b = r < bandit.trace.size() ? bandit.trace[r]
+                                       : (bandit.trace.empty()
+                                              ? 0.0
+                                              : bandit.trace.back());
+    double d = r < dqn.trace.size()
+                   ? dqn.trace[r]
+                   : (dqn.trace.empty() ? 0.0 : dqn.trace.back());
+    std::printf("%-6zu %14.2f %10.2f\n", r + 1, b, d);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  using namespace bati;
+  BenchScale scale = GetBenchScale();
+  int64_t budget = scale.large_budgets.back();
+  Panel("a", "tpcds", 10, budget, scale.seeds);
+  Panel("b", "real-d", 10, budget, scale.seeds);
+  Panel("c", "real-m", 20, budget, scale.seeds);
+  return 0;
+}

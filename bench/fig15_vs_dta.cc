@@ -1,0 +1,56 @@
+// Figure 15: comparison against the DTA-like anytime tuner on TPC-DS,
+// Real-D, and Real-M, with and without the storage constraint (SC = 3x the
+// database size, DTA's default).
+
+#include <cstdio>
+#include <string>
+
+#include "harness/experiment.h"
+
+namespace {
+
+void Panel(const char* label, const char* workload, bool with_sc) {
+  using namespace bati;
+  const WorkloadBundle& bundle = LoadBundle(workload);
+  BenchScale scale = GetBenchScale();
+  double storage =
+      with_sc ? 3.0 * bundle.workload.database->TotalSizeBytes() : 0.0;
+  std::printf("# Figure 15(%s): %s, %s storage constraint\n", label, workload,
+              with_sc ? "with" : "without");
+  std::printf("%-8s", "budget");
+  for (int k : scale.cardinalities) {
+    std::printf("  %10s %10s", ("dta(K=" + std::to_string(k) + ")").c_str(),
+                ("mcts(K=" + std::to_string(k) + ")").c_str());
+  }
+  std::printf("\n");
+  for (int64_t budget : scale.large_budgets) {
+    std::printf("%-8lld", static_cast<long long>(budget));
+    for (int k : scale.cardinalities) {
+      RunSpec spec;
+      spec.workload = workload;
+      spec.budget = budget;
+      spec.max_indexes = k;
+      spec.max_storage_bytes = storage;
+      spec.algorithm = "dta";
+      double dta = RunOnce(bundle, spec).true_improvement;
+      spec.algorithm = "mcts";
+      CellStats mcts = RunSeeds(bundle, spec, scale.seeds);
+      std::printf("  %10.2f %10.2f", dta, mcts.mean);
+    }
+    std::printf("\n");
+    std::fflush(stdout);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  Panel("a", "tpcds", /*with_sc=*/true);
+  Panel("b", "real-d", /*with_sc=*/true);
+  Panel("c", "real-m", /*with_sc=*/true);
+  Panel("d", "tpcds", /*with_sc=*/false);
+  Panel("e", "real-d", /*with_sc=*/false);
+  Panel("f", "real-m", /*with_sc=*/false);
+  return 0;
+}

@@ -1,0 +1,24 @@
+// Figure 19: end-to-end comparison on TPC-H against the existing
+// RL approaches DBA-bandits and No-DBA, across budgets and K in {5, 10, 20}.
+// Set BATI_SCALE=full for the paper-scale sweep.
+
+#include <string>
+
+#include "harness/experiment.h"
+
+int main() {
+  using namespace bati;
+  const WorkloadBundle& bundle = LoadBundle("tpch");
+  BenchScale scale = GetBenchScale();
+  const std::vector<std::string> algos = {"dba-bandits", "no-dba", "mcts"};
+  const char* panel = "abc";
+  for (size_t i = 0; i < scale.cardinalities.size(); ++i) {
+    int k = scale.cardinalities[i];
+    PrintSeriesTable("Figure 19(" + std::string(1, panel[i]) +
+                         "): TPC-H, K=" + std::to_string(k) +
+                         " - improvement (%) vs budget",
+                     bundle, algos, scale.small_budgets, k,
+                     /*storage_bytes=*/0.0, scale.seeds);
+  }
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Figure 20: comparison against the DTA-like tuner on the small workloads:
+// JOB without storage constraint (DTA errors under SC on JOB in the paper),
+// TPC-H with and without the storage constraint.
+
+#include <cstdio>
+#include <string>
+
+#include "harness/experiment.h"
+
+namespace {
+
+void Panel(const char* label, const char* workload, bool with_sc) {
+  using namespace bati;
+  const WorkloadBundle& bundle = LoadBundle(workload);
+  BenchScale scale = GetBenchScale();
+  double storage =
+      with_sc ? 3.0 * bundle.workload.database->TotalSizeBytes() : 0.0;
+  std::printf("# Figure 20(%s): %s, %s storage constraint\n", label, workload,
+              with_sc ? "with" : "without");
+  std::printf("%-8s", "budget");
+  for (int k : scale.cardinalities) {
+    std::printf("  %10s %10s", ("dta(K=" + std::to_string(k) + ")").c_str(),
+                ("mcts(K=" + std::to_string(k) + ")").c_str());
+  }
+  std::printf("\n");
+  for (int64_t budget : scale.small_budgets) {
+    std::printf("%-8lld", static_cast<long long>(budget));
+    for (int k : scale.cardinalities) {
+      RunSpec spec;
+      spec.workload = workload;
+      spec.budget = budget;
+      spec.max_indexes = k;
+      spec.max_storage_bytes = storage;
+      spec.algorithm = "dta";
+      double dta = RunOnce(bundle, spec).true_improvement;
+      spec.algorithm = "mcts";
+      CellStats mcts = RunSeeds(bundle, spec, scale.seeds);
+      std::printf("  %10.2f %10.2f", dta, mcts.mean);
+    }
+    std::printf("\n");
+    std::fflush(stdout);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  Panel("a", "job", /*with_sc=*/false);
+  Panel("b", "tpch", /*with_sc=*/true);
+  Panel("c", "tpch", /*with_sc=*/false);
+  return 0;
+}

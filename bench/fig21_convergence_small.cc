@@ -1,0 +1,69 @@
+// Figure 21: per-round convergence of DBA-bandits and No-DBA on the small
+// workloads (JOB and TPC-H), budget = 1000 what-if calls, K = 10, with the
+// MCTS average improvement as a reference line.
+
+#include <cstdio>
+
+#include "common/stats.h"
+#include "harness/experiment.h"
+
+namespace {
+
+void Panel(const char* label, const char* workload,
+           const std::vector<uint64_t>& seeds) {
+  using namespace bati;
+  const int k = 10;
+  const int64_t budget = 1000;
+  const WorkloadBundle& bundle = LoadBundle(workload);
+
+  RunningStats mcts_stats;
+  for (uint64_t seed : seeds) {
+    RunSpec spec;
+    spec.workload = workload;
+    spec.algorithm = "mcts";
+    spec.budget = budget;
+    spec.max_indexes = k;
+    spec.seed = seed;
+    mcts_stats.Add(RunOnce(bundle, spec).true_improvement);
+  }
+
+  RunSpec bandit_spec;
+  bandit_spec.workload = workload;
+  bandit_spec.algorithm = "dba-bandits";
+  bandit_spec.budget = budget;
+  bandit_spec.max_indexes = k;
+  bandit_spec.seed = seeds.front();
+  RunOutcome bandit = RunOnce(bundle, bandit_spec);
+
+  RunSpec dqn_spec = bandit_spec;
+  dqn_spec.algorithm = "no-dba";
+  RunOutcome dqn = RunOnce(bundle, dqn_spec);
+
+  std::printf("# Figure 21(%s): %s, K=%d, budget=%lld\n", label, workload, k,
+              static_cast<long long>(budget));
+  std::printf("# MCTS average improvement (reference line): %.2f%%\n",
+              mcts_stats.mean());
+  std::printf("%-6s %14s %10s\n", "round", "dba-bandits", "no-dba");
+  size_t rounds = std::max(bandit.trace.size(), dqn.trace.size());
+  for (size_t r = 0; r < rounds; ++r) {
+    double b = r < bandit.trace.size() ? bandit.trace[r]
+                                       : (bandit.trace.empty()
+                                              ? 0.0
+                                              : bandit.trace.back());
+    double d = r < dqn.trace.size()
+                   ? dqn.trace[r]
+                   : (dqn.trace.empty() ? 0.0 : dqn.trace.back());
+    std::printf("%-6zu %14.2f %10.2f\n", r + 1, b, d);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  using namespace bati;
+  BenchScale scale = GetBenchScale();
+  Panel("a", "job", scale.seeds);
+  Panel("b", "tpch", scale.seeds);
+  return 0;
+}

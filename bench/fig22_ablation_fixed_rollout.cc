@@ -1,0 +1,36 @@
+// Figure 22: ablation of MCTS policies with the fixed-step (myopic) rollout:
+// {UCT, Prior} action selection x {BCE ("only"), Best-Greedy ("+Greedy")}
+// extraction, across all five workloads and K in {5, 10, 20}.
+// "UCT Only" = mcts-uct-bce, "UCT + Greedy" = mcts-uct-bg,
+// "Prior Only" = mcts-prior-bce, "Prior + Greedy" = mcts-prior-bg.
+
+#include <string>
+
+#include "harness/experiment.h"
+
+int main() {
+  using namespace bati;
+  BenchScale scale = GetBenchScale();
+  const std::vector<std::string> algos = {
+      "mcts-uct-bce-fix0", "mcts-uct-bg-fix0", "mcts-prior-bce-fix0",
+      "mcts-prior-bg-fix0"};
+  struct Panel {
+    const char* workload;
+    bool small;
+  };
+  const Panel panels[] = {
+      {"job", true}, {"tpch", true}, {"tpcds", false},
+      {"real-d", false}, {"real-m", false}};
+  for (const Panel& panel : panels) {
+    const WorkloadBundle& bundle = LoadBundle(panel.workload);
+    for (int k : scale.cardinalities) {
+      PrintSeriesTable(
+          "Figure 22: ablation (fixed-step (myopic) rollout), " +
+              std::string(panel.workload) + ", K=" + std::to_string(k),
+          bundle, algos,
+          panel.small ? scale.small_budgets : scale.large_budgets, k,
+          /*storage_bytes=*/0.0, scale.seeds);
+    }
+  }
+  return 0;
+}

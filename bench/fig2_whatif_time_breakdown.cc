@@ -1,0 +1,32 @@
+// Figure 2: tuning time of the TPC-DS workload when varying the number of
+// what-if calls (greedy, K=20): time spent inside what-if calls vs other
+// tuning time. The paper measures what-if calls at 75-93% of total time.
+
+#include <cstdio>
+
+#include "harness/experiment.h"
+
+int main() {
+  using namespace bati;
+  const WorkloadBundle& bundle = LoadBundle("tpcds");
+  std::printf(
+      "# Figure 2: TPC-DS tuning time breakdown, budget-constrained greedy, "
+      "K=20\n");
+  std::printf("%-8s %14s %14s %14s %10s\n", "budget", "whatif(min)",
+              "other(min)", "total(min)", "whatif%");
+  for (int64_t budget : {1000, 2000, 3000, 4000, 5000}) {
+    RunSpec spec;
+    spec.workload = "tpcds";
+    spec.algorithm = "vanilla-greedy";
+    spec.budget = budget;
+    spec.max_indexes = 20;
+    RunOutcome outcome = RunOnce(bundle, spec);
+    double whatif_min = outcome.whatif_seconds / 60.0;
+    double other_min = outcome.other_seconds / 60.0;
+    double total = whatif_min + other_min;
+    std::printf("%-8lld %14.1f %14.1f %14.1f %9.1f%%\n",
+                static_cast<long long>(budget), whatif_min, other_min, total,
+                100.0 * whatif_min / total);
+  }
+  return 0;
+}

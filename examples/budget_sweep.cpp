@@ -1,0 +1,53 @@
+// Sweeps the what-if budget for one workload and algorithm, printing the
+// improvement curve — how configuration quality buys into the budget, the
+// central trade-off the paper studies.
+//
+// Usage: budget_sweep [workload] [algorithm] [K]
+//   workload  - toy | tpch | tpcds | job | real-d | real-m   (default tpch)
+//   algorithm - any tuner name, e.g. mcts, vanilla-greedy    (default mcts)
+//   K         - cardinality constraint                       (default 10)
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/stats.h"
+#include "harness/experiment.h"
+
+int main(int argc, char** argv) {
+  using namespace bati;
+  std::string workload = argc > 1 ? argv[1] : "tpch";
+  std::string algorithm = argc > 2 ? argv[2] : "mcts";
+  int k = argc > 3 ? std::atoi(argv[3]) : 10;
+
+  const WorkloadBundle& bundle = LoadBundle(workload);
+  if (bundle.workload.database == nullptr) {
+    std::fprintf(stderr, "unknown workload: %s\n", workload.c_str());
+    return 1;
+  }
+  std::printf("%s on %s (K=%d, %d candidates)\n", algorithm.c_str(),
+              workload.c_str(), k, bundle.candidates.size());
+  std::printf("%-10s %14s %10s %14s\n", "budget", "improvement%", "stddev",
+              "sim-minutes");
+
+  const std::vector<uint64_t> seeds = {1, 2, 3};
+  for (int64_t budget : {50, 100, 200, 500, 1000, 2000}) {
+    RunningStats improvement;
+    double minutes = 0.0;
+    for (uint64_t seed : seeds) {
+      RunSpec spec;
+      spec.workload = workload;
+      spec.algorithm = algorithm;
+      spec.budget = budget;
+      spec.max_indexes = k;
+      spec.seed = seed;
+      RunOutcome outcome = RunOnce(bundle, spec);
+      improvement.Add(outcome.true_improvement);
+      minutes = (outcome.whatif_seconds + outcome.other_seconds) / 60.0;
+    }
+    std::printf("%-10lld %14.2f %10.2f %14.1f\n",
+                static_cast<long long>(budget), improvement.mean(),
+                improvement.stddev(), minutes);
+  }
+  return 0;
+}

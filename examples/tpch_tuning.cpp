@@ -1,0 +1,63 @@
+// Tunes the TPC-H workload with every algorithm in the library under the
+// same what-if budget, and prints a side-by-side comparison — a miniature
+// version of the paper's end-to-end evaluation (Figures 8-13).
+//
+// Usage: tpch_tuning [budget] [K]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "harness/experiment.h"
+#include "mcts/mcts_tuner.h"
+
+int main(int argc, char** argv) {
+  using namespace bati;
+  int64_t budget = argc > 1 ? std::atoll(argv[1]) : 500;
+  int k = argc > 2 ? std::atoi(argv[2]) : 10;
+
+  const WorkloadBundle& bundle = LoadBundle("tpch");
+  std::printf("TPC-H: %d queries, %d candidate indexes, budget=%lld, K=%d\n\n",
+              bundle.workload.num_queries(), bundle.candidates.size(),
+              static_cast<long long>(budget), k);
+  std::printf("%-20s %14s %14s %10s %8s\n", "algorithm", "improvement%",
+              "derived-est%", "calls", "indexes");
+
+  for (const char* algo :
+       {"vanilla-greedy", "two-phase-greedy", "autoadmin-greedy",
+        "dba-bandits", "no-dba", "dta", "mcts"}) {
+    RunSpec spec;
+    spec.workload = "tpch";
+    spec.algorithm = algo;
+    spec.budget = budget;
+    spec.max_indexes = k;
+    spec.seed = 1;
+    RunOutcome outcome = RunOnce(bundle, spec);
+    std::printf("%-20s %14.2f %14.2f %10lld %8zu\n", algo,
+                outcome.true_improvement, outcome.derived_improvement,
+                static_cast<long long>(outcome.calls_used),
+                outcome.config_size);
+  }
+
+  // Show the winning MCTS configuration in detail.
+  RunSpec spec;
+  spec.workload = "tpch";
+  spec.algorithm = "mcts";
+  spec.budget = budget;
+  spec.max_indexes = k;
+  CostService service(bundle.optimizer.get(), &bundle.workload,
+                      &bundle.candidates.indexes, budget);
+  TuningContext ctx;
+  ctx.workload = &bundle.workload;
+  ctx.candidates = &bundle.candidates;
+  ctx.constraints.max_indexes = k;
+  MctsOptions options;
+  MctsTuner tuner(ctx, options);
+  TuningResult result = tuner.Tune(service);
+  std::printf("\nMCTS recommendation:\n");
+  const Database& db = *bundle.workload.database;
+  for (const Index& ix : service.Materialize(result.best_config)) {
+    std::printf("  %-45s %8.1f MB\n", ix.Name(db).c_str(),
+                ix.SizeBytes(db) / 1e6);
+  }
+  return 0;
+}

@@ -1,0 +1,43 @@
+#ifndef BATI_COMMON_MACROS_H_
+#define BATI_COMMON_MACROS_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// \file
+/// Internal invariant-checking macros. These terminate the process on
+/// violation; they guard programmer errors, not user input (user input is
+/// validated with Status at API boundaries).
+
+namespace bati::internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::abort();
+}
+
+}  // namespace bati::internal
+
+#define BATI_CHECK(expr)                                      \
+  do {                                                        \
+    if (!(expr)) {                                            \
+      ::bati::internal::CheckFailed(__FILE__, __LINE__, #expr); \
+    }                                                         \
+  } while (0)
+
+#define BATI_CHECK_OK(status_expr)                                         \
+  do {                                                                     \
+    const auto bati_check_ok_status = (status_expr);                       \
+    if (!bati_check_ok_status.ok()) {                                      \
+      std::fprintf(stderr, "CHECK_OK failed at %s:%d: %s\n", __FILE__,     \
+                   __LINE__, bati_check_ok_status.message().c_str());      \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
+
+#define BATI_DISALLOW_COPY_AND_ASSIGN(TypeName) \
+  TypeName(const TypeName&) = delete;           \
+  TypeName& operator=(const TypeName&) = delete
+
+#endif  // BATI_COMMON_MACROS_H_

@@ -1,0 +1,125 @@
+#include "common/rng.h"
+
+#include <cmath>
+#include <numeric>
+
+namespace bati {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : s_) s = SplitMix64(sm);
+  // Avoid the (astronomically unlikely) all-zero state.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+uint64_t Rng::Next() {
+  // xoshiro256**
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::Uniform() {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::Uniform(double lo, double hi) { return lo + (hi - lo) * Uniform(); }
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  BATI_CHECK(lo <= hi);
+  uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<int64_t>(Next());  // full 64-bit range
+  // Rejection sampling to avoid modulo bias.
+  uint64_t limit = UINT64_MAX - UINT64_MAX % span;
+  uint64_t v;
+  do {
+    v = Next();
+  } while (v >= limit);
+  return lo + static_cast<int64_t>(v % span);
+}
+
+double Rng::Normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  double u1;
+  do {
+    u1 = Uniform();
+  } while (u1 <= 0.0);
+  double u2 = Uniform();
+  double r = std::sqrt(-2.0 * std::log(u1));
+  double theta = 2.0 * M_PI * u2;
+  cached_normal_ = r * std::sin(theta);
+  has_cached_normal_ = true;
+  return r * std::cos(theta);
+}
+
+double Rng::Normal(double mean, double stddev) {
+  return mean + stddev * Normal();
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return Uniform() < p;
+}
+
+size_t Rng::WeightedIndex(const std::vector<double>& weights) {
+  BATI_CHECK(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) {
+    BATI_CHECK(w >= 0.0);
+    total += w;
+  }
+  if (total <= 0.0) {
+    return static_cast<size_t>(
+        UniformInt(0, static_cast<int64_t>(weights.size()) - 1));
+  }
+  double target = Uniform() * total;
+  double acc = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (target < acc) return i;
+  }
+  return weights.size() - 1;  // Floating-point edge.
+}
+
+std::vector<size_t> Rng::SampleWithoutReplacement(size_t n, size_t k) {
+  BATI_CHECK(k <= n);
+  std::vector<size_t> idx(n);
+  std::iota(idx.begin(), idx.end(), size_t{0});
+  // Partial Fisher-Yates: first k positions become the sample.
+  for (size_t i = 0; i < k; ++i) {
+    size_t j = static_cast<size_t>(
+        UniformInt(static_cast<int64_t>(i), static_cast<int64_t>(n) - 1));
+    std::swap(idx[i], idx[j]);
+  }
+  idx.resize(k);
+  return idx;
+}
+
+Rng Rng::Fork() { return Rng(Next() ^ 0xA5A5A5A5DEADBEEFULL); }
+
+}  // namespace bati

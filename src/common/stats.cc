@@ -1,0 +1,39 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bati {
+
+void RunningStats::Add(double x) {
+  if (n_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::stddev() const {
+  if (n_ < 2) return 0.0;
+  return std::sqrt(m2_ / static_cast<double>(n_ - 1));
+}
+
+double Mean(const std::vector<double>& v) {
+  RunningStats s;
+  for (double x : v) s.Add(x);
+  return s.mean();
+}
+
+double StdDev(const std::vector<double>& v) {
+  RunningStats s;
+  for (double x : v) s.Add(x);
+  return s.stddev();
+}
+
+}  // namespace bati

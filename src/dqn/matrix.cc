@@ -1,0 +1,35 @@
+#include "dqn/matrix.h"
+
+#include <cmath>
+
+namespace bati {
+
+void Matrix::RandomInit(Rng& rng, size_t fan_in) {
+  double stddev = std::sqrt(2.0 / static_cast<double>(fan_in == 0 ? 1 : fan_in));
+  for (double& v : data_) v = rng.Normal(0.0, stddev);
+}
+
+Matrix Matrix::MatMul(const Matrix& rhs) const {
+  BATI_CHECK(cols_ == rhs.rows_);
+  Matrix out(rows_, rhs.cols_);
+  for (size_t i = 0; i < rows_; ++i) {
+    for (size_t k = 0; k < cols_; ++k) {
+      double a = at(i, k);
+      if (a == 0.0) continue;  // one-hot inputs are mostly zero
+      const double* rrow = rhs.row(k);
+      double* orow = out.row(i);
+      for (size_t j = 0; j < rhs.cols_; ++j) orow[j] += a * rrow[j];
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::Transposed() const {
+  Matrix out(cols_, rows_);
+  for (size_t i = 0; i < rows_; ++i) {
+    for (size_t j = 0; j < cols_; ++j) out.at(j, i) = at(i, j);
+  }
+  return out;
+}
+
+}  // namespace bati

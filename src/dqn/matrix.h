@@ -1,0 +1,54 @@
+#ifndef BATI_DQN_MATRIX_H_
+#define BATI_DQN_MATRIX_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/rng.h"
+
+namespace bati {
+
+/// Minimal dense row-major matrix for the No-DBA deep-Q-learning baseline.
+/// Sized for small MLPs (a few hundred inputs, ~100-unit hidden layers);
+/// no BLAS dependency by design (the baseline is CPU-only, as in the paper).
+class Matrix {
+ public:
+  Matrix() : rows_(0), cols_(0) {}
+  Matrix(size_t rows, size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+
+  double& at(size_t r, size_t c) { return data_[r * cols_ + c]; }
+  double at(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+
+  double* row(size_t r) { return data_.data() + r * cols_; }
+  const double* row(size_t r) const { return data_.data() + r * cols_; }
+
+  std::vector<double>& data() { return data_; }
+  const std::vector<double>& data() const { return data_; }
+
+  void Fill(double value) {
+    for (double& v : data_) v = value;
+  }
+
+  /// He-normal initialization (suits ReLU activations).
+  void RandomInit(Rng& rng, size_t fan_in);
+
+  /// out = this(row-major, [m x k]) * rhs([k x n]).
+  Matrix MatMul(const Matrix& rhs) const;
+
+  /// out = transpose(this).
+  Matrix Transposed() const;
+
+ private:
+  size_t rows_;
+  size_t cols_;
+  std::vector<double> data_;
+};
+
+}  // namespace bati
+
+#endif  // BATI_DQN_MATRIX_H_

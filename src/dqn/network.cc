@@ -1,0 +1,138 @@
+#include "dqn/network.h"
+
+#include <cmath>
+
+namespace bati {
+
+namespace {
+constexpr double kAdamBeta1 = 0.9;
+constexpr double kAdamBeta2 = 0.999;
+constexpr double kAdamEps = 1e-8;
+}  // namespace
+
+Mlp::Mlp(const std::vector<size_t>& layer_sizes, Rng& rng) {
+  BATI_CHECK(layer_sizes.size() >= 2);
+  for (size_t l = 0; l + 1 < layer_sizes.size(); ++l) {
+    Matrix w(layer_sizes[l], layer_sizes[l + 1]);
+    w.RandomInit(rng, layer_sizes[l]);
+    weights_.push_back(std::move(w));
+    biases_.emplace_back(layer_sizes[l + 1], 0.0);
+    AdamState st;
+    st.m_w = Matrix(layer_sizes[l], layer_sizes[l + 1]);
+    st.v_w = Matrix(layer_sizes[l], layer_sizes[l + 1]);
+    st.m_b.assign(layer_sizes[l + 1], 0.0);
+    st.v_b.assign(layer_sizes[l + 1], 0.0);
+    adam_.push_back(std::move(st));
+  }
+}
+
+Matrix Mlp::Forward(const Matrix& input) const {
+  Matrix act = input;
+  for (size_t l = 0; l < weights_.size(); ++l) {
+    Matrix next = act.MatMul(weights_[l]);
+    for (size_t i = 0; i < next.rows(); ++i) {
+      double* row = next.row(i);
+      for (size_t j = 0; j < next.cols(); ++j) {
+        row[j] += biases_[l][j];
+        if (l + 1 < weights_.size() && row[j] < 0.0) row[j] = 0.0;  // ReLU
+      }
+    }
+    act = std::move(next);
+  }
+  return act;
+}
+
+double Mlp::TrainStep(const Matrix& input, const Matrix& target,
+                      const Matrix& mask, double learning_rate) {
+  const size_t batch = input.rows();
+  BATI_CHECK(batch > 0);
+
+  // Forward pass keeping pre/post activations per layer.
+  std::vector<Matrix> activations;  // post-activation, activations[0] = input
+  activations.push_back(input);
+  for (size_t l = 0; l < weights_.size(); ++l) {
+    Matrix next = activations.back().MatMul(weights_[l]);
+    for (size_t i = 0; i < next.rows(); ++i) {
+      double* row = next.row(i);
+      for (size_t j = 0; j < next.cols(); ++j) {
+        row[j] += biases_[l][j];
+        if (l + 1 < weights_.size() && row[j] < 0.0) row[j] = 0.0;
+      }
+    }
+    activations.push_back(std::move(next));
+  }
+
+  // Output error (masked).
+  Matrix delta = activations.back();
+  double loss = 0.0;
+  size_t masked_units = 0;
+  for (size_t i = 0; i < batch; ++i) {
+    for (size_t j = 0; j < delta.cols(); ++j) {
+      double m = mask.at(i, j);
+      double err = m != 0.0 ? (delta.at(i, j) - target.at(i, j)) : 0.0;
+      delta.at(i, j) = err / static_cast<double>(batch);
+      if (m != 0.0) {
+        loss += err * err;
+        ++masked_units;
+      }
+    }
+  }
+  if (masked_units > 0) loss /= static_cast<double>(masked_units);
+
+  ++adam_t_;
+  double bc1 = 1.0 - std::pow(kAdamBeta1, static_cast<double>(adam_t_));
+  double bc2 = 1.0 - std::pow(kAdamBeta2, static_cast<double>(adam_t_));
+
+  // Backward pass.
+  for (size_t li = weights_.size(); li-- > 0;) {
+    const Matrix& a_in = activations[li];
+    Matrix grad_w = a_in.Transposed().MatMul(delta);
+    std::vector<double> grad_b(delta.cols(), 0.0);
+    for (size_t i = 0; i < delta.rows(); ++i) {
+      for (size_t j = 0; j < delta.cols(); ++j) {
+        grad_b[j] += delta.at(i, j);
+      }
+    }
+
+    // Propagate delta to the previous layer (through ReLU) before mutating
+    // the weights.
+    if (li > 0) {
+      Matrix prev_delta = delta.MatMul(weights_[li].Transposed());
+      for (size_t i = 0; i < prev_delta.rows(); ++i) {
+        for (size_t j = 0; j < prev_delta.cols(); ++j) {
+          if (activations[li].at(i, j) <= 0.0) prev_delta.at(i, j) = 0.0;
+        }
+      }
+      delta = std::move(prev_delta);
+    }
+
+    // Adam update.
+    AdamState& st = adam_[li];
+    for (size_t idx = 0; idx < grad_w.data().size(); ++idx) {
+      double g = grad_w.data()[idx];
+      double& m = st.m_w.data()[idx];
+      double& v = st.v_w.data()[idx];
+      m = kAdamBeta1 * m + (1.0 - kAdamBeta1) * g;
+      v = kAdamBeta2 * v + (1.0 - kAdamBeta2) * g * g;
+      weights_[li].data()[idx] -=
+          learning_rate * (m / bc1) / (std::sqrt(v / bc2) + kAdamEps);
+    }
+    for (size_t j = 0; j < grad_b.size(); ++j) {
+      double g = grad_b[j];
+      double& m = st.m_b[j];
+      double& v = st.v_b[j];
+      m = kAdamBeta1 * m + (1.0 - kAdamBeta1) * g;
+      v = kAdamBeta2 * v + (1.0 - kAdamBeta2) * g * g;
+      biases_[li][j] -=
+          learning_rate * (m / bc1) / (std::sqrt(v / bc2) + kAdamEps);
+    }
+  }
+  return loss;
+}
+
+void Mlp::CopyFrom(const Mlp& other) {
+  weights_ = other.weights_;
+  biases_ = other.biases_;
+}
+
+}  // namespace bati

@@ -1,0 +1,69 @@
+#ifndef BATI_DQN_NODBA_H_
+#define BATI_DQN_NODBA_H_
+
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "dqn/network.h"
+#include "tuner/tuner.h"
+
+namespace bati {
+
+/// Options for the No-DBA baseline.
+struct NoDbaOptions {
+  /// Hidden layer widths (paper adaptation: three layers of 96, ReLU).
+  std::vector<size_t> hidden = {96, 96, 96};
+  double learning_rate = 1e-3;
+  double gamma = 0.95;
+  double epsilon_start = 1.0;
+  double epsilon_end = 0.05;
+  /// Rounds over which epsilon decays linearly.
+  int epsilon_decay_rounds = 30;
+  size_t replay_capacity = 20000;
+  size_t batch_size = 32;
+  int train_batches_per_round = 4;
+  int target_sync_rounds = 5;
+  uint64_t seed = 1;
+};
+
+/// Re-implementation of the No-DBA baseline [Sharma et al.] with the paper's
+/// adaptations (Section 7.2.2): one-hot configuration states, what-if costs
+/// as rewards (instead of execution time), deep Q-learning with a small
+/// CPU-trained MLP. Each round the agent assembles a K-index configuration
+/// with an epsilon-greedy policy over its Q-network, spends one what-if call
+/// per query to score it, and trains on replayed transitions. The best
+/// configuration over all rounds is returned.
+class NoDbaTuner : public Tuner {
+ public:
+  NoDbaTuner(TuningContext ctx, NoDbaOptions options = NoDbaOptions());
+
+  TuningResult Tune(CostService& service) override;
+  std::string name() const override { return "no-dba"; }
+
+  /// Best improvement-so-far after each completed round (Figure 14).
+  const std::vector<double>& round_trace() const { return round_trace_; }
+
+  const std::vector<double>* progress_trace() const override {
+    return &round_trace_;
+  }
+
+ private:
+  struct Transition {
+    Config state;
+    int action = -1;
+    double reward = 0.0;
+    Config next_state;
+    bool terminal = false;
+  };
+
+  TuningContext ctx_;
+  NoDbaOptions options_;
+  Rng rng_;
+  std::vector<double> round_trace_;
+};
+
+}  // namespace bati
+
+#endif  // BATI_DQN_NODBA_H_

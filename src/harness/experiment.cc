@@ -1,0 +1,207 @@
+#include "harness/experiment.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+
+#include "bandit/dba_bandits.h"
+#include "common/macros.h"
+#include "common/stats.h"
+#include "dqn/nodba.h"
+#include "dta/dta_tuner.h"
+#include "mcts/mcts_tuner.h"
+#include "tuner/greedy.h"
+#include "tuner/relaxation.h"
+#include "whatif/cost_service.h"
+
+namespace bati {
+
+namespace {
+
+/// Simulated non-what-if tuning overhead: per-call bookkeeping plus a fixed
+/// setup term (parsing, candidate generation). Chosen so what-if time is
+/// 75-93% of the total, as the paper measures (Figure 2).
+constexpr double kOtherSecondsPerCall = 0.12;
+constexpr double kOtherSecondsFixed = 30.0;
+
+}  // namespace
+
+const WorkloadBundle& LoadBundle(const std::string& name) {
+  static std::map<std::string, std::unique_ptr<WorkloadBundle>>& cache =
+      *new std::map<std::string, std::unique_ptr<WorkloadBundle>>();
+  auto it = cache.find(name);
+  if (it != cache.end()) return *it->second;
+
+  auto bundle = std::make_unique<WorkloadBundle>();
+  bundle->workload = MakeWorkloadByName(name);
+  BATI_CHECK(bundle->workload.database != nullptr &&
+             "unknown workload name");
+  bundle->optimizer =
+      std::make_shared<WhatIfOptimizer>(bundle->workload.database);
+  bundle->candidates = GenerateCandidates(bundle->workload);
+  auto [pos, inserted] = cache.emplace(name, std::move(bundle));
+  BATI_CHECK(inserted);
+  return *pos->second;
+}
+
+std::unique_ptr<Tuner> MakeTuner(const std::string& algorithm,
+                                 TuningContext ctx, uint64_t seed) {
+  if (algorithm == "vanilla-greedy") {
+    return std::make_unique<GreedyTuner>(std::move(ctx));
+  }
+  if (algorithm == "two-phase-greedy") {
+    return std::make_unique<TwoPhaseGreedyTuner>(std::move(ctx));
+  }
+  if (algorithm == "autoadmin-greedy") {
+    return std::make_unique<AutoAdminGreedyTuner>(std::move(ctx));
+  }
+  if (algorithm == "dba-bandits") {
+    DbaBanditsOptions opt;
+    opt.seed = seed;
+    return std::make_unique<DbaBanditsTuner>(std::move(ctx), opt);
+  }
+  if (algorithm == "no-dba") {
+    NoDbaOptions opt;
+    opt.seed = seed;
+    return std::make_unique<NoDbaTuner>(std::move(ctx), opt);
+  }
+  if (algorithm == "dta") {
+    return std::make_unique<DtaTuner>(std::move(ctx));
+  }
+  if (algorithm == "relaxation") {
+    return std::make_unique<RelaxationTuner>(std::move(ctx));
+  }
+  if (algorithm.rfind("mcts", 0) == 0) {
+    MctsOptions opt;  // defaults = paper's recommended setting
+    opt.seed = seed;
+    if (algorithm.find("-uct") != std::string::npos) {
+      opt.action_policy = MctsOptions::ActionPolicy::kUct;
+    }
+    if (algorithm.find("-prior") != std::string::npos) {
+      opt.action_policy = MctsOptions::ActionPolicy::kEpsGreedyPrior;
+    }
+    if (algorithm.find("-boltz") != std::string::npos) {
+      opt.action_policy = MctsOptions::ActionPolicy::kBoltzmann;
+    }
+    if (algorithm.find("-bce") != std::string::npos) {
+      opt.extraction = MctsOptions::Extraction::kBce;
+    }
+    if (algorithm.find("-bg") != std::string::npos) {
+      opt.extraction = MctsOptions::Extraction::kBestGreedy;
+    }
+    if (algorithm.find("-hybrid") != std::string::npos) {
+      opt.extraction = MctsOptions::Extraction::kHybrid;
+    }
+    if (algorithm.find("-rave") != std::string::npos) {
+      opt.use_rave = true;
+    }
+    if (algorithm.find("-feat") != std::string::npos) {
+      opt.featurized_priors = true;
+    }
+    if (algorithm.find("-rnd") != std::string::npos) {
+      opt.rollout_policy = MctsOptions::RolloutPolicy::kRandomStep;
+    }
+    if (algorithm.find("-fix0") != std::string::npos) {
+      opt.rollout_policy = MctsOptions::RolloutPolicy::kFixedStep;
+      opt.fixed_rollout_step = 0;
+    }
+    if (algorithm.find("-fix1") != std::string::npos) {
+      opt.rollout_policy = MctsOptions::RolloutPolicy::kFixedStep;
+      opt.fixed_rollout_step = 1;
+    }
+    return std::make_unique<MctsTuner>(std::move(ctx), opt);
+  }
+  BATI_CHECK(false && "unknown algorithm name");
+  return nullptr;
+}
+
+RunOutcome RunOnce(const WorkloadBundle& bundle, const RunSpec& spec) {
+  TuningContext ctx;
+  ctx.workload = &bundle.workload;
+  ctx.candidates = &bundle.candidates;
+  ctx.constraints.max_indexes = spec.max_indexes;
+  ctx.constraints.max_storage_bytes = spec.max_storage_bytes;
+
+  CostService service(bundle.optimizer.get(), &bundle.workload,
+                      &bundle.candidates.indexes, spec.budget);
+  std::unique_ptr<Tuner> tuner = MakeTuner(spec.algorithm, ctx, spec.seed);
+  TuningResult result = tuner->Tune(service);
+
+  RunOutcome outcome;
+  outcome.true_improvement = service.TrueImprovement(result.best_config);
+  outcome.derived_improvement = result.derived_improvement;
+  outcome.calls_used = service.calls_made();
+  outcome.config_size = result.best_config.count();
+  outcome.whatif_seconds = service.SimulatedWhatIfSeconds();
+  outcome.other_seconds =
+      kOtherSecondsFixed +
+      kOtherSecondsPerCall * static_cast<double>(service.calls_made());
+  if (const std::vector<double>* trace = tuner->progress_trace()) {
+    outcome.trace = *trace;
+  }
+  return outcome;
+}
+
+CellStats RunSeeds(const WorkloadBundle& bundle, RunSpec spec,
+                   const std::vector<uint64_t>& seeds) {
+  RunningStats stats;
+  for (uint64_t seed : seeds) {
+    spec.seed = seed;
+    stats.Add(RunOnce(bundle, spec).true_improvement);
+  }
+  return CellStats{stats.mean(), stats.stddev()};
+}
+
+BenchScale GetBenchScale() {
+  const char* env = std::getenv("BATI_SCALE");
+  bool full = env != nullptr && std::string(env) == "full";
+  BenchScale scale;
+  if (full) {
+    scale.large_budgets = {1000, 2000, 3000, 4000, 5000};
+    scale.small_budgets = {50, 100, 200, 500, 1000};
+    scale.cardinalities = {5, 10, 20};
+    scale.seeds = {1, 2, 3, 4, 5};
+  } else {
+    scale.large_budgets = {1000, 3000, 5000};
+    scale.small_budgets = {50, 200, 1000};
+    scale.cardinalities = {5, 10, 20};
+    scale.seeds = {1, 2};
+  }
+  return scale;
+}
+
+void PrintSeriesTable(const std::string& title, const WorkloadBundle& bundle,
+                      const std::vector<std::string>& algorithms,
+                      const std::vector<int64_t>& budgets, int k,
+                      double storage_bytes,
+                      const std::vector<uint64_t>& seeds) {
+  std::printf("# %s\n", title.c_str());
+  std::printf("%-8s", "budget");
+  for (const std::string& algo : algorithms) {
+    std::printf("  %18s %6s", algo.c_str(), "sd");
+  }
+  std::printf("\n");
+  for (int64_t budget : budgets) {
+    std::printf("%-8lld", static_cast<long long>(budget));
+    for (const std::string& algo : algorithms) {
+      RunSpec spec;
+      spec.workload = bundle.workload.name;
+      spec.algorithm = algo;
+      spec.budget = budget;
+      spec.max_indexes = k;
+      spec.max_storage_bytes = storage_bytes;
+      // Deterministic algorithms need only one run.
+      bool randomized = algo.rfind("mcts", 0) == 0 || algo == "dba-bandits" ||
+                        algo == "no-dba";
+      CellStats cell =
+          RunSeeds(bundle, spec,
+                   randomized ? seeds : std::vector<uint64_t>{seeds.front()});
+      std::printf("  %18.2f %6.2f", cell.mean, cell.stddev);
+    }
+    std::printf("\n");
+    std::fflush(stdout);
+  }
+  std::printf("\n");
+}
+
+}  // namespace bati

@@ -1,0 +1,93 @@
+#ifndef BATI_HARNESS_EXPERIMENT_H_
+#define BATI_HARNESS_EXPERIMENT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "optimizer/what_if.h"
+#include "tuner/tuner.h"
+#include "workload/generators.h"
+
+namespace bati {
+
+/// A workload plus everything derived from it that is shared across runs:
+/// the simulated what-if optimizer and the candidate-index universe.
+struct WorkloadBundle {
+  Workload workload;
+  std::shared_ptr<WhatIfOptimizer> optimizer;
+  CandidateSet candidates;
+};
+
+/// Builds (and caches within the process) a bundle for a named workload
+/// ("tpch", "tpcds", "job", "real-d", "real-m", "toy").
+const WorkloadBundle& LoadBundle(const std::string& name);
+
+/// Creates a tuner by algorithm name. Recognized names:
+///   "vanilla-greedy" | "two-phase-greedy" | "autoadmin-greedy" |
+///   "dba-bandits" | "no-dba" | "dta" | "mcts" (paper default setting) |
+///   "mcts-{uct,prior}-{bce,bg}-{fix0,fix1,rnd}" (ablation variants).
+std::unique_ptr<Tuner> MakeTuner(const std::string& algorithm,
+                                 TuningContext ctx, uint64_t seed);
+
+/// One tuning run's specification.
+struct RunSpec {
+  std::string workload;
+  std::string algorithm;
+  int64_t budget = 1000;
+  int max_indexes = 10;
+  double max_storage_bytes = 0.0;
+  uint64_t seed = 1;
+};
+
+/// One tuning run's measured outcome.
+struct RunOutcome {
+  /// eta(W, C) with ground-truth what-if costs (how the paper reports
+  /// improvements), percent.
+  double true_improvement = 0.0;
+  /// eta(W, C) with derived costs at the end of the run, percent.
+  double derived_improvement = 0.0;
+  int64_t calls_used = 0;
+  size_t config_size = 0;
+  /// Simulated seconds spent in what-if calls (Figure 2's orange bars).
+  double whatif_seconds = 0.0;
+  /// Simulated seconds spent elsewhere in tuning (Figure 2's blue bars).
+  double other_seconds = 0.0;
+  /// Best-so-far improvement after each episode/round, if the algorithm
+  /// exposes one (MCTS, DBA-bandits, No-DBA).
+  std::vector<double> trace;
+};
+
+/// Executes one tuning run against a bundle.
+RunOutcome RunOnce(const WorkloadBundle& bundle, const RunSpec& spec);
+
+/// Mean/stddev of true improvement across seeds for one cell of a figure.
+struct CellStats {
+  double mean = 0.0;
+  double stddev = 0.0;
+};
+
+/// Runs `spec` once per seed and aggregates the true improvements.
+CellStats RunSeeds(const WorkloadBundle& bundle, RunSpec spec,
+                   const std::vector<uint64_t>& seeds);
+
+/// Reduced-vs-full experiment scale, controlled by the BATI_SCALE
+/// environment variable ("full" selects the paper-scale sweeps).
+struct BenchScale {
+  std::vector<int64_t> large_budgets;  // TPC-DS / Real-D / Real-M x-axis
+  std::vector<int64_t> small_budgets;  // JOB / TPC-H x-axis
+  std::vector<int> cardinalities;      // K values
+  std::vector<uint64_t> seeds;         // RNG seeds for randomized tuners
+};
+BenchScale GetBenchScale();
+
+/// Prints a figure header plus one row per budget with mean/stddev columns
+/// per algorithm, in the layout of the paper's plots.
+void PrintSeriesTable(const std::string& title, const WorkloadBundle& bundle,
+                      const std::vector<std::string>& algorithms,
+                      const std::vector<int64_t>& budgets, int k,
+                      double storage_bytes, const std::vector<uint64_t>& seeds);
+
+}  // namespace bati
+
+#endif  // BATI_HARNESS_EXPERIMENT_H_

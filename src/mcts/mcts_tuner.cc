@@ -1,0 +1,440 @@
+#include "mcts/mcts_tuner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "common/macros.h"
+#include "tuner/features.h"
+
+namespace bati {
+
+MctsTuner::MctsTuner(TuningContext ctx, MctsOptions options)
+    : ctx_(std::move(ctx)),
+      options_(options),
+      rng_(options.seed),
+      best_explored_(0) {
+  BATI_CHECK(ctx_.workload != nullptr);
+  BATI_CHECK(ctx_.candidates != nullptr);
+}
+
+std::string MctsTuner::name() const {
+  std::string n = "mcts";
+  switch (options_.action_policy) {
+    case MctsOptions::ActionPolicy::kUct:
+      n += "-uct";
+      break;
+    case MctsOptions::ActionPolicy::kEpsGreedyPrior:
+      n += "-prior";
+      break;
+    case MctsOptions::ActionPolicy::kBoltzmann:
+      n += "-boltz";
+      break;
+  }
+  if (options_.rollout_policy == MctsOptions::RolloutPolicy::kFixedStep) {
+    n += "-fix" + std::to_string(options_.fixed_rollout_step);
+  } else {
+    n += "-rnd";
+  }
+  switch (options_.extraction) {
+    case MctsOptions::Extraction::kBce:
+      n += "-bce";
+      break;
+    case MctsOptions::Extraction::kBestGreedy:
+      n += "-bg";
+      break;
+    case MctsOptions::Extraction::kHybrid:
+      n += "-hybrid";
+      break;
+  }
+  if (options_.use_rave) n += "-rave";
+  if (options_.featurized_priors) n += "-feat";
+  return n;
+}
+
+MctsTuner::Node* MctsTuner::GetOrCreateNode(const Config& config,
+                                            CostService& service) {
+  auto it = nodes_.find(config);
+  if (it != nodes_.end()) return it->second.get();
+  auto node = std::make_unique<Node>();
+  node->config = config;
+  const Database& db = *ctx_.workload->database;
+  const int n = service.num_candidates();
+  for (int pos = 0; pos < n; ++pos) {
+    if (config.test(static_cast<size_t>(pos))) continue;
+    if (!FitsStorage(ctx_, db, config, pos)) continue;
+    node->actions.push_back(pos);
+    node->action_visits.push_back(0);
+    // Q-hat is bootstrapped with the singleton prior for epsilon-greedy
+    // and Boltzmann; UCT starts at zero and relies on its exploration bonus.
+    double init =
+        options_.action_policy != MctsOptions::ActionPolicy::kUct &&
+                !priors_.empty()
+            ? priors_[static_cast<size_t>(pos)]
+            : 0.0;
+    node->action_value.push_back(init);
+    if (options_.use_rave) {
+      node->rave_visits.push_back(0);
+      node->rave_value.push_back(init);
+    }
+  }
+  Node* raw = node.get();
+  nodes_.emplace(config, std::move(node));
+  return raw;
+}
+
+void MctsTuner::ComputePriors(CostService& service) {
+  const int n = service.num_candidates();
+  priors_.assign(static_cast<size_t>(n), 0.0);
+  const double base = service.BaseWorkloadCost();
+  if (base <= 0.0) return;
+
+  // cost(W, {I}) accumulators, initialized to c(W, {}) (Algorithm 4 line 2).
+  std::vector<double> cost_w(static_cast<size_t>(n), base);
+
+  // Per-query evaluation queues: candidate positions of I_{q}, largest
+  // tables first (the paper's IndexSelection heuristic).
+  const Database& db = *ctx_.workload->database;
+  const int m = service.num_queries();
+  std::vector<std::vector<int>> queues(static_cast<size_t>(m));
+  int64_t total_pairs = 0;
+  for (int q = 0; q < m; ++q) {
+    queues[static_cast<size_t>(q)] =
+        ctx_.candidates->per_query[static_cast<size_t>(q)];
+    std::sort(queues[static_cast<size_t>(q)].begin(),
+              queues[static_cast<size_t>(q)].end(), [&](int a, int b) {
+                double ra = db.table(ctx_.candidates->indexes[static_cast<size_t>(a)]
+                                         .table_id)
+                                .row_count();
+                double rb = db.table(ctx_.candidates->indexes[static_cast<size_t>(b)]
+                                         .table_id)
+                                .row_count();
+                if (ra != rb) return ra > rb;
+                return a < b;
+              });
+    total_pairs += static_cast<int64_t>(queues[static_cast<size_t>(q)].size());
+  }
+
+  // B' = min(B/2, P) (Section 6.1.2).
+  int64_t prior_budget = std::min(service.budget() / 2, total_pairs);
+
+  // Round-robin QuerySelection over queries with work left.
+  std::vector<size_t> cursor(static_cast<size_t>(m), 0);
+  int q = 0;
+  for (int64_t b = 0; b < prior_budget && service.HasBudget();) {
+    // Advance round-robin to the next query with unevaluated candidates.
+    int scanned = 0;
+    while (scanned < m &&
+           cursor[static_cast<size_t>(q)] >=
+               queues[static_cast<size_t>(q)].size()) {
+      q = (q + 1) % m;
+      ++scanned;
+    }
+    if (scanned >= m) break;  // all pairs evaluated
+    int pos = queues[static_cast<size_t>(q)][cursor[static_cast<size_t>(q)]++];
+    Config singleton = service.EmptyConfig();
+    singleton.set(static_cast<size_t>(pos));
+    auto c = service.WhatIfCost(q, singleton);
+    if (!c.has_value()) break;
+    cost_w[static_cast<size_t>(pos)] -= service.BaseCost(q) - *c;
+    ++b;
+    q = (q + 1) % m;
+  }
+
+  // Which candidates received at least one singleton evaluation.
+  std::vector<bool> evaluated(static_cast<size_t>(n), false);
+  for (const LayoutEntry& e : service.layout()) {
+    if (e.config.count() == 1) {
+      evaluated[e.config.ToIndices().front()] = true;
+    }
+  }
+
+  for (int pos = 0; pos < n; ++pos) {
+    double eta = 1.0 - cost_w[static_cast<size_t>(pos)] / base;
+    priors_[static_cast<size_t>(pos)] = std::max(0.0, eta);
+  }
+
+  // Featurized-prior generalization: predict priors for never-evaluated
+  // candidates from a ridge model fitted on the evaluated ones.
+  if (options_.featurized_priors) {
+    std::vector<std::vector<double>> xs;
+    std::vector<double> ys;
+    for (int pos = 0; pos < n; ++pos) {
+      if (!evaluated[static_cast<size_t>(pos)]) continue;
+      xs.push_back(IndexFeatures(ctx_, pos));
+      ys.push_back(priors_[static_cast<size_t>(pos)]);
+    }
+    if (xs.size() >= static_cast<size_t>(kIndexFeatureCount)) {
+      std::vector<double> theta =
+          RidgeFit(xs, ys, options_.prior_ridge_lambda);
+      for (int pos = 0; pos < n; ++pos) {
+        if (evaluated[static_cast<size_t>(pos)]) continue;
+        double predicted = DotProduct(theta, IndexFeatures(ctx_, pos));
+        priors_[static_cast<size_t>(pos)] =
+            std::min(1.0, std::max(0.0, predicted));
+      }
+    }
+  }
+}
+
+int MctsTuner::SelectAction(Node& node) {
+  BATI_CHECK(!node.actions.empty());
+  const size_t k = node.actions.size();
+  if (options_.action_policy == MctsOptions::ActionPolicy::kUct) {
+    // Unvisited actions have infinite UCB score; break ties randomly.
+    std::vector<size_t> unvisited;
+    for (size_t i = 0; i < k; ++i) {
+      if (node.action_visits[i] == 0) unvisited.push_back(i);
+    }
+    if (!unvisited.empty()) {
+      return static_cast<int>(unvisited[static_cast<size_t>(rng_.UniformInt(
+          0, static_cast<int64_t>(unvisited.size()) - 1))]);
+    }
+    double log_n = std::log(std::max(1, node.visits));
+    int best = 0;
+    double best_score = -std::numeric_limits<double>::infinity();
+    for (size_t i = 0; i < k; ++i) {
+      double score = node.action_value[i] +
+                     options_.uct_lambda *
+                         std::sqrt(log_n / node.action_visits[i]);
+      if (score > best_score) {
+        best_score = score;
+        best = static_cast<int>(i);
+      }
+    }
+    return best;
+  }
+  // Effective action values, optionally blended with RAVE estimates:
+  // (1 - beta) * Q-hat + beta * Q-rave with beta = sqrt(k / (3n + k)).
+  std::vector<double> values = node.action_value;
+  if (options_.use_rave) {
+    for (size_t i = 0; i < k; ++i) {
+      double n = node.action_visits[i];
+      double beta = std::sqrt(options_.rave_k / (3.0 * n + options_.rave_k));
+      double rave = node.rave_visits[i] > 0 ? node.rave_value[i] : values[i];
+      values[i] = (1.0 - beta) * values[i] + beta * rave;
+    }
+  }
+  if (options_.action_policy == MctsOptions::ActionPolicy::kBoltzmann) {
+    // Softmax with temperature tau; subtract the max for numerical safety.
+    double max_v = *std::max_element(values.begin(), values.end());
+    std::vector<double> probs(k);
+    double tau = std::max(1e-6, options_.boltzmann_temperature);
+    for (size_t i = 0; i < k; ++i) {
+      probs[i] = std::exp((values[i] - max_v) / tau);
+    }
+    return static_cast<int>(rng_.WeightedIndex(probs));
+  }
+  // Proportional epsilon-greedy (Equation 6): Pr(a) proportional to Q-hat.
+  return static_cast<int>(rng_.WeightedIndex(values));
+}
+
+Config MctsTuner::Rollout(const Node& node) {
+  const int k_max = ctx_.constraints.max_indexes;
+  const int depth = static_cast<int>(node.config.count());
+  const int slack = std::max(0, k_max - depth);
+  int steps;
+  if (options_.rollout_policy == MctsOptions::RolloutPolicy::kRandomStep) {
+    steps = static_cast<int>(rng_.UniformInt(0, slack));
+  } else {
+    steps = std::min(options_.fixed_rollout_step, slack);
+  }
+  Config result = node.config;
+  if (steps == 0) return result;
+
+  const Database& db = *ctx_.workload->database;
+  std::vector<int> pool = node.actions;
+  std::vector<double> weights;
+  weights.reserve(pool.size());
+  bool weighted =
+      options_.action_policy != MctsOptions::ActionPolicy::kUct &&
+      !priors_.empty();
+  for (int pos : pool) {
+    weights.push_back(weighted ? priors_[static_cast<size_t>(pos)] : 1.0);
+  }
+  for (int s = 0; s < steps && !pool.empty(); ++s) {
+    size_t pick = rng_.WeightedIndex(weights);
+    int pos = pool[pick];
+    pool.erase(pool.begin() + static_cast<ptrdiff_t>(pick));
+    weights.erase(weights.begin() + static_cast<ptrdiff_t>(pick));
+    if (!FitsStorage(ctx_, db, result, pos)) continue;
+    result.set(static_cast<size_t>(pos));
+  }
+  return result;
+}
+
+bool MctsTuner::RunEpisode(CostService& service) {
+  // ---- Selection / expansion / simulation (SampleConfiguration). ----
+  struct PathStep {
+    Node* node;
+    int action_index;  // -1 at the final node
+  };
+  std::vector<PathStep> path;
+  Node* node = GetOrCreateNode(service.EmptyConfig(), service);
+  Config sampled(0);
+  while (true) {
+    bool terminal =
+        static_cast<int>(node->config.count()) >=
+            ctx_.constraints.max_indexes ||
+        node->actions.empty();
+    if (terminal) {
+      path.push_back(PathStep{node, -1});
+      sampled = node->config;
+      break;
+    }
+    if (node->visits == 0) {
+      // Unvisited leaf: simulate.
+      path.push_back(PathStep{node, -1});
+      sampled = Rollout(*node);
+      break;
+    }
+    int a = SelectAction(*node);
+    path.push_back(PathStep{node, a});
+    Config next = node->config.With(
+        static_cast<size_t>(node->actions[static_cast<size_t>(a)]));
+    node = GetOrCreateNode(next, service);  // expansion on first touch
+  }
+
+  // ---- EvaluateCostWithBudget: one what-if call on a query sampled with
+  // probability proportional to its derived cost. Queries whose cost for
+  // this configuration is already cached carry weight zero — re-evaluating
+  // them would spend the episode without learning anything new. ----
+  const int m = service.num_queries();
+  std::vector<double> derived(static_cast<size_t>(m));
+  std::vector<double> weights(static_cast<size_t>(m), 0.0);
+  double cost = 0.0;
+  bool any_unknown = false;
+  for (int q = 0; q < m; ++q) {
+    derived[static_cast<size_t>(q)] = service.DerivedCost(q, sampled);
+    cost += derived[static_cast<size_t>(q)];
+    if (!service.IsKnown(q, sampled)) {
+      weights[static_cast<size_t>(q)] = derived[static_cast<size_t>(q)];
+      any_unknown = true;
+    }
+  }
+  if (!sampled.empty() && any_unknown) {
+    int q_sel = -1;
+    switch (options_.query_selection) {
+      case MctsOptions::QuerySelection::kProportionalToDerivedCost:
+        q_sel = static_cast<int>(rng_.WeightedIndex(weights));
+        break;
+      case MctsOptions::QuerySelection::kUniform: {
+        std::vector<double> uniform(weights.size(), 0.0);
+        for (size_t q = 0; q < weights.size(); ++q) {
+          if (weights[q] > 0.0) uniform[q] = 1.0;
+        }
+        q_sel = static_cast<int>(rng_.WeightedIndex(uniform));
+        break;
+      }
+      case MctsOptions::QuerySelection::kRoundRobin: {
+        for (int step = 0; step < m; ++step) {
+          int q = (rr_query_cursor_ + step) % m;
+          if (weights[static_cast<size_t>(q)] > 0.0) {
+            q_sel = q;
+            rr_query_cursor_ = (q + 1) % m;
+            break;
+          }
+        }
+        break;
+      }
+    }
+    BATI_CHECK(q_sel >= 0);
+    auto what_if = service.WhatIfCost(q_sel, sampled);
+    if (!what_if.has_value()) return false;  // budget exhausted
+    cost += *what_if - derived[static_cast<size_t>(q_sel)];
+  }
+  double base = service.BaseWorkloadCost();
+  double reward = base > 0.0 ? std::max(0.0, 1.0 - cost / base) : 0.0;
+
+  // ---- Update: back the reward up the path. ----
+  for (PathStep& step : path) {
+    step.node->visits += 1;
+    if (step.action_index >= 0) {
+      size_t a = static_cast<size_t>(step.action_index);
+      int n = ++step.node->action_visits[a];
+      double& q_hat = step.node->action_value[a];
+      if (n == 1 &&
+          options_.action_policy != MctsOptions::ActionPolicy::kUct) {
+        // First real observation replaces the prior.
+        q_hat = reward;
+      } else {
+        q_hat += (reward - q_hat) / n;
+      }
+    }
+    if (options_.use_rave) {
+      // All-moves-as-first: every action whose index ended up in the
+      // sampled configuration gets a RAVE update at every node on the path.
+      Node& node_ref = *step.node;
+      for (size_t i = 0; i < node_ref.actions.size(); ++i) {
+        size_t pos = static_cast<size_t>(node_ref.actions[i]);
+        if (!sampled.test(pos)) continue;
+        int rn = ++node_ref.rave_visits[i];
+        node_ref.rave_value[i] += (reward - node_ref.rave_value[i]) / rn;
+      }
+    }
+  }
+
+  // ---- Track the best configuration explored (for BCE and the trace). ----
+  double improvement = reward * 100.0;
+  if (improvement > best_explored_improvement_) {
+    best_explored_improvement_ = improvement;
+    best_explored_ = sampled;
+  }
+  trace_.push_back(best_explored_improvement_);
+  return true;
+}
+
+TuningResult MctsTuner::Tune(CostService& service) {
+  nodes_.clear();
+  trace_.clear();
+  best_explored_ = service.EmptyConfig();
+  best_explored_improvement_ = -1.0;
+
+  if (options_.action_policy != MctsOptions::ActionPolicy::kUct) {
+    ComputePriors(service);
+  }
+  GetOrCreateNode(service.EmptyConfig(), service);
+  // Episodes that only touch cached cells spend no budget; in tiny search
+  // spaces everything eventually is cached, so bound the free-episode streak
+  // to guarantee termination.
+  int free_episodes = 0;
+  while (service.HasBudget() && free_episodes < 1000) {
+    int64_t calls_before = service.calls_made();
+    if (!RunEpisode(service)) break;
+    if (service.calls_made() == calls_before) {
+      ++free_episodes;
+    } else {
+      free_episodes = 0;
+    }
+  }
+
+  Config best = service.EmptyConfig();
+  if (options_.extraction == MctsOptions::Extraction::kBce) {
+    best = best_explored_;
+  } else {
+    // Best-Greedy: re-run Algorithm 1 over the cached costs only (derived
+    // costs; no budget is spent).
+    std::vector<int> all_queries(static_cast<size_t>(service.num_queries()));
+    std::iota(all_queries.begin(), all_queries.end(), 0);
+    std::vector<int> all_candidates(
+        static_cast<size_t>(service.num_candidates()));
+    std::iota(all_candidates.begin(), all_candidates.end(), 0);
+    best = GreedyEnumerate(ctx_, service, all_queries, all_candidates,
+                           service.EmptyConfig(), DenyAllWhatIf());
+    if (options_.extraction == MctsOptions::Extraction::kHybrid &&
+        service.DerivedImprovement(best_explored_) >
+            service.DerivedImprovement(best)) {
+      best = best_explored_;
+    }
+  }
+
+  TuningResult result;
+  result.algorithm = name();
+  result.best_config = best;
+  result.derived_improvement = service.DerivedImprovement(best);
+  result.what_if_calls = service.calls_made();
+  return result;
+}
+
+}  // namespace bati

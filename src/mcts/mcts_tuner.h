@@ -1,0 +1,132 @@
+#ifndef BATI_MCTS_MCTS_TUNER_H_
+#define BATI_MCTS_MCTS_TUNER_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "tuner/greedy.h"
+#include "tuner/tuner.h"
+
+namespace bati {
+
+/// Policy knobs of the MCTS tuner (paper Section 6). The paper's recommended
+/// setting — epsilon-greedy-with-priors action selection, myopic (step-0)
+/// rollout, Best-Greedy extraction — is the default.
+struct MctsOptions {
+  /// Action selection (Section 6.1): UCT (Equation 5), the proportional
+  /// epsilon-greedy variant (Equation 6) bootstrapped with singleton priors
+  /// computed by Algorithm 4, or Boltzmann exploration (the softmax variant
+  /// the paper discusses as an alternative, with temperature tau).
+  enum class ActionPolicy { kUct, kEpsGreedyPrior, kBoltzmann };
+
+  /// Rollout (Section 6.2): look-ahead step size drawn uniformly from
+  /// {0..K-d} (standard) or fixed ("myopic" when small).
+  enum class RolloutPolicy { kRandomStep, kFixedStep };
+
+  /// Extraction of the final configuration (Section 6.3): best configuration
+  /// explored (BCE), a greedy traversal with derived costs (BG), or the
+  /// better of the two (the hybrid the paper's appendix suggests to avoid
+  /// BG occasionally discarding good rollout discoveries).
+  enum class Extraction { kBce, kBestGreedy, kHybrid };
+
+  /// Query-selection strategy inside EvaluateCostWithBudget. The paper's
+  /// implementation samples the query with probability proportional to its
+  /// derived cost ("other strategies are possible"); uniform and round-robin
+  /// are provided for ablation.
+  enum class QuerySelection { kProportionalToDerivedCost, kUniform,
+                              kRoundRobin };
+
+  ActionPolicy action_policy = ActionPolicy::kEpsGreedyPrior;
+  QuerySelection query_selection =
+      QuerySelection::kProportionalToDerivedCost;
+  RolloutPolicy rollout_policy = RolloutPolicy::kFixedStep;
+  /// Step size for kFixedStep; 0 = evaluate the tree state itself (the
+  /// paper's best-performing "myopic" rollout).
+  int fixed_rollout_step = 0;
+  Extraction extraction = Extraction::kBestGreedy;
+  /// Exploration constant lambda of Equation 5 (sqrt(2) per UCT).
+  double uct_lambda = 1.4142135623730951;
+  /// Temperature tau of Boltzmann exploration (kBoltzmann only).
+  double boltzmann_temperature = 0.05;
+  /// Featurized-prior generalization (the paper's Section 7.2.1 pointer:
+  /// "appropriate featurization could help identify promising index
+  /// configurations more quickly"): after Algorithm 4, fit a ridge model of
+  /// observed singleton improvements over static index features and predict
+  /// priors for the candidates the budget never reached, instead of leaving
+  /// them at zero.
+  bool featurized_priors = false;
+  /// Ridge regularization of the prior model.
+  double prior_ridge_lambda = 1.0;
+
+  /// Rapid Action Value Estimation (Gelly & Silver), the update-policy
+  /// refinement the paper's related-work section points to: blend each
+  /// action's Q-hat with an all-moves-as-first estimate while visit counts
+  /// are low.
+  bool use_rave = false;
+  /// RAVE equivalence parameter: beta(n) = sqrt(k / (3n + k)).
+  double rave_k = 500.0;
+  /// RNG seed; the paper runs five seeds and reports mean and stddev.
+  uint64_t seed = 1;
+};
+
+/// Budget-aware index tuning with Monte Carlo tree search (paper Algorithm 3).
+/// Each episode descends the search tree over configurations, samples a
+/// configuration, spends exactly one what-if call to evaluate it
+/// (EvaluateCostWithBudget), and backs the percentage-improvement reward up
+/// the path. Priors for the epsilon-greedy policy consume up to half the
+/// budget (Algorithm 4) before search starts.
+class MctsTuner : public Tuner {
+ public:
+  MctsTuner(TuningContext ctx, MctsOptions options = MctsOptions());
+
+  TuningResult Tune(CostService& service) override;
+  std::string name() const override;
+
+  /// Best-improvement-so-far after each episode (by the episode's evaluated
+  /// derived cost); index i = value after budget unit i of the search phase.
+  /// Populated by the last Tune() call.
+  const std::vector<double>& improvement_trace() const { return trace_; }
+
+  const std::vector<double>* progress_trace() const override {
+    return &trace_;
+  }
+
+ private:
+  struct Node {
+    Config config;
+    int visits = 0;
+    /// Feasible actions (candidate positions not in `config` and fitting the
+    /// storage constraint), with per-action statistics.
+    std::vector<int> actions;
+    std::vector<int> action_visits;
+    std::vector<double> action_value;  // Q-hat(s, a): mean reward in [0, 1]
+    /// All-moves-as-first statistics (populated only when use_rave is set).
+    std::vector<int> rave_visits;
+    std::vector<double> rave_value;
+  };
+
+  Node* GetOrCreateNode(const Config& config, CostService& service);
+  /// Algorithm 4: singleton priors eta(W, {a}) as fractions in [0, 1].
+  void ComputePriors(CostService& service);
+  int SelectAction(Node& node);
+  Config Rollout(const Node& node);
+  /// One episode: returns false when the budget ran out before evaluation.
+  bool RunEpisode(CostService& service);
+
+  TuningContext ctx_;
+  MctsOptions options_;
+  Rng rng_;
+  std::unordered_map<Config, std::unique_ptr<Node>, DynamicBitsetHash> nodes_;
+  std::vector<double> priors_;
+  int rr_query_cursor_ = 0;
+  Config best_explored_;
+  double best_explored_improvement_ = -1.0;
+  std::vector<double> trace_;
+};
+
+}  // namespace bati
+
+#endif  // BATI_MCTS_MCTS_TUNER_H_

@@ -1,0 +1,68 @@
+#ifndef BATI_OPTIMIZER_COST_MODEL_H_
+#define BATI_OPTIMIZER_COST_MODEL_H_
+
+namespace bati {
+
+/// Tunable constants of the what-if cost model. Costs are expressed in
+/// "page units": sequentially reading one 8 KB page costs 1.0; CPU and random
+/// I/O terms are scaled relative to that, mirroring how real optimizers
+/// (System R descendants, SQL Server, PostgreSQL) parameterize their models.
+struct CostModelParams {
+  /// Page size used to convert byte volumes into page units.
+  double page_bytes = 8192.0;
+
+  /// CPU cost charged per row flowing through an operator.
+  double cpu_per_row = 0.001;
+
+  /// Fixed cost of one B+-tree root-to-leaf descent.
+  double seek_cost = 3.0;
+
+  /// Random-I/O cost per row for RID/bookmark lookups when a non-covering
+  /// index seek must fetch the remaining columns from the heap.
+  double lookup_cost_per_row = 0.25;
+
+  /// Hash-join build cost per build-side row.
+  double hash_build_per_row = 0.0020;
+
+  /// Hash-join probe cost per probe-side row.
+  double hash_probe_per_row = 0.0010;
+
+  /// Index-nested-loop overhead per outer probe (on top of the inner seek).
+  double nlj_probe_overhead = 0.0020;
+
+  /// Sort cost per row per log2(rows).
+  double sort_per_row_log = 0.0004;
+
+  /// Hash-aggregation cost per input row.
+  double hash_agg_per_row = 0.0010;
+
+  /// Cost per output row delivered to the client.
+  double output_per_row = 0.0002;
+
+  /// Merge-join per-row cost for the merge phase (sorting is charged via
+  /// sort_per_row_log unless an index already provides the order).
+  double merge_per_row = 0.0008;
+
+  /// Correlated-filter handling: when true, a scan's combined filter
+  /// selectivity uses exponential backoff (SQL Server 2014+ style): sort
+  /// selectivities ascending and combine s0 * s1^(1/2) * s2^(1/4) * ...,
+  /// assuming partial correlation instead of full independence. Affects
+  /// cardinalities only, so monotonicity is unaffected.
+  bool exponential_backoff = false;
+
+  /// Join-method toggles (ablation knobs; all enabled by default).
+  bool enable_hash_join = true;
+  bool enable_merge_join = true;
+  bool enable_index_nested_loop = true;
+
+  /// Optional multiplicative noise amplitude in [0, 1). When positive, each
+  /// what-if cost is perturbed by a deterministic pseudo-random factor in
+  /// [1-noise, 1+noise] keyed on (query, configuration). This deliberately
+  /// breaks Assumption 1 (monotonicity) so tests and ablations can study
+  /// tuner robustness against non-monotone optimizer cost models.
+  double monotonicity_noise = 0.0;
+};
+
+}  // namespace bati
+
+#endif  // BATI_OPTIMIZER_COST_MODEL_H_

@@ -1,0 +1,68 @@
+#include "optimizer/explain_format.h"
+
+#include <cstdio>
+
+#include "common/macros.h"
+
+namespace bati {
+
+std::string AccessPathName(AccessPathKind kind) {
+  switch (kind) {
+    case AccessPathKind::kHeapScan:
+      return "heap scan";
+    case AccessPathKind::kIndexSeek:
+      return "index seek";
+    case AccessPathKind::kIndexOnlyScan:
+      return "index-only scan";
+  }
+  return "?";
+}
+
+std::string JoinMethodName(JoinMethod method) {
+  switch (method) {
+    case JoinMethod::kNone:
+      return "";
+    case JoinMethod::kHashJoin:
+      return "hash join";
+    case JoinMethod::kIndexNestedLoop:
+      return "index nested loops";
+    case JoinMethod::kMergeJoin:
+      return "merge join";
+  }
+  return "?";
+}
+
+std::string FormatPlan(const Database& db, const Query& query,
+                       const std::vector<Index>& config,
+                       const PlanExplanation& plan) {
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof(line), "%s (cost=%.1f)\n",
+                query.name.empty() ? "query" : query.name.c_str(),
+                plan.total_cost);
+  out += line;
+  for (const PlanStep& step : plan.steps) {
+    BATI_CHECK(step.scan_id >= 0 && step.scan_id < query.num_scans());
+    const Table& table =
+        db.table(query.scans[static_cast<size_t>(step.scan_id)].table_id);
+    std::string access = AccessPathName(step.access);
+    if (step.index_pos >= 0 &&
+        step.index_pos < static_cast<int>(config.size())) {
+      access += " via " +
+                config[static_cast<size_t>(step.index_pos)].Name(db);
+    }
+    std::string join = JoinMethodName(step.join);
+    std::snprintf(line, sizeof(line),
+                  "  %-4s %-14s %-50s %-20s cost=%12.1f rows=%.0f\n",
+                  step.join == JoinMethod::kNone ? "scan" : "join",
+                  table.name().c_str(), access.c_str(), join.c_str(),
+                  step.step_cost, step.output_rows);
+    out += line;
+  }
+  std::snprintf(line, sizeof(line), "  post-processing cost=%.1f\n",
+                plan.post_processing_cost);
+  out += line;
+  return out;
+}
+
+}  // namespace bati

@@ -1,0 +1,32 @@
+#ifndef BATI_OPTIMIZER_EXPLAIN_FORMAT_H_
+#define BATI_OPTIMIZER_EXPLAIN_FORMAT_H_
+
+#include <string>
+#include <vector>
+
+#include "optimizer/what_if.h"
+#include "storage/index.h"
+#include "workload/query.h"
+
+namespace bati {
+
+/// Human-readable names for plan enums.
+std::string AccessPathName(AccessPathKind kind);
+std::string JoinMethodName(JoinMethod method);
+
+/// Renders a plan explanation as indented text, e.g.
+///
+///   SELECT ... (cost=1234.5)
+///     scan dim       heap scan                         rows=38
+///     join sensors   index seek via ix_... [INL]       rows=1250
+///     post-processing cost=3.2
+///
+/// `config` must be the configuration the plan was explained against (index
+/// positions in the plan refer into it).
+std::string FormatPlan(const Database& db, const Query& query,
+                       const std::vector<Index>& config,
+                       const PlanExplanation& plan);
+
+}  // namespace bati
+
+#endif  // BATI_OPTIMIZER_EXPLAIN_FORMAT_H_

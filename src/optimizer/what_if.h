@@ -1,0 +1,83 @@
+#ifndef BATI_OPTIMIZER_WHAT_IF_H_
+#define BATI_OPTIMIZER_WHAT_IF_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "optimizer/cost_model.h"
+#include "storage/index.h"
+#include "workload/query.h"
+
+namespace bati {
+
+/// Access-path choice recorded in a plan explanation.
+enum class AccessPathKind { kHeapScan, kIndexSeek, kIndexOnlyScan };
+
+/// Join method recorded in a plan explanation.
+enum class JoinMethod { kNone, kHashJoin, kIndexNestedLoop, kMergeJoin };
+
+/// One step of the (left-deep) plan produced for a query.
+struct PlanStep {
+  int scan_id = -1;
+  AccessPathKind access = AccessPathKind::kHeapScan;
+  /// Which index was used, as position in the supplied configuration;
+  /// -1 for heap.
+  int index_pos = -1;
+  JoinMethod join = JoinMethod::kNone;
+  double step_cost = 0.0;
+  double output_rows = 0.0;
+};
+
+/// Full what-if plan explanation (for examples, debugging and tests).
+struct PlanExplanation {
+  std::vector<PlanStep> steps;
+  double post_processing_cost = 0.0;  // sort / aggregation / output
+  double total_cost = 0.0;
+};
+
+/// The simulated what-if query optimizer. Stands in for a DBMS's what-if
+/// API (e.g. SQL Server's hypothetical-index interface): given a query and a
+/// hypothetical index configuration, it returns the optimizer-estimated cost
+/// without materializing any index. See DESIGN.md for the substitution
+/// rationale.
+///
+/// Properties relied on by the tuning layer:
+///  * Deterministic: equal inputs yield equal costs.
+///  * Monotone (Assumption 1 of the paper) when `monotonicity_noise == 0`:
+///    adding indexes never increases the cost, because every index only adds
+///    candidate access paths / join methods to minimize over, and the join
+///    order itself depends only on configuration-independent cardinalities.
+class WhatIfOptimizer {
+ public:
+  WhatIfOptimizer(std::shared_ptr<const Database> db,
+                  CostModelParams params = CostModelParams());
+
+  const Database& database() const { return *db_; }
+  const CostModelParams& params() const { return params_; }
+
+  /// Optimizer-estimated cost of `query` when the indexes in `config` exist
+  /// (hypothetically) in addition to base heaps. An empty config costs the
+  /// query over heap scans only.
+  double Cost(const Query& query, const std::vector<Index>& config) const;
+
+  /// Like Cost but also returns the chosen plan.
+  PlanExplanation Explain(const Query& query,
+                          const std::vector<Index>& config) const;
+
+  /// Simulated wall-clock seconds one what-if call for `query` would take on
+  /// a real server (a full optimization cycle: parse, bind, plan search).
+  /// Drives the paper's Figure 2 time-breakdown and the tuning-time axis
+  /// annotations; scales with query complexity (TPC-DS-like queries land
+  /// near the ~1 s/call the paper reports).
+  double EstimateCallSeconds(const Query& query) const;
+
+ private:
+  std::shared_ptr<const Database> db_;
+  CostModelParams params_;
+};
+
+}  // namespace bati
+
+#endif  // BATI_OPTIMIZER_WHAT_IF_H_

@@ -1,0 +1,103 @@
+#ifndef BATI_SQL_AST_H_
+#define BATI_SQL_AST_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace bati::sql {
+
+/// Unresolved column reference as written in the query ("alias.column" or a
+/// bare "column" to be resolved by the binder).
+struct ColumnName {
+  std::string qualifier;  // table name or alias; may be empty
+  std::string column;
+
+  std::string ToString() const {
+    return qualifier.empty() ? column : qualifier + "." + column;
+  }
+};
+
+/// Aggregate functions supported in the SELECT list.
+enum class AggFunc { kNone, kCount, kSum, kAvg, kMin, kMax };
+
+/// One SELECT-list item: a column, an aggregate over a column, or COUNT(*).
+struct SelectItem {
+  AggFunc agg = AggFunc::kNone;
+  bool star = false;                  // COUNT(*) or bare '*'
+  std::optional<ColumnName> column;   // absent for '*'
+};
+
+/// FROM-list entry: a base table with an optional alias.
+struct TableRef {
+  std::string table;
+  std::string alias;  // empty => table name itself
+
+  const std::string& EffectiveName() const {
+    return alias.empty() ? table : alias;
+  }
+};
+
+/// Comparison operators for scalar predicates.
+enum class CmpOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+/// Literal value: number or string.
+struct Literal {
+  bool is_string = false;
+  double number = 0.0;
+  std::string text;
+};
+
+/// One conjunct of the WHERE clause: column-op-literal filters,
+/// column-op-column joins, BETWEEN, IN and LIKE. A conjunct may also be a
+/// parenthesized disjunction "(p1 OR p2 OR ...)": the first disjunct lives
+/// in this Predicate and the rest in `or_disjuncts` (only simple predicates
+/// may appear inside a disjunction; nesting is not supported).
+struct Predicate {
+  enum class Kind { kCompareLiteral, kCompareColumn, kBetween, kIn, kLike };
+
+  Kind kind = Kind::kCompareLiteral;
+  ColumnName left;
+
+  // kCompareLiteral
+  CmpOp op = CmpOp::kEq;
+  Literal literal;
+
+  // kCompareColumn (join predicate; op is always equality in the subset)
+  ColumnName right;
+
+  // kBetween
+  Literal between_lo;
+  Literal between_hi;
+
+  // kIn
+  std::vector<Literal> in_list;
+
+  // kLike
+  std::string like_pattern;
+
+  // Further disjuncts of a "(p1 OR p2 ...)" group; empty for plain
+  // conjuncts. Disjuncts themselves never carry nested or_disjuncts.
+  std::vector<Predicate> or_disjuncts;
+};
+
+/// ORDER BY item.
+struct OrderItem {
+  ColumnName column;
+  bool descending = false;
+};
+
+/// A parsed SELECT statement (unbound).
+struct SelectStatement {
+  bool distinct = false;
+  std::vector<SelectItem> select_list;
+  std::vector<TableRef> from;
+  std::vector<Predicate> where;  // conjunction
+  std::vector<ColumnName> group_by;
+  std::vector<OrderItem> order_by;
+  std::optional<int64_t> limit;
+};
+
+}  // namespace bati::sql
+
+#endif  // BATI_SQL_AST_H_

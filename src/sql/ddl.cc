@@ -1,0 +1,202 @@
+#include "sql/ddl.h"
+
+#include "common/strings.h"
+#include "sql/lexer.h"
+
+namespace bati::sql {
+
+namespace {
+
+/// Cursor over the token stream with contextual (non-reserved) word
+/// matching: DDL words like CREATE or BIGINT arrive as identifiers.
+class Cursor {
+ public:
+  explicit Cursor(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  const Token& Peek() const {
+    return tokens_[std::min(pos_, tokens_.size() - 1)];
+  }
+  void Advance() {
+    if (pos_ + 1 < tokens_.size()) ++pos_;
+  }
+  bool AtEnd() const { return Peek().type == TokenType::kEnd; }
+
+  bool MatchWord(std::string_view word) {
+    const Token& t = Peek();
+    if ((t.type == TokenType::kIdentifier || t.type == TokenType::kKeyword) &&
+        EqualsIgnoreCase(t.text, word)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+
+  bool MatchSymbol(std::string_view sym) {
+    const Token& t = Peek();
+    if (t.type == TokenType::kSymbol && t.text == sym) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+
+  bool MatchOperator(std::string_view op) {
+    const Token& t = Peek();
+    if (t.type == TokenType::kOperator && t.text == op) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+
+  StatusOr<std::string> ExpectIdentifier(const char* what) {
+    const Token& t = Peek();
+    if (t.type != TokenType::kIdentifier) {
+      return Status::InvalidArgument(std::string("expected ") + what +
+                                     " near '" + t.text + "' at offset " +
+                                     std::to_string(t.offset));
+    }
+    std::string name = t.text;
+    Advance();
+    return name;
+  }
+
+  StatusOr<double> ExpectNumber(const char* what) {
+    const Token& t = Peek();
+    if (t.type != TokenType::kNumber) {
+      return Status::InvalidArgument(std::string("expected ") + what +
+                                     " near '" + t.text + "' at offset " +
+                                     std::to_string(t.offset));
+    }
+    double v = t.number;
+    Advance();
+    return v;
+  }
+
+  Status Fail(const std::string& msg) const {
+    return Status::InvalidArgument(msg + " near '" + Peek().text +
+                                   "' at offset " +
+                                   std::to_string(Peek().offset));
+  }
+
+ private:
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+const char* const kTypeNames[] = {"INT",     "INTEGER", "BIGINT", "DOUBLE",
+                                  "DECIMAL", "DATE",    "VARCHAR", "CHAR",
+                                  "STRING"};
+
+bool IsTypeName(const std::string& word) {
+  for (const char* t : kTypeNames) {
+    if (EqualsIgnoreCase(word, t)) return true;
+  }
+  return false;
+}
+
+StatusOr<ColumnDef> ParseColumnDef(Cursor& cur) {
+  ColumnDef col;
+  auto name = cur.ExpectIdentifier("column name");
+  if (!name.ok()) return name.status();
+  col.name = std::move(name.value());
+
+  auto type = cur.ExpectIdentifier("column type");
+  if (!type.ok()) return type.status();
+  if (!IsTypeName(type.value())) {
+    return Status::InvalidArgument("unknown column type: " + type.value());
+  }
+  col.type_name = ToUpper(type.value());
+
+  if (cur.MatchSymbol("(")) {
+    auto len = cur.ExpectNumber("type length");
+    if (!len.ok()) return len.status();
+    col.length = static_cast<int>(len.value());
+    // DECIMAL(p, s): ignore the scale.
+    if (cur.MatchSymbol(",")) {
+      auto scale = cur.ExpectNumber("type scale");
+      if (!scale.ok()) return scale.status();
+    }
+    if (!cur.MatchSymbol(")")) return cur.Fail("expected ')' after length");
+  }
+
+  // Statistics annotations in any order: NDV n, RANGE (lo, hi).
+  while (true) {
+    if (cur.MatchWord("NDV")) {
+      cur.MatchOperator("=");  // optional '='
+      auto ndv = cur.ExpectNumber("NDV value");
+      if (!ndv.ok()) return ndv.status();
+      col.ndv = ndv.value();
+      continue;
+    }
+    if (cur.MatchWord("RANGE")) {
+      if (!cur.MatchSymbol("(")) return cur.Fail("expected '(' after RANGE");
+      auto lo = cur.ExpectNumber("range low");
+      if (!lo.ok()) return lo.status();
+      if (!cur.MatchSymbol(",")) return cur.Fail("expected ',' in RANGE");
+      auto hi = cur.ExpectNumber("range high");
+      if (!hi.ok()) return hi.status();
+      if (!cur.MatchSymbol(")")) return cur.Fail("expected ')' after RANGE");
+      col.range = std::make_pair(lo.value(), hi.value());
+      continue;
+    }
+    break;
+  }
+  return col;
+}
+
+StatusOr<CreateTableStmt> ParseCreateTable(Cursor& cur) {
+  CreateTableStmt stmt;
+  if (!cur.MatchWord("CREATE") || !cur.MatchWord("TABLE")) {
+    return cur.Fail("expected CREATE TABLE");
+  }
+  auto name = cur.ExpectIdentifier("table name");
+  if (!name.ok()) return name.status();
+  stmt.table_name = std::move(name.value());
+
+  if (!cur.MatchSymbol("(")) return cur.Fail("expected '('");
+  while (true) {
+    auto col = ParseColumnDef(cur);
+    if (!col.ok()) return col.status();
+    stmt.columns.push_back(std::move(col.value()));
+    if (cur.MatchSymbol(",")) continue;
+    if (cur.MatchSymbol(")")) break;
+    return cur.Fail("expected ',' or ')' in column list");
+  }
+
+  if (cur.MatchWord("WITH")) {
+    if (!cur.MatchSymbol("(")) return cur.Fail("expected '(' after WITH");
+    if (!cur.MatchWord("ROWS")) return cur.Fail("expected ROWS");
+    cur.MatchOperator("=");
+    auto rows = cur.ExpectNumber("row count");
+    if (!rows.ok()) return rows.status();
+    stmt.rows = rows.value();
+    if (!cur.MatchSymbol(")")) return cur.Fail("expected ')' after ROWS");
+  }
+  cur.MatchSymbol(";");
+  if (stmt.columns.empty()) {
+    return Status::InvalidArgument("table " + stmt.table_name +
+                                   " has no columns");
+  }
+  return stmt;
+}
+
+}  // namespace
+
+StatusOr<std::vector<CreateTableStmt>> ParseDdl(std::string_view script) {
+  auto tokens = Lex(script);
+  if (!tokens.ok()) return tokens.status();
+  Cursor cur(std::move(tokens.value()));
+  std::vector<CreateTableStmt> out;
+  while (!cur.AtEnd()) {
+    auto stmt = ParseCreateTable(cur);
+    if (!stmt.ok()) return stmt.status();
+    out.push_back(std::move(stmt.value()));
+  }
+  if (out.empty()) {
+    return Status::InvalidArgument("no CREATE TABLE statements found");
+  }
+  return out;
+}
+
+}  // namespace bati::sql

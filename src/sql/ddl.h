@@ -1,0 +1,48 @@
+#ifndef BATI_SQL_DDL_H_
+#define BATI_SQL_DDL_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace bati::sql {
+
+/// A column definition from CREATE TABLE, with the optional statistics
+/// annotations this library adds to standard DDL (a statistics-only catalog
+/// needs NDVs and domains, which plain SQL does not carry):
+///
+///   CREATE TABLE orders (
+///     o_id       BIGINT   NDV 5000000 RANGE (0, 5000000),
+///     o_status   VARCHAR(10) NDV 4,
+///     o_total    DOUBLE   RANGE (1, 10000)
+///   ) WITH (ROWS = 5000000);
+///
+/// Unannotated columns default to NDV = table rows (key-like) and a
+/// [0, rows) domain.
+struct ColumnDef {
+  std::string name;
+  std::string type_name;  // upper-cased: INT, BIGINT, DOUBLE, DECIMAL,
+                          // DATE, VARCHAR, CHAR, STRING
+  int length = 0;         // VARCHAR(n) / CHAR(n)
+  std::optional<double> ndv;
+  std::optional<std::pair<double, double>> range;
+};
+
+/// A parsed CREATE TABLE statement.
+struct CreateTableStmt {
+  std::string table_name;
+  double rows = 1000.0;  // WITH (ROWS = n); defaults to 1000
+  std::vector<ColumnDef> columns;
+};
+
+/// Parses a script of semicolon-separated CREATE TABLE statements.
+/// Type names and annotation words are matched contextually (they are not
+/// reserved), so workload queries may still use them as identifiers.
+StatusOr<std::vector<CreateTableStmt>> ParseDdl(std::string_view script);
+
+}  // namespace bati::sql
+
+#endif  // BATI_SQL_DDL_H_

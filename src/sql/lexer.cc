@@ -1,0 +1,177 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "common/strings.h"
+
+namespace bati::sql {
+
+namespace {
+
+const char* const kKeywords[] = {
+    "SELECT", "FROM", "WHERE",  "AND",   "OR",    "GROUP", "BY",
+    "ORDER",  "ASC",  "DESC",   "LIMIT", "AS",    "IN",    "BETWEEN",
+    "LIKE",   "NOT",  "COUNT",  "SUM",   "AVG",   "MIN",   "MAX",
+    "JOIN",   "ON",   "INNER",  "DISTINCT", "HAVING", "NULL", "IS",
+};
+
+bool IsIdentifierStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentifierChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+bool IsKeyword(std::string_view word) {
+  for (const char* kw : kKeywords) {
+    if (EqualsIgnoreCase(word, kw)) return true;
+  }
+  return false;
+}
+
+StatusOr<std::vector<Token>> Lex(std::string_view input) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = input.size();
+  while (i < n) {
+    char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Line comments: -- ... \n
+    if (c == '-' && i + 1 < n && input[i + 1] == '-') {
+      while (i < n && input[i] != '\n') ++i;
+      continue;
+    }
+    Token tok;
+    tok.offset = i;
+    // Unary minus starting a numeric literal: valid only where a value is
+    // expected (after an operator, keyword, '(' or ',').
+    bool negative_number = false;
+    if (c == '-' && i + 1 < n &&
+        (std::isdigit(static_cast<unsigned char>(input[i + 1])) ||
+         input[i + 1] == '.')) {
+      bool value_position = tokens.empty();
+      if (!tokens.empty()) {
+        const Token& prev = tokens.back();
+        value_position = prev.type == TokenType::kOperator ||
+                         prev.type == TokenType::kKeyword ||
+                         (prev.type == TokenType::kSymbol &&
+                          (prev.text == "(" || prev.text == ","));
+      }
+      if (value_position) {
+        negative_number = true;
+        ++i;
+        c = input[i];
+      }
+    }
+    // Consumes digits, an optional decimal point, and an optional exponent
+    // ("1.5e+06"), starting at i.
+    auto consume_number_body = [&]() {
+      while (i < n && (std::isdigit(static_cast<unsigned char>(input[i])) ||
+                       input[i] == '.')) {
+        ++i;
+      }
+      if (i < n && (input[i] == 'e' || input[i] == 'E')) {
+        size_t peek = i + 1;
+        if (peek < n && (input[peek] == '+' || input[peek] == '-')) ++peek;
+        if (peek < n && std::isdigit(static_cast<unsigned char>(input[peek]))) {
+          i = peek;
+          while (i < n &&
+                 std::isdigit(static_cast<unsigned char>(input[i]))) {
+            ++i;
+          }
+        }
+      }
+    };
+    if (negative_number) {
+      size_t start = i;
+      consume_number_body();
+      tok.type = TokenType::kNumber;
+      tok.text = "-" + std::string(input.substr(start, i - start));
+      tok.number = std::strtod(tok.text.c_str(), nullptr);
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    if (IsIdentifierStart(c)) {
+      size_t start = i;
+      while (i < n && IsIdentifierChar(input[i])) ++i;
+      std::string_view word = input.substr(start, i - start);
+      if (IsKeyword(word)) {
+        tok.type = TokenType::kKeyword;
+        tok.text = ToUpper(word);
+      } else {
+        tok.type = TokenType::kIdentifier;
+        tok.text = std::string(word);
+      }
+    } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+               (c == '.' && i + 1 < n &&
+                std::isdigit(static_cast<unsigned char>(input[i + 1])))) {
+      size_t start = i;
+      consume_number_body();
+      tok.type = TokenType::kNumber;
+      tok.text = std::string(input.substr(start, i - start));
+      tok.number = std::strtod(tok.text.c_str(), nullptr);
+    } else if (c == '\'') {
+      size_t start = ++i;
+      std::string value;
+      bool closed = false;
+      while (i < n) {
+        if (input[i] == '\'') {
+          if (i + 1 < n && input[i + 1] == '\'') {  // escaped quote
+            value += '\'';
+            i += 2;
+            continue;
+          }
+          closed = true;
+          ++i;
+          break;
+        }
+        value += input[i];
+        ++i;
+      }
+      if (!closed) {
+        return Status::InvalidArgument(
+            "unterminated string literal at offset " + std::to_string(start));
+      }
+      tok.type = TokenType::kString;
+      tok.text = std::move(value);
+    } else if (c == '<' || c == '>' || c == '=' || c == '!') {
+      tok.type = TokenType::kOperator;
+      if (i + 1 < n && (input[i + 1] == '=' ||
+                        (c == '<' && input[i + 1] == '>'))) {
+        tok.text = std::string(input.substr(i, 2));
+        i += 2;
+      } else {
+        tok.text = std::string(1, c);
+        ++i;
+      }
+      if (tok.text == "!") {
+        return Status::InvalidArgument("unexpected '!' at offset " +
+                                       std::to_string(tok.offset));
+      }
+    } else if (c == '(' || c == ')' || c == ',' || c == ';' || c == '*' ||
+               c == '.' || c == '%') {
+      tok.type = TokenType::kSymbol;
+      tok.text = std::string(1, c);
+      ++i;
+    } else {
+      return Status::InvalidArgument("unexpected character '" +
+                                     std::string(1, c) + "' at offset " +
+                                     std::to_string(i));
+    }
+    tokens.push_back(std::move(tok));
+  }
+  Token end;
+  end.type = TokenType::kEnd;
+  end.offset = n;
+  tokens.push_back(std::move(end));
+  return tokens;
+}
+
+}  // namespace bati::sql

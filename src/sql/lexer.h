@@ -1,0 +1,40 @@
+#ifndef BATI_SQL_LEXER_H_
+#define BATI_SQL_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace bati::sql {
+
+/// Token kinds for the analytic SQL subset.
+enum class TokenType {
+  kIdentifier,   // table / column / alias names
+  kKeyword,      // SELECT, FROM, WHERE, ... (normalized upper-case in text)
+  kNumber,       // integer or decimal literal
+  kString,       // 'quoted literal'
+  kSymbol,       // ( ) , ; * .
+  kOperator,     // = <> != < <= > >=
+  kEnd,          // end of input
+};
+
+/// One lexical token with source position for error reporting.
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;   // normalized: keywords upper-cased, strings unquoted
+  double number = 0;  // valid when type == kNumber
+  size_t offset = 0;  // byte offset in the input
+};
+
+/// True if `word` (case-insensitive) is a reserved keyword of the subset.
+bool IsKeyword(std::string_view word);
+
+/// Tokenizes `input`. Fails with InvalidArgument on unterminated strings or
+/// unexpected characters.
+StatusOr<std::vector<Token>> Lex(std::string_view input);
+
+}  // namespace bati::sql
+
+#endif  // BATI_SQL_LEXER_H_

@@ -1,0 +1,532 @@
+#include "sql/parser.h"
+
+#include <utility>
+
+#include "common/strings.h"
+#include "sql/lexer.h"
+
+namespace bati::sql {
+
+namespace {
+
+/// Recursive-descent parser over the token stream.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  StatusOr<SelectStatement> ParseSelect() {
+    SelectStatement stmt;
+    if (auto s = ExpectKeyword("SELECT"); !s.ok()) return s;
+    if (MatchKeyword("DISTINCT")) stmt.distinct = true;
+
+    // Select list.
+    while (true) {
+      auto item = ParseSelectItem();
+      if (!item.ok()) return item.status();
+      stmt.select_list.push_back(std::move(item.value()));
+      if (!MatchSymbol(",")) break;
+    }
+
+    if (auto s = ExpectKeyword("FROM"); !s.ok()) return s;
+
+    // FROM list; accepts comma-joins and INNER JOIN ... ON ....
+    {
+      auto first = ParseTableRef();
+      if (!first.ok()) return first.status();
+      stmt.from.push_back(std::move(first.value()));
+    }
+    while (true) {
+      if (MatchSymbol(",")) {
+        auto tref = ParseTableRef();
+        if (!tref.ok()) return tref.status();
+        stmt.from.push_back(std::move(tref.value()));
+        continue;
+      }
+      if (MatchKeyword("INNER")) {
+        if (auto s = ExpectKeyword("JOIN"); !s.ok()) return s;
+      } else if (!MatchKeyword("JOIN")) {
+        break;
+      }
+      auto joined = ParseTableRef();
+      if (!joined.ok()) return joined.status();
+      stmt.from.push_back(std::move(joined.value()));
+      if (auto s = ExpectKeyword("ON"); !s.ok()) return s;
+      auto pred = ParsePredicate();
+      if (!pred.ok()) return pred.status();
+      stmt.where.push_back(std::move(pred.value()));
+      // Allow additional AND-ed conjuncts in the ON clause.
+      while (MatchKeyword("AND")) {
+        auto extra = ParsePredicate();
+        if (!extra.ok()) return extra.status();
+        stmt.where.push_back(std::move(extra.value()));
+      }
+    }
+
+    if (MatchKeyword("WHERE")) {
+      while (true) {
+        auto pred = ParseConjunct();
+        if (!pred.ok()) return pred.status();
+        stmt.where.push_back(std::move(pred.value()));
+        if (!MatchKeyword("AND")) break;
+      }
+    }
+
+    if (MatchKeyword("GROUP")) {
+      if (auto s = ExpectKeyword("BY"); !s.ok()) return s;
+      while (true) {
+        auto col = ParseColumnName();
+        if (!col.ok()) return col.status();
+        stmt.group_by.push_back(std::move(col.value()));
+        if (!MatchSymbol(",")) break;
+      }
+    }
+
+    if (MatchKeyword("ORDER")) {
+      if (auto s = ExpectKeyword("BY"); !s.ok()) return s;
+      while (true) {
+        auto col = ParseColumnName();
+        if (!col.ok()) return col.status();
+        OrderItem item;
+        item.column = std::move(col.value());
+        if (MatchKeyword("DESC")) {
+          item.descending = true;
+        } else {
+          MatchKeyword("ASC");
+        }
+        stmt.order_by.push_back(std::move(item));
+        if (!MatchSymbol(",")) break;
+      }
+    }
+
+    if (MatchKeyword("LIMIT")) {
+      const Token& t = Peek();
+      if (t.type != TokenType::kNumber) {
+        return Fail("expected number after LIMIT");
+      }
+      stmt.limit = static_cast<int64_t>(t.number);
+      Advance();
+    }
+
+    MatchSymbol(";");
+    if (Peek().type != TokenType::kEnd) {
+      return Fail("unexpected trailing input: '" + Peek().text + "'");
+    }
+    return stmt;
+  }
+
+ private:
+  const Token& Peek(size_t lookahead = 0) const {
+    size_t i = pos_ + lookahead;
+    if (i >= tokens_.size()) i = tokens_.size() - 1;  // kEnd sentinel
+    return tokens_[i];
+  }
+
+  void Advance() {
+    if (pos_ + 1 < tokens_.size()) ++pos_;
+  }
+
+  bool PeekKeyword(std::string_view kw) const {
+    const Token& t = Peek();
+    return t.type == TokenType::kKeyword && t.text == kw;
+  }
+
+  bool MatchKeyword(std::string_view kw) {
+    if (PeekKeyword(kw)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+
+  bool MatchSymbol(std::string_view sym) {
+    const Token& t = Peek();
+    if (t.type == TokenType::kSymbol && t.text == sym) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+
+  Status ExpectKeyword(std::string_view kw) {
+    if (MatchKeyword(kw)) return Status::Ok();
+    return Status::InvalidArgument("expected " + std::string(kw) + " near '" +
+                                   Peek().text + "' at offset " +
+                                   std::to_string(Peek().offset));
+  }
+
+  Status ExpectSymbol(std::string_view sym) {
+    if (MatchSymbol(sym)) return Status::Ok();
+    return Status::InvalidArgument("expected '" + std::string(sym) +
+                                   "' near '" + Peek().text + "' at offset " +
+                                   std::to_string(Peek().offset));
+  }
+
+  Status Fail(std::string msg) const {
+    return Status::InvalidArgument(msg + " at offset " +
+                                   std::to_string(Peek().offset));
+  }
+
+  StatusOr<ColumnName> ParseColumnName() {
+    const Token& t = Peek();
+    if (t.type != TokenType::kIdentifier) {
+      return Fail("expected column name, found '" + t.text + "'");
+    }
+    ColumnName name;
+    name.column = t.text;
+    Advance();
+    if (Peek().type == TokenType::kSymbol && Peek().text == ".") {
+      Advance();
+      const Token& c = Peek();
+      if (c.type != TokenType::kIdentifier) {
+        return Fail("expected column after '.'");
+      }
+      name.qualifier = std::move(name.column);
+      name.column = c.text;
+      Advance();
+    }
+    return name;
+  }
+
+  StatusOr<SelectItem> ParseSelectItem() {
+    SelectItem item;
+    const Token& t = Peek();
+    if (t.type == TokenType::kSymbol && t.text == "*") {
+      item.star = true;
+      Advance();
+      return item;
+    }
+    if (t.type == TokenType::kKeyword &&
+        (t.text == "COUNT" || t.text == "SUM" || t.text == "AVG" ||
+         t.text == "MIN" || t.text == "MAX")) {
+      if (t.text == "COUNT") item.agg = AggFunc::kCount;
+      if (t.text == "SUM") item.agg = AggFunc::kSum;
+      if (t.text == "AVG") item.agg = AggFunc::kAvg;
+      if (t.text == "MIN") item.agg = AggFunc::kMin;
+      if (t.text == "MAX") item.agg = AggFunc::kMax;
+      Advance();
+      if (auto s = ExpectSymbol("("); !s.ok()) return s;
+      if (Peek().type == TokenType::kSymbol && Peek().text == "*") {
+        item.star = true;
+        Advance();
+      } else {
+        auto col = ParseColumnName();
+        if (!col.ok()) return col.status();
+        item.column = std::move(col.value());
+      }
+      if (auto s = ExpectSymbol(")"); !s.ok()) return s;
+      // Optional "AS alias" — consumed and ignored (aliases of outputs do
+      // not affect tuning).
+      if (MatchKeyword("AS")) {
+        if (Peek().type == TokenType::kIdentifier) Advance();
+      }
+      return item;
+    }
+    auto col = ParseColumnName();
+    if (!col.ok()) return col.status();
+    item.column = std::move(col.value());
+    if (MatchKeyword("AS")) {
+      if (Peek().type == TokenType::kIdentifier) Advance();
+    }
+    return item;
+  }
+
+  StatusOr<TableRef> ParseTableRef() {
+    const Token& t = Peek();
+    if (t.type != TokenType::kIdentifier) {
+      return Fail("expected table name, found '" + t.text + "'");
+    }
+    TableRef ref;
+    ref.table = t.text;
+    Advance();
+    if (MatchKeyword("AS")) {
+      if (Peek().type != TokenType::kIdentifier) {
+        return Fail("expected alias after AS");
+      }
+      ref.alias = Peek().text;
+      Advance();
+    } else if (Peek().type == TokenType::kIdentifier) {
+      ref.alias = Peek().text;
+      Advance();
+    }
+    return ref;
+  }
+
+  StatusOr<Literal> ParseLiteral() {
+    const Token& t = Peek();
+    Literal lit;
+    if (t.type == TokenType::kNumber) {
+      lit.number = t.number;
+      Advance();
+      return lit;
+    }
+    if (t.type == TokenType::kString) {
+      lit.is_string = true;
+      lit.text = t.text;
+      Advance();
+      return lit;
+    }
+    return Fail("expected literal, found '" + t.text + "'");
+  }
+
+  /// One WHERE conjunct: a simple predicate, or a parenthesized disjunction
+  /// "(p1 OR p2 OR ...)".
+  StatusOr<Predicate> ParseConjunct() {
+    if (Peek().type == TokenType::kSymbol && Peek().text == "(") {
+      Advance();
+      auto first = ParsePredicate();
+      if (!first.ok()) return first.status();
+      Predicate group = std::move(first.value());
+      while (MatchKeyword("OR")) {
+        auto next = ParsePredicate();
+        if (!next.ok()) return next.status();
+        group.or_disjuncts.push_back(std::move(next.value()));
+      }
+      if (auto s = ExpectSymbol(")"); !s.ok()) return s;
+      if (group.or_disjuncts.empty()) {
+        return Fail("parenthesized conjunct must contain OR");
+      }
+      return group;
+    }
+    return ParsePredicate();
+  }
+
+  StatusOr<Predicate> ParsePredicate() {
+    Predicate pred;
+    auto left = ParseColumnName();
+    if (!left.ok()) return left.status();
+    pred.left = std::move(left.value());
+
+    if (MatchKeyword("BETWEEN")) {
+      pred.kind = Predicate::Kind::kBetween;
+      auto lo = ParseLiteral();
+      if (!lo.ok()) return lo.status();
+      pred.between_lo = std::move(lo.value());
+      if (auto s = ExpectKeyword("AND"); !s.ok()) return s;
+      auto hi = ParseLiteral();
+      if (!hi.ok()) return hi.status();
+      pred.between_hi = std::move(hi.value());
+      return pred;
+    }
+    if (MatchKeyword("IN")) {
+      pred.kind = Predicate::Kind::kIn;
+      if (auto s = ExpectSymbol("("); !s.ok()) return s;
+      while (true) {
+        auto lit = ParseLiteral();
+        if (!lit.ok()) return lit.status();
+        pred.in_list.push_back(std::move(lit.value()));
+        if (!MatchSymbol(",")) break;
+      }
+      if (auto s = ExpectSymbol(")"); !s.ok()) return s;
+      return pred;
+    }
+    if (MatchKeyword("LIKE")) {
+      pred.kind = Predicate::Kind::kLike;
+      const Token& t = Peek();
+      if (t.type != TokenType::kString) {
+        return Fail("expected string pattern after LIKE");
+      }
+      pred.like_pattern = t.text;
+      Advance();
+      return pred;
+    }
+
+    const Token& op = Peek();
+    if (op.type != TokenType::kOperator) {
+      return Fail("expected comparison operator, found '" + op.text + "'");
+    }
+    if (op.text == "=") {
+      pred.op = CmpOp::kEq;
+    } else if (op.text == "<>" || op.text == "!=") {
+      pred.op = CmpOp::kNe;
+    } else if (op.text == "<") {
+      pred.op = CmpOp::kLt;
+    } else if (op.text == "<=") {
+      pred.op = CmpOp::kLe;
+    } else if (op.text == ">") {
+      pred.op = CmpOp::kGt;
+    } else if (op.text == ">=") {
+      pred.op = CmpOp::kGe;
+    } else {
+      return Fail("unsupported operator '" + op.text + "'");
+    }
+    Advance();
+
+    // Right side: column (join) or literal (filter).
+    const Token& rhs = Peek();
+    if (rhs.type == TokenType::kIdentifier) {
+      auto right = ParseColumnName();
+      if (!right.ok()) return right.status();
+      pred.kind = Predicate::Kind::kCompareColumn;
+      pred.right = std::move(right.value());
+      return pred;
+    }
+    auto lit = ParseLiteral();
+    if (!lit.ok()) return lit.status();
+    pred.kind = Predicate::Kind::kCompareLiteral;
+    pred.literal = std::move(lit.value());
+    return pred;
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+std::string LiteralToSql(const Literal& lit) {
+  if (lit.is_string) {
+    std::string out = "'";
+    for (char c : lit.text) {
+      out += c;
+      if (c == '\'') out += c;  // escape embedded quotes by doubling
+    }
+    out += "'";
+    return out;
+  }
+  // Emit integers without a trailing ".000000".
+  if (lit.number == static_cast<double>(static_cast<int64_t>(lit.number))) {
+    return std::to_string(static_cast<int64_t>(lit.number));
+  }
+  return std::to_string(lit.number);
+}
+
+std::string CmpOpToSql(CmpOp op) {
+  switch (op) {
+    case CmpOp::kEq:
+      return "=";
+    case CmpOp::kNe:
+      return "<>";
+    case CmpOp::kLt:
+      return "<";
+    case CmpOp::kLe:
+      return "<=";
+    case CmpOp::kGt:
+      return ">";
+    case CmpOp::kGe:
+      return ">=";
+  }
+  return "=";
+}
+
+std::string SimplePredicateToSql(const Predicate& p);
+
+std::string PredicateToSql(const Predicate& p) {
+  if (!p.or_disjuncts.empty()) {
+    std::string out = "(" + SimplePredicateToSql(p);
+    for (const Predicate& d : p.or_disjuncts) {
+      out += " OR " + SimplePredicateToSql(d);
+    }
+    out += ")";
+    return out;
+  }
+  return SimplePredicateToSql(p);
+}
+
+std::string SimplePredicateToSql(const Predicate& p) {
+  std::string out = p.left.ToString();
+  switch (p.kind) {
+    case Predicate::Kind::kCompareLiteral:
+      out += " " + CmpOpToSql(p.op) + " " + LiteralToSql(p.literal);
+      break;
+    case Predicate::Kind::kCompareColumn:
+      out += " " + CmpOpToSql(p.op) + " " + p.right.ToString();
+      break;
+    case Predicate::Kind::kBetween:
+      out += " BETWEEN " + LiteralToSql(p.between_lo) + " AND " +
+             LiteralToSql(p.between_hi);
+      break;
+    case Predicate::Kind::kIn: {
+      out += " IN (";
+      for (size_t i = 0; i < p.in_list.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += LiteralToSql(p.in_list[i]);
+      }
+      out += ")";
+      break;
+    }
+    case Predicate::Kind::kLike: {
+      Literal lit;
+      lit.is_string = true;
+      lit.text = p.like_pattern;
+      out += " LIKE " + LiteralToSql(lit);
+      break;
+    }
+  }
+  return out;
+}
+
+std::string SelectItemToSql(const SelectItem& item) {
+  const char* agg = nullptr;
+  switch (item.agg) {
+    case AggFunc::kNone:
+      break;
+    case AggFunc::kCount:
+      agg = "COUNT";
+      break;
+    case AggFunc::kSum:
+      agg = "SUM";
+      break;
+    case AggFunc::kAvg:
+      agg = "AVG";
+      break;
+    case AggFunc::kMin:
+      agg = "MIN";
+      break;
+    case AggFunc::kMax:
+      agg = "MAX";
+      break;
+  }
+  std::string inner = item.star ? "*" : item.column->ToString();
+  if (agg == nullptr) return inner;
+  return std::string(agg) + "(" + inner + ")";
+}
+
+}  // namespace
+
+StatusOr<SelectStatement> Parse(std::string_view sql) {
+  auto tokens = Lex(sql);
+  if (!tokens.ok()) return tokens.status();
+  Parser parser(std::move(tokens.value()));
+  return parser.ParseSelect();
+}
+
+std::string ToSql(const SelectStatement& stmt) {
+  std::string out = "SELECT ";
+  if (stmt.distinct) out += "DISTINCT ";
+  for (size_t i = 0; i < stmt.select_list.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += SelectItemToSql(stmt.select_list[i]);
+  }
+  out += " FROM ";
+  for (size_t i = 0; i < stmt.from.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += stmt.from[i].table;
+    if (!stmt.from[i].alias.empty()) out += " " + stmt.from[i].alias;
+  }
+  if (!stmt.where.empty()) {
+    out += " WHERE ";
+    for (size_t i = 0; i < stmt.where.size(); ++i) {
+      if (i > 0) out += " AND ";
+      out += PredicateToSql(stmt.where[i]);
+    }
+  }
+  if (!stmt.group_by.empty()) {
+    out += " GROUP BY ";
+    for (size_t i = 0; i < stmt.group_by.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += stmt.group_by[i].ToString();
+    }
+  }
+  if (!stmt.order_by.empty()) {
+    out += " ORDER BY ";
+    for (size_t i = 0; i < stmt.order_by.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += stmt.order_by[i].column.ToString();
+      if (stmt.order_by[i].descending) out += " DESC";
+    }
+  }
+  if (stmt.limit.has_value()) {
+    out += " LIMIT " + std::to_string(*stmt.limit);
+  }
+  return out;
+}
+
+}  // namespace bati::sql

@@ -1,0 +1,29 @@
+#ifndef BATI_SQL_PARSER_H_
+#define BATI_SQL_PARSER_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "sql/ast.h"
+
+namespace bati::sql {
+
+/// Parses one SELECT statement of the analytic subset:
+///
+///   SELECT [DISTINCT] item, ... FROM table [alias], ...
+///   [WHERE conjunct AND conjunct ...]
+///   [GROUP BY col, ...] [ORDER BY col [ASC|DESC], ...] [LIMIT n] [;]
+///
+/// Conjuncts: col op literal | col = col | col BETWEEN a AND b |
+///            col IN (v, ...) | col LIKE 'pattern'.
+/// Explicit "JOIN t ON a = b" syntax is also accepted and normalized into the
+/// FROM list plus an equality conjunct.
+StatusOr<SelectStatement> Parse(std::string_view sql);
+
+/// Renders a statement back to SQL text (canonical form). Round-trips through
+/// Parse for all statements the subset can express.
+std::string ToSql(const SelectStatement& stmt);
+
+}  // namespace bati::sql
+
+#endif  // BATI_SQL_PARSER_H_

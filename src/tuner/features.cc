@@ -1,0 +1,102 @@
+#include "tuner/features.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace bati {
+
+std::vector<double> IndexFeatures(const TuningContext& ctx,
+                                  int candidate_pos) {
+  const Database& db = *ctx.workload->database;
+  const Index& ix =
+      ctx.candidates->indexes[static_cast<size_t>(candidate_pos)];
+  const Table& t = db.table(ix.table_id);
+
+  int queries_on_table = 0;
+  for (const Query& q : ctx.workload->queries) {
+    for (const QueryScan& s : q.scans) {
+      if (s.table_id == ix.table_id) {
+        ++queries_on_table;
+        break;
+      }
+    }
+  }
+  int provenance = 0;
+  for (const auto& per_query : ctx.candidates->per_query) {
+    if (std::find(per_query.begin(), per_query.end(), candidate_pos) !=
+        per_query.end()) {
+      ++provenance;
+    }
+  }
+
+  std::vector<double> x(kIndexFeatureCount);
+  x[0] = 1.0;  // bias
+  x[1] = std::log10(std::max(10.0, t.row_count())) / 10.0;
+  x[2] = ix.LeafRowBytes(db) / std::max(1.0, t.RowWidthBytes());
+  x[3] = static_cast<double>(ix.key_columns.size()) / 4.0;
+  x[4] = static_cast<double>(ix.include_columns.size()) / 8.0;
+  x[5] = static_cast<double>(queries_on_table) /
+         std::max(1, ctx.workload->num_queries());
+  x[6] = static_cast<double>(provenance) /
+         std::max(1, ctx.workload->num_queries());
+  x[7] = std::log10(std::max(1.0, ix.SizeBytes(db))) / 12.0;
+  return x;
+}
+
+std::vector<double> SolveLinear(std::vector<std::vector<double>> a,
+                                std::vector<double> b) {
+  const size_t n = b.size();
+  BATI_CHECK(a.size() == n);
+  for (size_t col = 0; col < n; ++col) {
+    size_t pivot = col;
+    for (size_t r = col + 1; r < n; ++r) {
+      if (std::fabs(a[r][col]) > std::fabs(a[pivot][col])) pivot = r;
+    }
+    std::swap(a[col], a[pivot]);
+    std::swap(b[col], b[pivot]);
+    double diag = a[col][col];
+    if (std::fabs(diag) < 1e-12) continue;
+    for (size_t r = 0; r < n; ++r) {
+      if (r == col) continue;
+      double factor = a[r][col] / diag;
+      for (size_t c = col; c < n; ++c) a[r][c] -= factor * a[col][c];
+      b[r] -= factor * b[col];
+    }
+  }
+  std::vector<double> x(n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    x[i] = std::fabs(a[i][i]) < 1e-12 ? 0.0 : b[i] / a[i][i];
+  }
+  return x;
+}
+
+std::vector<double> RidgeFit(const std::vector<std::vector<double>>& features,
+                             const std::vector<double>& targets,
+                             double lambda) {
+  BATI_CHECK(features.size() == targets.size());
+  const size_t d = kIndexFeatureCount;
+  std::vector<std::vector<double>> gram(d, std::vector<double>(d, 0.0));
+  std::vector<double> xty(d, 0.0);
+  for (size_t i = 0; i < d; ++i) gram[i][i] = lambda;
+  for (size_t r = 0; r < features.size(); ++r) {
+    const std::vector<double>& x = features[r];
+    BATI_CHECK(x.size() == d);
+    for (size_t i = 0; i < d; ++i) {
+      for (size_t j = 0; j < d; ++j) gram[i][j] += x[i] * x[j];
+      xty[i] += targets[r] * x[i];
+    }
+  }
+  return SolveLinear(std::move(gram), std::move(xty));
+}
+
+double DotProduct(const std::vector<double>& a,
+                  const std::vector<double>& b) {
+  BATI_CHECK(a.size() == b.size());
+  double s = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+}  // namespace bati

@@ -1,0 +1,38 @@
+#ifndef BATI_TUNER_FEATURES_H_
+#define BATI_TUNER_FEATURES_H_
+
+#include <vector>
+
+#include "tuner/tuner.h"
+
+namespace bati {
+
+/// Number of features produced by IndexFeatures.
+inline constexpr int kIndexFeatureCount = 8;
+
+/// Static featurization of a candidate index (no what-if calls): bias,
+/// table size, leaf/row width ratio, key/include arity, workload coverage,
+/// provenance share, and log index size. Used by the DBA-bandits baseline's
+/// linear reward model and by the featurized-prior MCTS extension (the
+/// paper observes that "appropriate featurization could help identify
+/// promising index configurations more quickly").
+std::vector<double> IndexFeatures(const TuningContext& ctx,
+                                  int candidate_pos);
+
+/// Solves A x = b by Gaussian elimination with partial pivoting (small
+/// dense systems; A is consumed by value).
+std::vector<double> SolveLinear(std::vector<std::vector<double>> a,
+                                std::vector<double> b);
+
+/// Ridge regression fit: theta = (X^T X + lambda I)^{-1} X^T y over rows of
+/// `features` (each of size kIndexFeatureCount) with targets `y`.
+std::vector<double> RidgeFit(const std::vector<std::vector<double>>& features,
+                             const std::vector<double>& targets,
+                             double lambda);
+
+/// Inner product helper.
+double DotProduct(const std::vector<double>& a, const std::vector<double>& b);
+
+}  // namespace bati
+
+#endif  // BATI_TUNER_FEATURES_H_

@@ -1,0 +1,153 @@
+#include "tuner/greedy.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/macros.h"
+
+namespace bati {
+
+WhatIfFilter AllowAllWhatIf() {
+  return [](int, const Config&) { return true; };
+}
+
+WhatIfFilter AtomicOnlyWhatIf(int atomic_size) {
+  return [atomic_size](int, const Config& config) {
+    return static_cast<int>(config.count()) <= atomic_size;
+  };
+}
+
+WhatIfFilter DenyAllWhatIf() {
+  return [](int, const Config&) { return false; };
+}
+
+bool FitsStorage(const TuningContext& ctx, const Database& db,
+                 const Config& config, int pos) {
+  if (ctx.constraints.max_storage_bytes <= 0.0) return true;
+  double total = 0.0;
+  for (size_t p : config.ToIndices()) {
+    total += ctx.candidates->indexes[p].SizeBytes(db);
+  }
+  total += ctx.candidates->indexes[static_cast<size_t>(pos)].SizeBytes(db);
+  return total <= ctx.constraints.max_storage_bytes;
+}
+
+namespace {
+
+/// Evaluates cost(W', C) under the budget-allocation filter: what-if where
+/// allowed and affordable, derived otherwise.
+double EvaluateCost(CostService& service, const std::vector<int>& query_ids,
+                    const Config& config, const WhatIfFilter& filter) {
+  double total = 0.0;
+  for (int q : query_ids) {
+    if (filter(q, config)) {
+      if (auto c = service.WhatIfCost(q, config); c.has_value()) {
+        total += *c;
+        continue;
+      }
+    }
+    total += service.DerivedCost(q, config);
+  }
+  return total;
+}
+
+}  // namespace
+
+Config GreedyEnumerate(const TuningContext& ctx, CostService& service,
+                       const std::vector<int>& query_ids,
+                       const std::vector<int>& allowed, const Config& initial,
+                       const WhatIfFilter& filter) {
+  const Database& db = *ctx.workload->database;
+  Config best = initial;
+  double best_cost = EvaluateCost(service, query_ids, best, filter);
+
+  std::vector<int> remaining = allowed;
+  while (!remaining.empty() &&
+         static_cast<int>(best.count()) < ctx.constraints.max_indexes) {
+    int chosen = -1;
+    double chosen_cost = best_cost;
+    for (int pos : remaining) {
+      if (best.test(static_cast<size_t>(pos))) continue;
+      if (!FitsStorage(ctx, db, best, pos)) continue;
+      Config candidate = best.With(static_cast<size_t>(pos));
+      double cost = EvaluateCost(service, query_ids, candidate, filter);
+      if (cost < chosen_cost) {
+        chosen = pos;
+        chosen_cost = cost;
+      }
+    }
+    if (chosen < 0) break;  // no improving extension: stop (Algorithm 1)
+    best = best.With(static_cast<size_t>(chosen));
+    best_cost = chosen_cost;
+    remaining.erase(std::remove(remaining.begin(), remaining.end(), chosen),
+                    remaining.end());
+  }
+  return best;
+}
+
+namespace {
+
+std::vector<int> AllQueryIds(const TuningContext& ctx) {
+  std::vector<int> ids(static_cast<size_t>(ctx.workload->num_queries()));
+  std::iota(ids.begin(), ids.end(), 0);
+  return ids;
+}
+
+std::vector<int> AllCandidatePositions(const TuningContext& ctx) {
+  std::vector<int> ids(static_cast<size_t>(ctx.candidates->size()));
+  std::iota(ids.begin(), ids.end(), 0);
+  return ids;
+}
+
+TuningResult FinishResult(const std::string& algorithm, CostService& service,
+                          Config best) {
+  TuningResult result;
+  result.algorithm = algorithm;
+  result.derived_improvement = service.DerivedImprovement(best);
+  result.best_config = std::move(best);
+  result.what_if_calls = service.calls_made();
+  return result;
+}
+
+/// Shared two-phase skeleton (Algorithm 2): per-query greedy, then greedy
+/// over the union of per-query winners.
+Config TwoPhaseCore(const TuningContext& ctx, CostService& service,
+                    const WhatIfFilter& filter) {
+  Config union_set = service.EmptyConfig();
+  for (int q = 0; q < ctx.workload->num_queries(); ++q) {
+    const std::vector<int>& mine =
+        ctx.candidates->per_query[static_cast<size_t>(q)];
+    if (mine.empty()) continue;
+    Config per_query = GreedyEnumerate(ctx, service, {q}, mine,
+                                       service.EmptyConfig(), filter);
+    union_set = union_set | per_query;
+  }
+  std::vector<int> refined;
+  for (size_t pos : union_set.ToIndices()) {
+    refined.push_back(static_cast<int>(pos));
+  }
+  return GreedyEnumerate(ctx, service, AllQueryIds(ctx), refined,
+                         service.EmptyConfig(), filter);
+}
+
+}  // namespace
+
+TuningResult GreedyTuner::Tune(CostService& service) {
+  Config best =
+      GreedyEnumerate(ctx_, service, AllQueryIds(ctx_),
+                      AllCandidatePositions(ctx_), service.EmptyConfig(),
+                      AllowAllWhatIf());
+  return FinishResult(name(), service, std::move(best));
+}
+
+TuningResult TwoPhaseGreedyTuner::Tune(CostService& service) {
+  Config best = TwoPhaseCore(ctx_, service, AllowAllWhatIf());
+  return FinishResult(name(), service, std::move(best));
+}
+
+TuningResult AutoAdminGreedyTuner::Tune(CostService& service) {
+  Config best = TwoPhaseCore(ctx_, service, AtomicOnlyWhatIf(atomic_size_));
+  return FinishResult(name(), service, std::move(best));
+}
+
+}  // namespace bati

@@ -1,0 +1,81 @@
+#ifndef BATI_TUNER_GREEDY_H_
+#define BATI_TUNER_GREEDY_H_
+
+#include <functional>
+#include <vector>
+
+#include "tuner/tuner.h"
+
+namespace bati {
+
+/// Decides whether the greedy core may spend a what-if call on a
+/// (query, configuration) cell; when it returns false (or budget is gone)
+/// the derived cost is used instead. This is how the FCFS and
+/// atomic-configuration budget-allocation strategies of Section 4.2 are
+/// expressed as layouts over the budget allocation matrix.
+using WhatIfFilter = std::function<bool(int query_id, const Config& config)>;
+
+/// Always allow (plain FCFS: spend budget until it runs out).
+WhatIfFilter AllowAllWhatIf();
+
+/// Allow only atomic configurations of size <= `atomic_size` (AutoAdmin's
+/// special-configuration strategy; Figure 5(d) uses size 1).
+WhatIfFilter AtomicOnlyWhatIf(int atomic_size);
+
+/// Never allow (pure cost-derivation search; used by MCTS's Best-Greedy
+/// extraction, which must not spend budget).
+WhatIfFilter DenyAllWhatIf();
+
+/// The greedy configuration-enumeration core (paper Algorithm 1) restricted
+/// to the queries in `query_ids` and the candidate positions in `allowed`,
+/// starting from `initial` (normally empty). Costs go through `service`
+/// under `filter`; when a what-if call is disallowed or the budget is
+/// exhausted, the derived cost is used. Respects the cardinality and storage
+/// constraints in `ctx`. Returns the best configuration found.
+Config GreedyEnumerate(const TuningContext& ctx, CostService& service,
+                       const std::vector<int>& query_ids,
+                       const std::vector<int>& allowed, const Config& initial,
+                       const WhatIfFilter& filter);
+
+/// Vanilla greedy (Algorithm 1) over the whole workload with FCFS budget
+/// allocation — the first baseline of Section 4.2.
+class GreedyTuner : public Tuner {
+ public:
+  explicit GreedyTuner(TuningContext ctx) : ctx_(std::move(ctx)) {}
+  TuningResult Tune(CostService& service) override;
+  std::string name() const override { return "vanilla-greedy"; }
+
+ private:
+  TuningContext ctx_;
+};
+
+/// Two-phase greedy (Algorithm 2): per-query greedy first, then greedy over
+/// the union of per-query winners, FCFS within both phases.
+class TwoPhaseGreedyTuner : public Tuner {
+ public:
+  explicit TwoPhaseGreedyTuner(TuningContext ctx) : ctx_(std::move(ctx)) {}
+  TuningResult Tune(CostService& service) override;
+  std::string name() const override { return "two-phase-greedy"; }
+
+ private:
+  TuningContext ctx_;
+};
+
+/// AutoAdmin greedy: two-phase search where what-if calls are spent only on
+/// atomic (singleton) configurations; all larger configurations use derived
+/// costs (Section 4.2.2, "special configurations").
+class AutoAdminGreedyTuner : public Tuner {
+ public:
+  explicit AutoAdminGreedyTuner(TuningContext ctx, int atomic_size = 1)
+      : ctx_(std::move(ctx)), atomic_size_(atomic_size) {}
+  TuningResult Tune(CostService& service) override;
+  std::string name() const override { return "autoadmin-greedy"; }
+
+ private:
+  TuningContext ctx_;
+  int atomic_size_;
+};
+
+}  // namespace bati
+
+#endif  // BATI_TUNER_GREEDY_H_

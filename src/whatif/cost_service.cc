@@ -1,0 +1,132 @@
+#include "whatif/cost_service.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/macros.h"
+
+namespace bati {
+
+CostService::CostService(const WhatIfOptimizer* optimizer,
+                         const Workload* workload,
+                         const std::vector<Index>* candidates, int64_t budget)
+    : optimizer_(optimizer),
+      workload_(workload),
+      candidates_(candidates),
+      budget_(budget) {
+  BATI_CHECK(optimizer_ != nullptr);
+  BATI_CHECK(workload_ != nullptr);
+  BATI_CHECK(candidates_ != nullptr);
+  BATI_CHECK(budget_ >= 0);
+  const int m = workload_->num_queries();
+  base_costs_.resize(static_cast<size_t>(m));
+  cache_.resize(static_cast<size_t>(m));
+  const std::vector<Index> no_indexes;
+  for (int q = 0; q < m; ++q) {
+    base_costs_[static_cast<size_t>(q)] =
+        optimizer_->Cost(workload_->queries[static_cast<size_t>(q)],
+                         no_indexes);
+    base_workload_cost_ += base_costs_[static_cast<size_t>(q)];
+    cache_[static_cast<size_t>(q)].singleton.assign(
+        candidates_->size(), std::numeric_limits<double>::quiet_NaN());
+  }
+}
+
+std::vector<Index> CostService::Materialize(const Config& config) const {
+  BATI_CHECK(config.universe_size() == candidates_->size());
+  std::vector<Index> out;
+  for (size_t pos : config.ToIndices()) {
+    out.push_back((*candidates_)[pos]);
+  }
+  return out;
+}
+
+double CostService::BaseCost(int query_id) const {
+  return base_costs_.at(static_cast<size_t>(query_id));
+}
+
+std::optional<double> CostService::WhatIfCost(int query_id,
+                                              const Config& config) {
+  BATI_CHECK(query_id >= 0 && query_id < num_queries());
+  if (config.empty()) return BaseCost(query_id);
+  QueryCache& qc = cache_[static_cast<size_t>(query_id)];
+  auto it = qc.exact.find(config);
+  if (it != qc.exact.end()) {
+    ++cache_hits_;
+    return it->second;
+  }
+  if (!HasBudget()) return std::nullopt;
+  ++calls_made_;
+  const Query& query = workload_->queries[static_cast<size_t>(query_id)];
+  double cost = optimizer_->Cost(query, Materialize(config));
+  whatif_seconds_ += optimizer_->EstimateCallSeconds(query);
+  qc.exact.emplace(config, cost);
+  qc.entries.emplace_back(config, cost);
+  if (config.count() == 1) {
+    qc.singleton[config.ToIndices().front()] = cost;
+  }
+  layout_.push_back(LayoutEntry{query_id, config});
+  return cost;
+}
+
+bool CostService::IsKnown(int query_id, const Config& config) const {
+  if (config.empty()) return true;
+  const QueryCache& qc = cache_.at(static_cast<size_t>(query_id));
+  return qc.exact.find(config) != qc.exact.end();
+}
+
+std::optional<double> CostService::CachedCost(int query_id,
+                                              const Config& config) const {
+  if (config.empty()) return BaseCost(query_id);
+  const QueryCache& qc = cache_.at(static_cast<size_t>(query_id));
+  auto it = qc.exact.find(config);
+  if (it == qc.exact.end()) return std::nullopt;
+  return it->second;
+}
+
+double CostService::DerivedCost(int query_id, const Config& config) const {
+  const QueryCache& qc = cache_.at(static_cast<size_t>(query_id));
+  double best = BaseCost(query_id);  // the empty set is a subset of any C
+  for (const auto& [subset, cost] : qc.entries) {
+    if (cost < best && subset.IsSubsetOf(config)) best = cost;
+  }
+  return best;
+}
+
+double CostService::DerivedWorkloadCost(const Config& config) const {
+  double total = 0.0;
+  for (int q = 0; q < num_queries(); ++q) total += DerivedCost(q, config);
+  return total;
+}
+
+double CostService::SingletonDerivedCost(int query_id,
+                                         const Config& config) const {
+  const QueryCache& qc = cache_.at(static_cast<size_t>(query_id));
+  double best = BaseCost(query_id);
+  for (size_t pos : config.ToIndices()) {
+    double c = qc.singleton[pos];
+    if (!std::isnan(c) && c < best) best = c;
+  }
+  return best;
+}
+
+double CostService::DerivedImprovement(const Config& config) const {
+  if (base_workload_cost_ <= 0.0) return 0.0;
+  return (1.0 - DerivedWorkloadCost(config) / base_workload_cost_) * 100.0;
+}
+
+double CostService::TrueWorkloadCost(const Config& config) const {
+  std::vector<Index> materialized = Materialize(config);
+  double total = 0.0;
+  for (const Query& q : workload_->queries) {
+    total += optimizer_->Cost(q, materialized);
+  }
+  return total;
+}
+
+double CostService::TrueImprovement(const Config& config) const {
+  if (base_workload_cost_ <= 0.0) return 0.0;
+  return (1.0 - TrueWorkloadCost(config) / base_workload_cost_) * 100.0;
+}
+
+}  // namespace bati

@@ -1,0 +1,137 @@
+#ifndef BATI_WHATIF_COST_SERVICE_H_
+#define BATI_WHATIF_COST_SERVICE_H_
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bitset.h"
+#include "optimizer/what_if.h"
+#include "storage/index.h"
+#include "workload/query.h"
+
+namespace bati {
+
+/// An index configuration: a subset of the candidate-index universe,
+/// represented as a bitset over candidate positions.
+using Config = DynamicBitset;
+
+/// One what-if call in the order it was issued: an entry of the budget
+/// allocation matrix layout (paper Definition 1). The trace of these entries
+/// is the layout phi : [B] -> {B_ij}.
+struct LayoutEntry {
+  int query_id = -1;
+  Config config;
+};
+
+/// Budget-metered access to the what-if optimizer, with caching and cost
+/// derivation (paper Section 3.1). All tuners consume costs exclusively
+/// through this service, which enforces the budget B on the number of
+/// optimizer invocations:
+///
+///  * WhatIfCost() — a counted what-if call; served from cache for free,
+///    otherwise consumes one unit of budget; fails (nullopt) when the budget
+///    is exhausted.
+///  * DerivedCost() — d(q, C) = min over cached subsets S of C of c(q, S)
+///    (Equation 1); always available because c(q, {}) is known.
+///  * SingletonDerivedCost() — the Equation-2 restriction to singleton
+///    subsets, used by the theory (Theorems 1-2) and by priors.
+///
+/// Base costs c(q, {}) are computed up front and are not charged against the
+/// budget, matching the paper's budget allocation matrix whose rows range
+/// over the 2^|I| - 1 non-empty configurations.
+class CostService {
+ public:
+  /// `optimizer`, `workload`, `candidates` must outlive the service.
+  CostService(const WhatIfOptimizer* optimizer, const Workload* workload,
+              const std::vector<Index>* candidates, int64_t budget);
+
+  int num_queries() const { return workload_->num_queries(); }
+  int num_candidates() const { return static_cast<int>(candidates_->size()); }
+  int64_t budget() const { return budget_; }
+  int64_t calls_made() const { return calls_made_; }
+  int64_t remaining_budget() const { return budget_ - calls_made_; }
+  bool HasBudget() const { return calls_made_ < budget_; }
+  int64_t cache_hits() const { return cache_hits_; }
+
+  /// An empty configuration over the candidate universe.
+  Config EmptyConfig() const { return Config(candidates_->size()); }
+
+  /// Materializes a configuration into concrete index definitions.
+  std::vector<Index> Materialize(const Config& config) const;
+
+  /// c(q, {}): the known base cost (never charged).
+  double BaseCost(int query_id) const;
+
+  /// Sum of base costs over the workload.
+  double BaseWorkloadCost() const { return base_workload_cost_; }
+
+  /// Counted what-if call for one (query, configuration) cell. Returns the
+  /// cached cost for free if this cell was already evaluated; otherwise
+  /// spends one budget unit. Returns nullopt iff the budget is exhausted and
+  /// the cell is unknown.
+  std::optional<double> WhatIfCost(int query_id, const Config& config);
+
+  /// True if c(query_id, config) is cached (what-if cost "known").
+  bool IsKnown(int query_id, const Config& config) const;
+
+  /// The cached what-if cost for a cell, if known; free introspection that
+  /// never spends budget (tooling, trace export).
+  std::optional<double> CachedCost(int query_id, const Config& config) const;
+
+  /// Derived cost d(q, C) per Equation 1 (min over cached subsets).
+  double DerivedCost(int query_id, const Config& config) const;
+
+  /// Derived workload cost d(W, C) = sum_q d(q, C).
+  double DerivedWorkloadCost(const Config& config) const;
+
+  /// Equation-2 derived cost: min over singletons {z} subset of C with known
+  /// singleton what-if costs (and the base cost).
+  double SingletonDerivedCost(int query_id, const Config& config) const;
+
+  /// Percentage improvement eta(W, C) in [0, 100] computed with derived
+  /// costs (Equation 4 with d() in place of cost()).
+  double DerivedImprovement(const Config& config) const;
+
+  /// Ground-truth improvement using real (uncounted) what-if costs; used
+  /// only for *evaluating* final configurations, mirroring how the paper
+  /// reports improvements in actual what-if cost.
+  double TrueImprovement(const Config& config) const;
+
+  /// Ground-truth workload cost (uncounted); evaluation only.
+  double TrueWorkloadCost(const Config& config) const;
+
+  /// The layout trace: every counted what-if call in issue order.
+  const std::vector<LayoutEntry>& layout() const { return layout_; }
+
+  /// Simulated seconds spent inside counted what-if calls so far (the
+  /// paper's Figure 2 "time spent on what-if calls").
+  double SimulatedWhatIfSeconds() const { return whatif_seconds_; }
+
+ private:
+  struct QueryCache {
+    /// Exact-config lookup.
+    std::unordered_map<Config, double, DynamicBitsetHash> exact;
+    /// Same entries as a flat list for subset-minimum scans.
+    std::vector<std::pair<Config, double>> entries;
+    /// Known singleton costs by candidate position (NaN when unknown).
+    std::vector<double> singleton;
+  };
+
+  const WhatIfOptimizer* optimizer_;
+  const Workload* workload_;
+  const std::vector<Index>* candidates_;
+  int64_t budget_;
+  int64_t calls_made_ = 0;
+  int64_t cache_hits_ = 0;
+  double whatif_seconds_ = 0.0;
+  std::vector<double> base_costs_;
+  double base_workload_cost_ = 0.0;
+  std::vector<QueryCache> cache_;
+  std::vector<LayoutEntry> layout_;
+};
+
+}  // namespace bati
+
+#endif  // BATI_WHATIF_COST_SERVICE_H_

@@ -1,0 +1,70 @@
+#include "whatif/trace_io.h"
+
+#include <cstdio>
+#include <fstream>
+
+namespace bati {
+
+std::string LayoutToCsv(const CostService& service,
+                        const Workload& workload) {
+  std::string out =
+      "call,query_id,query_name,config_size,config,what_if_cost\n";
+  char buf[64];
+  for (size_t i = 0; i < service.layout().size(); ++i) {
+    const LayoutEntry& e = service.layout()[i];
+    out += std::to_string(i + 1) + ",";
+    out += std::to_string(e.query_id) + ",";
+    out += workload.queries[static_cast<size_t>(e.query_id)].name + ",";
+    out += std::to_string(e.config.count()) + ",";
+    bool first = true;
+    for (size_t pos : e.config.ToIndices()) {
+      if (!first) out += ";";
+      out += std::to_string(pos);
+      first = false;
+    }
+    out += ",";
+    auto cost = service.CachedCost(e.query_id, e.config);
+    std::snprintf(buf, sizeof(buf), "%.6g", cost.value_or(-1.0));
+    out += buf;
+    out += "\n";
+  }
+  return out;
+}
+
+Status WriteLayoutCsv(const CostService& service, const Workload& workload,
+                      const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::NotFound("cannot open file for write: " + path);
+  out << LayoutToCsv(service, workload);
+  if (!out) return Status::Internal("write failed: " + path);
+  return Status::Ok();
+}
+
+std::string ResultToJson(const CostService& service,
+                         const Workload& workload,
+                         const std::string& algorithm, const Config& config,
+                         double true_improvement) {
+  char buf[64];
+  std::string out = "{";
+  out += "\"workload\":\"" + workload.name + "\",";
+  out += "\"algorithm\":\"" + algorithm + "\",";
+  out += "\"budget\":" + std::to_string(service.budget()) + ",";
+  out += "\"calls\":" + std::to_string(service.calls_made()) + ",";
+  std::snprintf(buf, sizeof(buf), "%.4f", true_improvement);
+  out += std::string("\"improvement\":") + buf + ",";
+  std::snprintf(buf, sizeof(buf), "%.4f",
+                service.DerivedImprovement(config));
+  out += std::string("\"derived_improvement\":") + buf + ",";
+  out += "\"indexes\":[";
+  bool first = true;
+  const Database& db = *workload.database;
+  for (const Index& ix : service.Materialize(config)) {
+    if (!first) out += ",";
+    out += "\"" + ix.Name(db) + "\"";
+    first = false;
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace bati

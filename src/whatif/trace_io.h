@@ -1,0 +1,33 @@
+#ifndef BATI_WHATIF_TRACE_IO_H_
+#define BATI_WHATIF_TRACE_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "whatif/cost_service.h"
+
+namespace bati {
+
+/// Serializes the budget-allocation layout (the what-if call trace) to CSV:
+/// one row per counted call with columns
+///   call, query_id, query_name, config_size, config (semicolon-separated
+///   candidate positions), what_if_cost
+/// so the budget allocation matrix of a run can be analyzed or re-plotted
+/// outside the library (paper Figure 5's visualizations come from exactly
+/// this data).
+std::string LayoutToCsv(const CostService& service, const Workload& workload);
+
+/// Writes LayoutToCsv to a file. Fails with NotFound on I/O errors.
+Status WriteLayoutCsv(const CostService& service, const Workload& workload,
+                      const std::string& path);
+
+/// One-line run summary as JSON (machine-readable tuning result):
+/// {"workload":..., "algorithm":..., "budget":..., "calls":...,
+///  "improvement":..., "indexes":[...names...]}.
+std::string ResultToJson(const CostService& service, const Workload& workload,
+                         const std::string& algorithm, const Config& config,
+                         double true_improvement);
+
+}  // namespace bati
+
+#endif  // BATI_WHATIF_TRACE_IO_H_

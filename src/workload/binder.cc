@@ -1,0 +1,355 @@
+#include "workload/binder.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sql/parser.h"
+
+namespace bati {
+
+namespace {
+
+constexpr double kMinSelectivity = 1e-6;
+
+double Clamp01(double s) {
+  return std::min(1.0, std::max(kMinSelectivity, s));
+}
+
+/// Maps a string literal into the column's numeric domain via a stable hash,
+/// so string predicates get deterministic, stats-driven selectivities.
+double StringToDomain(const Column& column, const std::string& text) {
+  uint64_t h = 0xCBF29CE484222325ULL;
+  for (char c : text) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001B3ULL;
+  }
+  double frac = static_cast<double>(h >> 11) * 0x1.0p-53;
+  return column.stats.min_value +
+         frac * (column.stats.max_value - column.stats.min_value);
+}
+
+double LiteralValue(const Column& column, const sql::Literal& lit) {
+  return lit.is_string ? StringToDomain(column, lit.text) : lit.number;
+}
+
+/// Resolver from alias/table-name to scan id and on to column refs.
+class ScopeResolver {
+ public:
+  ScopeResolver(const sql::SelectStatement& stmt, const Database& db)
+      : db_(db) {
+    for (const sql::TableRef& ref : stmt.from) {
+      names_.push_back(ref.EffectiveName());
+      table_ids_.push_back(db.FindTable(ref.table));
+      tables_.push_back(ref.table);
+    }
+  }
+
+  Status Validate() const {
+    for (size_t i = 0; i < table_ids_.size(); ++i) {
+      if (table_ids_[i] < 0) {
+        return Status::NotFound("table not found: " + tables_[i]);
+      }
+    }
+    return Status::Ok();
+  }
+
+  int num_scans() const { return static_cast<int>(names_.size()); }
+  int table_id(int scan) const { return table_ids_[static_cast<size_t>(scan)]; }
+  const std::string& alias(int scan) const {
+    return names_[static_cast<size_t>(scan)];
+  }
+
+  /// Resolves "qualifier.column" or bare "column" to (scan_id, ColumnRef).
+  StatusOr<std::pair<int, ColumnRef>> Resolve(
+      const sql::ColumnName& name) const {
+    if (!name.qualifier.empty()) {
+      for (size_t i = 0; i < names_.size(); ++i) {
+        if (names_[i] == name.qualifier || tables_[i] == name.qualifier) {
+          int cid = db_.table(table_ids_[i]).FindColumn(name.column);
+          if (cid < 0) {
+            return Status::NotFound("column not found: " + name.ToString());
+          }
+          return std::make_pair(static_cast<int>(i),
+                                ColumnRef{table_ids_[i], cid});
+        }
+      }
+      return Status::NotFound("unknown table or alias: " + name.qualifier);
+    }
+    // Bare column: must be unambiguous across scans.
+    int found_scan = -1;
+    ColumnRef found_ref;
+    for (size_t i = 0; i < names_.size(); ++i) {
+      int cid = db_.table(table_ids_[i]).FindColumn(name.column);
+      if (cid >= 0) {
+        if (found_scan >= 0) {
+          return Status::InvalidArgument("ambiguous column: " + name.column);
+        }
+        found_scan = static_cast<int>(i);
+        found_ref = ColumnRef{table_ids_[i], cid};
+      }
+    }
+    if (found_scan < 0) {
+      return Status::NotFound("column not found: " + name.column);
+    }
+    return std::make_pair(found_scan, found_ref);
+  }
+
+ private:
+  const Database& db_;
+  std::vector<std::string> names_;
+  std::vector<std::string> tables_;
+  std::vector<int> table_ids_;
+};
+
+}  // namespace
+
+double LiteralSelectivity(const Column& column, sql::CmpOp op, double value) {
+  const ColumnStats& s = column.stats;
+  // Histogram-based estimation when the column carries one; uniform-domain
+  // assumption otherwise.
+  if (!s.histogram.empty()) {
+    switch (op) {
+      case sql::CmpOp::kEq:
+        return Clamp01(s.histogram.EqualityFraction(value, s.ndv));
+      case sql::CmpOp::kNe:
+        return Clamp01(1.0 - s.histogram.EqualityFraction(value, s.ndv));
+      case sql::CmpOp::kLt:
+      case sql::CmpOp::kLe:
+        return Clamp01(s.histogram.CumulativeBelow(value));
+      case sql::CmpOp::kGt:
+      case sql::CmpOp::kGe:
+        return Clamp01(1.0 - s.histogram.CumulativeBelow(value));
+    }
+  }
+  double span = std::max(1e-12, s.max_value - s.min_value);
+  double frac = (value - s.min_value) / span;
+  frac = std::min(1.0, std::max(0.0, frac));
+  switch (op) {
+    case sql::CmpOp::kEq:
+      return Clamp01(1.0 / std::max(1.0, s.ndv));
+    case sql::CmpOp::kNe:
+      return Clamp01(1.0 - 1.0 / std::max(1.0, s.ndv));
+    case sql::CmpOp::kLt:
+    case sql::CmpOp::kLe:
+      return Clamp01(frac);
+    case sql::CmpOp::kGt:
+    case sql::CmpOp::kGe:
+      return Clamp01(1.0 - frac);
+  }
+  return 1.0;
+}
+
+double BetweenSelectivity(const Column& column, double lo, double hi) {
+  const ColumnStats& s = column.stats;
+  if (!s.histogram.empty()) {
+    double f = s.histogram.RangeFraction(lo, hi);
+    return f <= 0.0 ? kMinSelectivity : Clamp01(f);
+  }
+  double span = std::max(1e-12, s.max_value - s.min_value);
+  double clo = std::max(lo, s.min_value);
+  double chi = std::min(hi, s.max_value);
+  if (chi <= clo) return kMinSelectivity;
+  return Clamp01((chi - clo) / span);
+}
+
+double InListSelectivity(const Column& column, int list_size) {
+  return Clamp01(static_cast<double>(std::max(1, list_size)) /
+                 std::max(1.0, column.stats.ndv));
+}
+
+double LikeSelectivity(std::string_view pattern) {
+  // Prefix patterns ("abc%") are selective; substring ("%abc%") less so;
+  // longer fixed parts are more selective.
+  size_t fixed = 0;
+  for (char c : pattern) {
+    if (c != '%' && c != '_') ++fixed;
+  }
+  bool prefix = !pattern.empty() && pattern.front() != '%';
+  double base = prefix ? 0.05 : 0.15;
+  double s = base * std::pow(0.7, static_cast<double>(fixed) / 4.0);
+  return Clamp01(s);
+}
+
+StatusOr<Query> BindStatement(const sql::SelectStatement& stmt,
+                              const Database& db) {
+  if (stmt.from.empty()) {
+    return Status::InvalidArgument("query has no FROM clause");
+  }
+  ScopeResolver scope(stmt, db);
+  if (Status s = scope.Validate(); !s.ok()) return s;
+
+  Query q;
+  for (int i = 0; i < scope.num_scans(); ++i) {
+    q.scans.push_back(QueryScan{scope.table_id(i), scope.alias(i)});
+  }
+
+  // Binds one simple (non-join) predicate into a BoundFilter. Cross-scan
+  // comparisons are not "simple" and are rejected here; the caller routes
+  // them to the join list.
+  auto bind_simple_filter =
+      [&](const sql::Predicate& p) -> StatusOr<BoundFilter> {
+    auto left = scope.Resolve(p.left);
+    if (!left.ok()) return left.status();
+    auto [scan_id, col_ref] = left.value();
+    const Column& column = db.column(col_ref);
+    BoundFilter f;
+    f.scan_id = scan_id;
+    f.column = col_ref;
+    switch (p.kind) {
+      case sql::Predicate::Kind::kCompareColumn: {
+        auto right = scope.Resolve(p.right);
+        if (!right.ok()) return right.status();
+        if (right.value().first != scan_id) {
+          return Status::Unimplemented(
+              "join predicates are not allowed inside OR groups");
+        }
+        // Same-scan column-column comparison: System R defaults (1/10 for
+        // equality, 1/3 for inequalities).
+        f.kind = FilterKind::kColumnColumn;
+        f.selectivity = (p.op == sql::CmpOp::kEq) ? 0.1 : (1.0 / 3.0);
+        return f;
+      }
+      case sql::Predicate::Kind::kCompareLiteral: {
+        double value = LiteralValue(column, p.literal);
+        f.selectivity = LiteralSelectivity(column, p.op, value);
+        switch (p.op) {
+          case sql::CmpOp::kEq:
+            f.kind = FilterKind::kEquality;
+            break;
+          case sql::CmpOp::kNe:
+            f.kind = FilterKind::kNotEqual;
+            break;
+          default:
+            f.kind = FilterKind::kRange;
+            break;
+        }
+        return f;
+      }
+      case sql::Predicate::Kind::kBetween:
+        f.kind = FilterKind::kRange;
+        f.selectivity =
+            BetweenSelectivity(column, LiteralValue(column, p.between_lo),
+                               LiteralValue(column, p.between_hi));
+        return f;
+      case sql::Predicate::Kind::kIn:
+        f.kind = FilterKind::kIn;
+        f.selectivity =
+            InListSelectivity(column, static_cast<int>(p.in_list.size()));
+        return f;
+      case sql::Predicate::Kind::kLike:
+        f.kind = FilterKind::kLike;
+        f.selectivity = LikeSelectivity(p.like_pattern);
+        return f;
+    }
+    return Status::Internal("unhandled predicate kind");
+  };
+
+  for (const sql::Predicate& p : stmt.where) {
+    // Disjunction group "(p1 OR p2 ...)": all disjuncts must be simple
+    // predicates over the same scan; the group folds into one filter with
+    // union selectivity 1 - prod(1 - s_i).
+    if (!p.or_disjuncts.empty()) {
+      auto first = bind_simple_filter(p);
+      if (!first.ok()) return first.status();
+      double pass_none = 1.0 - first->selectivity;
+      for (const sql::Predicate& d : p.or_disjuncts) {
+        if (!d.or_disjuncts.empty()) {
+          return Status::Unimplemented("nested OR groups are not supported");
+        }
+        auto bound = bind_simple_filter(d);
+        if (!bound.ok()) return bound.status();
+        if (bound->scan_id != first->scan_id) {
+          return Status::Unimplemented(
+              "OR groups must reference a single table");
+        }
+        pass_none *= 1.0 - bound->selectivity;
+      }
+      BoundFilter combined = first.value();
+      combined.kind = FilterKind::kOr;
+      combined.selectivity =
+          std::min(1.0, std::max(1e-6, 1.0 - pass_none));
+      q.filters.push_back(combined);
+      continue;
+    }
+
+    if (p.kind == sql::Predicate::Kind::kCompareColumn) {
+      auto left = scope.Resolve(p.left);
+      if (!left.ok()) return left.status();
+      auto right = scope.Resolve(p.right);
+      if (!right.ok()) return right.status();
+      if (left.value().first != right.value().first) {
+        if (p.op != sql::CmpOp::kEq) {
+          return Status::Unimplemented(
+              "only equality joins are supported in the subset");
+        }
+        q.joins.push_back(BoundJoin{left.value().first, left.value().second,
+                                    right.value().first,
+                                    right.value().second});
+        continue;
+      }
+      // Same-scan comparison falls through to the simple-filter path.
+    }
+    auto bound = bind_simple_filter(p);
+    if (!bound.ok()) return bound.status();
+    q.filters.push_back(std::move(bound.value()));
+  }
+
+  for (const sql::SelectItem& item : stmt.select_list) {
+    if (item.agg != sql::AggFunc::kNone) q.has_aggregation = true;
+    if (item.star) {
+      if (item.agg == sql::AggFunc::kNone) q.select_star = true;
+      continue;  // COUNT(*) needs no specific column
+    }
+    auto resolved = scope.Resolve(*item.column);
+    if (!resolved.ok()) return resolved.status();
+    q.projections.push_back(
+        BoundColumnUse{resolved.value().first, resolved.value().second});
+  }
+
+  for (const sql::ColumnName& g : stmt.group_by) {
+    auto resolved = scope.Resolve(g);
+    if (!resolved.ok()) return resolved.status();
+    q.group_by.push_back(
+        BoundColumnUse{resolved.value().first, resolved.value().second});
+    q.has_aggregation = true;
+  }
+  for (const sql::OrderItem& o : stmt.order_by) {
+    auto resolved = scope.Resolve(o.column);
+    if (!resolved.ok()) return resolved.status();
+    q.order_by.push_back(
+        BoundColumnUse{resolved.value().first, resolved.value().second});
+  }
+
+  q.sql = sql::ToSql(stmt);
+  return q;
+}
+
+StatusOr<Query> BindSql(std::string_view sql_text, const Database& db) {
+  auto stmt = sql::Parse(sql_text);
+  if (!stmt.ok()) return stmt.status();
+  return BindStatement(stmt.value(), db);
+}
+
+WorkloadStats ComputeWorkloadStats(const Workload& workload) {
+  WorkloadStats stats;
+  stats.name = workload.name;
+  stats.num_queries = workload.num_queries();
+  if (workload.database != nullptr) {
+    stats.num_tables = workload.database->num_tables();
+    stats.size_gb = workload.database->TotalSizeBytes() / 1e9;
+  }
+  if (workload.queries.empty()) return stats;
+  double joins = 0.0, filters = 0.0, scans = 0.0;
+  for (const Query& q : workload.queries) {
+    joins += q.num_joins();
+    filters += q.num_filters();
+    scans += q.num_scans();
+  }
+  double n = static_cast<double>(workload.queries.size());
+  stats.avg_joins = joins / n;
+  stats.avg_filters = filters / n;
+  stats.avg_scans = scans / n;
+  return stats;
+}
+
+}  // namespace bati

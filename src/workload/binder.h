@@ -1,0 +1,39 @@
+#ifndef BATI_WORKLOAD_BINDER_H_
+#define BATI_WORKLOAD_BINDER_H_
+
+#include <string_view>
+
+#include "catalog/catalog.h"
+#include "common/status.h"
+#include "sql/ast.h"
+#include "workload/query.h"
+
+namespace bati {
+
+/// Binds a parsed statement against a database: resolves table/column names,
+/// classifies conjuncts into filters vs equi-joins, and estimates per-filter
+/// selectivities from catalog statistics. Fails on unknown names, ambiguous
+/// bare columns, or non-equality column-column comparisons.
+StatusOr<Query> BindStatement(const sql::SelectStatement& stmt,
+                              const Database& db);
+
+/// Convenience: parse + bind one SQL string.
+StatusOr<Query> BindSql(std::string_view sql_text, const Database& db);
+
+/// Selectivity of a literal comparison against a column, given its stats.
+/// Exposed for testing; used by the binder and by workload generators.
+double LiteralSelectivity(const Column& column, sql::CmpOp op, double value);
+
+/// Selectivity of a BETWEEN over [lo, hi].
+double BetweenSelectivity(const Column& column, double lo, double hi);
+
+/// Selectivity of an IN list with `list_size` distinct values.
+double InListSelectivity(const Column& column, int list_size);
+
+/// Heuristic selectivity of a LIKE pattern (prefix patterns are more
+/// selective than substring patterns).
+double LikeSelectivity(std::string_view pattern);
+
+}  // namespace bati
+
+#endif  // BATI_WORKLOAD_BINDER_H_

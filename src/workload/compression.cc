@@ -1,0 +1,107 @@
+#include "workload/compression.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/macros.h"
+
+namespace bati {
+
+namespace {
+
+void Mix(uint64_t& h, uint64_t v) {
+  h ^= v + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
+}
+
+}  // namespace
+
+uint64_t TemplateSignature(const Query& query) {
+  uint64_t h = 0xCBF29CE484222325ULL;
+
+  // Scanned tables as a sorted multiset.
+  std::vector<int> tables;
+  for (const QueryScan& s : query.scans) tables.push_back(s.table_id);
+  std::sort(tables.begin(), tables.end());
+  for (int t : tables) Mix(h, static_cast<uint64_t>(t) + 1);
+  Mix(h, 0x5CA25ULL);
+
+  // Join column pairs, direction-normalized, sorted.
+  std::vector<std::pair<uint64_t, uint64_t>> joins;
+  for (const BoundJoin& j : query.joins) {
+    uint64_t a = (static_cast<uint64_t>(j.left_column.table_id) << 20) |
+                 static_cast<uint64_t>(j.left_column.column_id);
+    uint64_t b = (static_cast<uint64_t>(j.right_column.table_id) << 20) |
+                 static_cast<uint64_t>(j.right_column.column_id);
+    joins.emplace_back(std::min(a, b), std::max(a, b));
+  }
+  std::sort(joins.begin(), joins.end());
+  for (const auto& [a, b] : joins) {
+    Mix(h, a);
+    Mix(h, b);
+  }
+  Mix(h, 0x101A5ULL);
+
+  // Filtered columns with their predicate kinds (literals ignored), sorted.
+  std::vector<uint64_t> filters;
+  for (const BoundFilter& f : query.filters) {
+    filters.push_back((static_cast<uint64_t>(f.column.table_id) << 24) |
+                      (static_cast<uint64_t>(f.column.column_id) << 4) |
+                      static_cast<uint64_t>(f.kind));
+  }
+  std::sort(filters.begin(), filters.end());
+  for (uint64_t f : filters) Mix(h, f);
+  Mix(h, 0xF111ULL);
+
+  // Output shape: grouped / ordered / aggregated flags and column sets.
+  std::vector<uint64_t> outs;
+  for (const BoundColumnUse& u : query.group_by) {
+    outs.push_back((static_cast<uint64_t>(u.column.table_id) << 20) |
+                   static_cast<uint64_t>(u.column.column_id));
+  }
+  std::sort(outs.begin(), outs.end());
+  for (uint64_t o : outs) Mix(h, o);
+  Mix(h, query.has_aggregation ? 0xA66ULL : 0x0ULL);
+  Mix(h, query.order_by.empty() ? 0x0ULL : 0x0DDE2ULL);
+  return h;
+}
+
+CompressedWorkload CompressWorkload(const Workload& input,
+                                    const CompressionOptions& options) {
+  // Group query ids by signature, preserving first-seen order.
+  std::map<uint64_t, size_t> cluster_of;
+  std::vector<std::vector<int>> clusters;
+  for (const Query& q : input.queries) {
+    uint64_t sig = TemplateSignature(q);
+    auto [it, inserted] = cluster_of.emplace(sig, clusters.size());
+    if (inserted) clusters.emplace_back();
+    clusters[it->second].push_back(q.id);
+  }
+
+  // Optional cap: keep the heaviest clusters.
+  std::vector<size_t> keep(clusters.size());
+  for (size_t i = 0; i < clusters.size(); ++i) keep[i] = i;
+  if (options.max_queries > 0 &&
+      static_cast<int>(clusters.size()) > options.max_queries) {
+    std::stable_sort(keep.begin(), keep.end(), [&](size_t a, size_t b) {
+      return clusters[a].size() > clusters[b].size();
+    });
+    keep.resize(static_cast<size_t>(options.max_queries));
+    std::sort(keep.begin(), keep.end());  // restore stable order
+  }
+
+  CompressedWorkload out;
+  out.workload.name = input.name + "-compressed";
+  out.workload.database = input.database;
+  for (size_t c : keep) {
+    const std::vector<int>& members = clusters[c];
+    BATI_CHECK(!members.empty());
+    Query rep = input.queries[static_cast<size_t>(members.front())];
+    rep.id = static_cast<int>(out.workload.queries.size());
+    out.workload.queries.push_back(std::move(rep));
+    out.weights.push_back(static_cast<double>(members.size()));
+    out.members.push_back(members);
+  }
+  return out;
+}
+
+}  // namespace bati

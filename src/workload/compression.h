@@ -1,0 +1,47 @@
+#ifndef BATI_WORKLOAD_COMPRESSION_H_
+#define BATI_WORKLOAD_COMPRESSION_H_
+
+#include <vector>
+
+#include "workload/query.h"
+
+namespace bati {
+
+/// Options for workload compression.
+struct CompressionOptions {
+  /// Hard cap on the number of representatives (0 = keep every cluster).
+  /// When capped, clusters are kept in decreasing order of weight.
+  int max_queries = 0;
+};
+
+/// A compressed workload: one representative query per template cluster,
+/// with multiplicities.
+struct CompressedWorkload {
+  /// Representative queries (ids renumbered 0..n-1).
+  Workload workload;
+  /// Number of original queries each representative stands for.
+  std::vector<double> weights;
+  /// Original query ids per cluster (parallel to `workload.queries`).
+  std::vector<std::vector<int>> members;
+};
+
+/// Template-signature workload compression (the technique the paper's
+/// footnote 5 points to for multi-instance workloads): queries that share a
+/// structural template — the same multiset of scanned tables, the same join
+/// column pairs, and the same filtered columns with the same predicate kinds
+/// (literal values ignored) — collapse into one representative. Tuning the
+/// compressed workload spends what-if budget only on structurally distinct
+/// queries; the recommendation transfers to the full workload because
+/// candidate-index usefulness is determined by the template, not by the
+/// literals.
+CompressedWorkload CompressWorkload(
+    const Workload& input,
+    const CompressionOptions& options = CompressionOptions());
+
+/// Stable 64-bit template signature used by CompressWorkload; exposed for
+/// testing and for callers that want to group queries themselves.
+uint64_t TemplateSignature(const Query& query);
+
+}  // namespace bati
+
+#endif  // BATI_WORKLOAD_COMPRESSION_H_

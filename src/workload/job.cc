@@ -1,0 +1,474 @@
+#include <memory>
+
+#include "common/macros.h"
+#include "workload/generators.h"
+#include "workload/schema_util.h"
+
+namespace bati {
+
+namespace {
+
+using schema_util::IntCol;
+using schema_util::KeyCol;
+using schema_util::NumCol;
+using schema_util::StrCol;
+
+/// IMDB schema used by the Join Order Benchmark (Leis et al.), 21 tables,
+/// row counts from the published dataset (~9.2 GB with all columns).
+std::shared_ptr<Database> MakeImdbDatabase(double scale) {
+  auto db = std::make_shared<Database>("imdb");
+  auto add = [&db](Table t) { BATI_CHECK_OK(db->AddTable(std::move(t)).status()); };
+  const double s = scale;
+
+  {
+    const double rows = 2528312 * s;
+    Table t("title", rows);
+    t.AddColumn(KeyCol("id", rows));
+    t.AddColumn(StrCol("title", 100, rows * 0.9));
+    t.AddColumn(IntCol("kind_id", 7, 1, 8));
+    t.AddColumn(IntCol("production_year", 133, 1880, 2013));
+    t.AddColumn(IntCol("imdb_id", rows, 0, rows));
+    t.AddColumn(StrCol("phonetic_code", 5, 200000));
+    t.AddColumn(IntCol("season_nr", 80, 1, 80));
+    t.AddColumn(IntCol("episode_nr", 2000, 1, 2000));
+    add(std::move(t));
+  }
+  {
+    const double rows = 36244344 * s;
+    Table t("cast_info", rows);
+    t.AddColumn(KeyCol("id", rows));
+    t.AddColumn(IntCol("person_id", 4167491 * s, 0, 4167491 * s));
+    t.AddColumn(IntCol("movie_id", 2528312 * s, 0, 2528312 * s));
+    t.AddColumn(IntCol("person_role_id", 3140339 * s, 0, 3140339 * s));
+    t.AddColumn(StrCol("note", 30, 500000));
+    t.AddColumn(IntCol("nr_order", 1000, 1, 1000));
+    t.AddColumn(IntCol("role_id", 12, 1, 12));
+    add(std::move(t));
+  }
+  {
+    const double rows = 14835720 * s;
+    Table t("movie_info", rows);
+    t.AddColumn(KeyCol("id", rows));
+    t.AddColumn(IntCol("movie_id", 2528312 * s, 0, 2528312 * s));
+    t.AddColumn(IntCol("info_type_id", 113, 1, 113));
+    t.AddColumn(StrCol("info", 50, 2720930));
+    t.AddColumn(StrCol("note", 30, 133604));
+    add(std::move(t));
+  }
+  {
+    const double rows = 1380035 * s;
+    Table t("movie_info_idx", rows);
+    t.AddColumn(KeyCol("id", rows));
+    t.AddColumn(IntCol("movie_id", 2528312 * s, 0, 2528312 * s));
+    t.AddColumn(IntCol("info_type_id", 113, 1, 113));
+    t.AddColumn(StrCol("info", 10, 11));
+    add(std::move(t));
+  }
+  {
+    const double rows = 4523930 * s;
+    Table t("movie_keyword", rows);
+    t.AddColumn(KeyCol("id", rows));
+    t.AddColumn(IntCol("movie_id", 2528312 * s, 0, 2528312 * s));
+    t.AddColumn(IntCol("keyword_id", 134170, 0, 134170));
+    add(std::move(t));
+  }
+  {
+    const double rows = 2609129 * s;
+    Table t("movie_companies", rows);
+    t.AddColumn(KeyCol("id", rows));
+    t.AddColumn(IntCol("movie_id", 2528312 * s, 0, 2528312 * s));
+    t.AddColumn(IntCol("company_id", 234997, 0, 234997));
+    t.AddColumn(IntCol("company_type_id", 4, 1, 4));
+    t.AddColumn(StrCol("note", 40, 1337140));
+    add(std::move(t));
+  }
+  {
+    const double rows = 4167491 * s;
+    Table t("name", rows);
+    t.AddColumn(KeyCol("id", rows));
+    t.AddColumn(StrCol("name", 50, rows * 0.95));
+    t.AddColumn(StrCol("gender", 1, 3));
+    t.AddColumn(StrCol("name_pcode_cf", 5, 150000));
+    add(std::move(t));
+  }
+  {
+    const double rows = 3140339 * s;
+    Table t("char_name", rows);
+    t.AddColumn(KeyCol("id", rows));
+    t.AddColumn(StrCol("name", 50, rows * 0.9));
+    add(std::move(t));
+  }
+  {
+    const double rows = 2963664 * s;
+    Table t("person_info", rows);
+    t.AddColumn(KeyCol("id", rows));
+    t.AddColumn(IntCol("person_id", 4167491 * s, 0, 4167491 * s));
+    t.AddColumn(IntCol("info_type_id", 113, 1, 113));
+    t.AddColumn(StrCol("note", 30, 15007));
+    add(std::move(t));
+  }
+  {
+    const double rows = 901343 * s;
+    Table t("aka_name", rows);
+    t.AddColumn(KeyCol("id", rows));
+    t.AddColumn(IntCol("person_id", 4167491 * s, 0, 4167491 * s));
+    t.AddColumn(StrCol("name", 50, rows * 0.9));
+    add(std::move(t));
+  }
+  {
+    const double rows = 361472 * s;
+    Table t("aka_title", rows);
+    t.AddColumn(KeyCol("id", rows));
+    t.AddColumn(IntCol("movie_id", 2528312 * s, 0, 2528312 * s));
+    t.AddColumn(StrCol("title", 100, rows * 0.9));
+    add(std::move(t));
+  }
+  {
+    const double rows = 234997;
+    Table t("company_name", rows);
+    t.AddColumn(KeyCol("id", rows));
+    t.AddColumn(StrCol("name", 60, rows * 0.95));
+    t.AddColumn(StrCol("country_code", 6, 84));
+    add(std::move(t));
+  }
+  {
+    Table t("company_type", 4);
+    t.AddColumn(KeyCol("id", 4));
+    t.AddColumn(StrCol("kind", 32, 4));
+    add(std::move(t));
+  }
+  {
+    const double rows = 134170;
+    Table t("keyword", rows);
+    t.AddColumn(KeyCol("id", rows));
+    t.AddColumn(StrCol("keyword", 30, rows));
+    add(std::move(t));
+  }
+  {
+    Table t("kind_type", 7);
+    t.AddColumn(KeyCol("id", 7));
+    t.AddColumn(StrCol("kind", 15, 7));
+    add(std::move(t));
+  }
+  {
+    Table t("link_type", 18);
+    t.AddColumn(KeyCol("id", 18));
+    t.AddColumn(StrCol("link", 32, 18));
+    add(std::move(t));
+  }
+  {
+    const double rows = 29997;
+    Table t("movie_link", rows);
+    t.AddColumn(KeyCol("id", rows));
+    t.AddColumn(IntCol("movie_id", 2528312 * s, 0, 2528312 * s));
+    t.AddColumn(IntCol("linked_movie_id", 2528312 * s, 0, 2528312 * s));
+    t.AddColumn(IntCol("link_type_id", 18, 1, 18));
+    add(std::move(t));
+  }
+  {
+    Table t("info_type", 113);
+    t.AddColumn(KeyCol("id", 113));
+    t.AddColumn(StrCol("info", 32, 113));
+    add(std::move(t));
+  }
+  {
+    Table t("role_type", 12);
+    t.AddColumn(KeyCol("id", 12));
+    t.AddColumn(StrCol("role", 32, 12));
+    add(std::move(t));
+  }
+  {
+    Table t("comp_cast_type", 4);
+    t.AddColumn(KeyCol("id", 4));
+    t.AddColumn(StrCol("kind", 32, 4));
+    add(std::move(t));
+  }
+  {
+    const double rows = 135086;
+    Table t("complete_cast", rows);
+    t.AddColumn(KeyCol("id", rows));
+    t.AddColumn(IntCol("movie_id", 2528312 * s, 0, 2528312 * s));
+    t.AddColumn(IntCol("subject_id", 4, 1, 4));
+    t.AddColumn(IntCol("status_id", 4, 1, 4));
+    add(std::move(t));
+  }
+  return db;
+}
+
+/// 33 JOB templates (one instance per template, as the paper picks one
+/// instance from each of JOB's 33 families). Structures follow the published
+/// queries: star/chain joins around `title` with filters on dimension-like
+/// tables; aggregates are MIN() as in JOB.
+std::vector<std::string> JobQueries() {
+  return {
+      // 1
+      "SELECT MIN(mc.note), MIN(t.title), MIN(t.production_year) "
+      "FROM company_type ct, info_type it, movie_companies mc, movie_info_idx mi_idx, title t "
+      "WHERE ct.kind = 'production companies' AND it.info = 'top 250 rank' "
+      "AND mc.note LIKE '%(co-production)%' AND ct.id = mc.company_type_id "
+      "AND t.id = mc.movie_id AND t.id = mi_idx.movie_id AND it.id = mi_idx.info_type_id",
+      // 2
+      "SELECT MIN(t.title) FROM company_name cn, keyword k, movie_companies mc, movie_keyword mk, title t "
+      "WHERE cn.country_code = 'de' AND k.keyword = 'character-name-in-title' "
+      "AND cn.id = mc.company_id AND mc.movie_id = t.id AND t.id = mk.movie_id AND mk.keyword_id = k.id",
+      // 3
+      "SELECT MIN(t.title) FROM keyword k, movie_info mi, movie_keyword mk, title t "
+      "WHERE k.keyword LIKE '%sequel%' AND mi.info IN ('Sweden', 'Norway', 'Germany') "
+      "AND t.production_year > 2005 AND t.id = mi.movie_id AND t.id = mk.movie_id AND mk.keyword_id = k.id",
+      // 4
+      "SELECT MIN(mi_idx.info), MIN(t.title) FROM info_type it, keyword k, movie_info_idx mi_idx, movie_keyword mk, title t "
+      "WHERE it.info = 'rating' AND k.keyword LIKE '%sequel%' AND mi_idx.info > '5.0' "
+      "AND t.production_year > 2005 AND t.id = mi_idx.movie_id AND t.id = mk.movie_id "
+      "AND mk.keyword_id = k.id AND it.id = mi_idx.info_type_id",
+      // 5
+      "SELECT MIN(t.title) FROM company_type ct, info_type it, movie_companies mc, movie_info mi, title t "
+      "WHERE ct.kind = 'production companies' AND mc.note LIKE '%(theatrical)%' "
+      "AND mi.info IN ('Sweden', 'Germany') AND t.production_year > 2005 "
+      "AND t.id = mi.movie_id AND t.id = mc.movie_id AND ct.id = mc.company_type_id AND it.id = mi.info_type_id",
+      // 6
+      "SELECT MIN(k.keyword), MIN(n.name), MIN(t.title) "
+      "FROM cast_info ci, keyword k, movie_keyword mk, name n, title t "
+      "WHERE k.keyword = 'marvel-cinematic-universe' AND n.name LIKE '%Downey%Robert%' "
+      "AND t.production_year > 2010 AND k.id = mk.keyword_id AND t.id = mk.movie_id "
+      "AND t.id = ci.movie_id AND ci.person_id = n.id",
+      // 7
+      "SELECT MIN(n.name), MIN(t.title) "
+      "FROM aka_name an, cast_info ci, info_type it, link_type lt, movie_link ml, name n, person_info pi, title t "
+      "WHERE an.name LIKE '%a%' AND it.info = 'mini biography' AND lt.link = 'features' "
+      "AND n.name_pcode_cf BETWEEN 'A' AND 'F' AND n.gender = 'm' "
+      "AND pi.note = 'Volker Boehm' AND t.production_year BETWEEN 1980 AND 1995 "
+      "AND n.id = an.person_id AND n.id = pi.person_id AND ci.person_id = n.id "
+      "AND t.id = ci.movie_id AND ml.linked_movie_id = t.id AND lt.id = ml.link_type_id "
+      "AND it.id = pi.info_type_id",
+      // 8
+      "SELECT MIN(an.name), MIN(t.title) "
+      "FROM aka_name an, cast_info ci, company_name cn, movie_companies mc, name n, role_type rt, title t "
+      "WHERE ci.note = '(voice: English version)' AND cn.country_code = 'jp' "
+      "AND mc.note LIKE '%(Japan)%' AND n.name LIKE '%Yo%' AND rt.role = 'actress' "
+      "AND an.person_id = n.id AND n.id = ci.person_id AND ci.movie_id = t.id "
+      "AND t.id = mc.movie_id AND mc.company_id = cn.id AND ci.role_id = rt.id",
+      // 9
+      "SELECT MIN(an.name), MIN(chn.name), MIN(t.title) "
+      "FROM aka_name an, char_name chn, cast_info ci, company_name cn, movie_companies mc, name n, role_type rt, title t "
+      "WHERE ci.note IN ('(voice)', '(voice: Japanese version)') AND cn.country_code = 'us' "
+      "AND n.gender = 'f' AND rt.role = 'actress' AND t.production_year BETWEEN 2005 AND 2015 "
+      "AND ci.movie_id = t.id AND t.id = mc.movie_id AND ci.person_id = n.id "
+      "AND mc.company_id = cn.id AND ci.role_id = rt.id AND n.id = an.person_id "
+      "AND chn.id = ci.person_role_id",
+      // 10
+      "SELECT MIN(chn.name), MIN(t.title) "
+      "FROM char_name chn, cast_info ci, company_name cn, company_type ct, movie_companies mc, role_type rt, title t "
+      "WHERE ci.note LIKE '%(producer)%' AND cn.country_code = 'ru' AND rt.role = 'actor' "
+      "AND t.production_year > 2010 AND t.id = mc.movie_id AND t.id = ci.movie_id "
+      "AND ci.person_role_id = chn.id AND mc.company_id = cn.id AND mc.company_type_id = ct.id "
+      "AND ci.role_id = rt.id",
+      // 11
+      "SELECT MIN(cn.name), MIN(lt.link), MIN(t.title) "
+      "FROM company_name cn, company_type ct, keyword k, link_type lt, movie_companies mc, movie_keyword mk, movie_link ml, title t "
+      "WHERE cn.country_code <> 'pl' AND cn.name LIKE '%Film%' AND ct.kind = 'production companies' "
+      "AND k.keyword = 'sequel' AND lt.link LIKE '%follow%' AND t.production_year BETWEEN 1950 AND 2000 "
+      "AND lt.id = ml.link_type_id AND ml.movie_id = t.id AND t.id = mk.movie_id "
+      "AND mk.keyword_id = k.id AND t.id = mc.movie_id AND mc.company_type_id = ct.id "
+      "AND mc.company_id = cn.id",
+      // 12
+      "SELECT MIN(cn.name), MIN(mi_idx.info), MIN(t.title) "
+      "FROM company_name cn, company_type ct, info_type it, movie_companies mc, movie_info mi, movie_info_idx mi_idx, title t "
+      "WHERE cn.country_code = 'us' AND ct.kind = 'production companies' AND it.info = 'genres' "
+      "AND mi.info IN ('Drama', 'Horror') AND mi_idx.info > '8.0' "
+      "AND t.production_year BETWEEN 2005 AND 2008 AND t.id = mi.movie_id "
+      "AND t.id = mi_idx.movie_id AND mi.info_type_id = it.id "
+      "AND t.id = mc.movie_id AND ct.id = mc.company_type_id AND cn.id = mc.company_id",
+      // 13
+      "SELECT MIN(mi.info), MIN(mi_idx.info), MIN(t.title) "
+      "FROM company_name cn, company_type ct, info_type it, info_type it2, kind_type kt, movie_companies mc, movie_info mi, movie_info_idx mi_idx, title t "
+      "WHERE cn.country_code = 'de' AND ct.kind = 'production companies' AND it.info = 'rating' "
+      "AND it2.info = 'release dates' AND kt.kind = 'movie' "
+      "AND mi.movie_id = t.id AND it2.id = mi.info_type_id AND kt.id = t.kind_id "
+      "AND mc.movie_id = t.id AND cn.id = mc.company_id AND ct.id = mc.company_type_id "
+      "AND mi_idx.movie_id = t.id AND it.id = mi_idx.info_type_id",
+      // 14
+      "SELECT MIN(mi_idx.info), MIN(t.title) "
+      "FROM info_type it, keyword k, kind_type kt, movie_info mi, movie_info_idx mi_idx, movie_keyword mk, title t "
+      "WHERE it.info = 'rating' AND k.keyword IN ('murder', 'blood', 'gore') "
+      "AND kt.kind = 'movie' AND mi.info IN ('Sweden', 'Germany', 'Denmark') "
+      "AND mi_idx.info < '8.5' AND t.production_year > 2010 "
+      "AND kt.id = t.kind_id AND t.id = mi.movie_id AND t.id = mk.movie_id "
+      "AND t.id = mi_idx.movie_id AND k.id = mk.keyword_id AND it.id = mi_idx.info_type_id",
+      // 15
+      "SELECT MIN(mi.info), MIN(t.title) "
+      "FROM aka_title at, company_name cn, company_type ct, info_type it, keyword k, movie_companies mc, movie_info mi, movie_keyword mk, title t "
+      "WHERE cn.country_code = 'us' AND it.info = 'release dates' AND mc.note LIKE '%(VHS)%' "
+      "AND mi.note LIKE '%internet%' AND t.production_year > 2000 "
+      "AND t.id = at.movie_id AND t.id = mi.movie_id AND t.id = mk.movie_id "
+      "AND t.id = mc.movie_id AND mk.keyword_id = k.id AND it.id = mi.info_type_id "
+      "AND cn.id = mc.company_id AND ct.id = mc.company_type_id",
+      // 16
+      "SELECT MIN(an.name), MIN(t.title) "
+      "FROM aka_name an, cast_info ci, company_name cn, keyword k, movie_companies mc, movie_keyword mk, name n, title t "
+      "WHERE cn.country_code = 'us' AND k.keyword = 'character-name-in-title' "
+      "AND t.episode_nr BETWEEN 50 AND 100 AND an.person_id = n.id AND n.id = ci.person_id "
+      "AND ci.movie_id = t.id AND t.id = mk.movie_id AND mk.keyword_id = k.id "
+      "AND t.id = mc.movie_id AND mc.company_id = cn.id",
+      // 17
+      "SELECT MIN(n.name) "
+      "FROM cast_info ci, company_name cn, keyword k, movie_companies mc, movie_keyword mk, name n, title t "
+      "WHERE cn.country_code = 'us' AND k.keyword = 'character-name-in-title' AND n.name LIKE 'B%' "
+      "AND n.id = ci.person_id AND ci.movie_id = t.id AND t.id = mk.movie_id "
+      "AND mk.keyword_id = k.id AND t.id = mc.movie_id AND mc.company_id = cn.id",
+      // 18
+      "SELECT MIN(mi.info), MIN(t.title) "
+      "FROM cast_info ci, info_type it, info_type it2, movie_info mi, movie_info_idx mi_idx, name n, title t "
+      "WHERE ci.note IN ('(producer)', '(executive producer)') AND it.info = 'budget' "
+      "AND it2.info = 'votes' AND n.gender = 'm' AND n.name LIKE '%Tim%' "
+      "AND t.id = mi.movie_id AND t.id = mi_idx.movie_id AND t.id = ci.movie_id "
+      "AND ci.person_id = n.id AND it.id = mi.info_type_id AND it2.id = mi_idx.info_type_id",
+      // 19
+      "SELECT MIN(n.name), MIN(t.title) "
+      "FROM aka_name an, char_name chn, cast_info ci, company_name cn, info_type it, movie_companies mc, movie_info mi, name n, role_type rt, title t "
+      "WHERE ci.note = '(voice)' AND cn.country_code = 'us' AND it.info = 'release dates' "
+      "AND n.gender = 'f' AND rt.role = 'actress' AND t.production_year BETWEEN 2000 AND 2010 "
+      "AND t.id = mi.movie_id AND t.id = mc.movie_id AND t.id = ci.movie_id "
+      "AND mc.company_id = cn.id AND it.id = mi.info_type_id AND n.id = ci.person_id "
+      "AND ci.role_id = rt.id AND an.person_id = n.id AND chn.id = ci.person_role_id",
+      // 20
+      "SELECT MIN(t.title) "
+      "FROM complete_cast cc, comp_cast_type cct, char_name chn, cast_info ci, keyword k, kind_type kt, movie_keyword mk, name n, title t "
+      "WHERE cct.kind = 'cast' AND chn.name LIKE '%man%' AND k.keyword IN ('superhero', 'sequel') "
+      "AND kt.kind = 'movie' AND t.production_year > 1950 "
+      "AND kt.id = t.kind_id AND t.id = mk.movie_id AND t.id = ci.movie_id "
+      "AND t.id = cc.movie_id AND mk.keyword_id = k.id AND ci.person_role_id = chn.id "
+      "AND n.id = ci.person_id AND cct.id = cc.subject_id",
+      // 21
+      "SELECT MIN(cn.name), MIN(mi.info), MIN(t.title) "
+      "FROM company_name cn, company_type ct, keyword k, link_type lt, movie_companies mc, movie_info mi, movie_keyword mk, movie_link ml, title t "
+      "WHERE cn.country_code <> 'pl' AND cn.name LIKE '%Film%' AND ct.kind = 'production companies' "
+      "AND k.keyword = 'sequel' AND lt.link LIKE '%follow%' AND mi.info IN ('Sweden', 'Germany') "
+      "AND t.production_year BETWEEN 1950 AND 2000 AND lt.id = ml.link_type_id "
+      "AND ml.movie_id = t.id AND t.id = mk.movie_id AND mk.keyword_id = k.id "
+      "AND t.id = mc.movie_id AND mc.company_type_id = ct.id AND mc.company_id = cn.id "
+      "AND mi.movie_id = t.id",
+      // 22
+      "SELECT MIN(cn.name), MIN(mi_idx.info), MIN(t.title) "
+      "FROM company_name cn, company_type ct, info_type it, info_type it2, keyword k, kind_type kt, movie_companies mc, movie_info mi, movie_info_idx mi_idx, movie_keyword mk, title t "
+      "WHERE cn.country_code <> 'us' AND it.info = 'countries' AND it2.info = 'rating' "
+      "AND k.keyword IN ('murder', 'violence') AND kt.kind IN ('movie', 'episode') "
+      "AND mc.note LIKE '%(200%)%' AND mi.info IN ('Germany', 'Swedish') "
+      "AND mi_idx.info < '8.5' AND t.production_year > 2008 "
+      "AND kt.id = t.kind_id AND t.id = mi.movie_id AND t.id = mk.movie_id "
+      "AND t.id = mi_idx.movie_id AND t.id = mc.movie_id AND k.id = mk.keyword_id "
+      "AND it.id = mi.info_type_id AND it2.id = mi_idx.info_type_id "
+      "AND ct.id = mc.company_type_id AND cn.id = mc.company_id",
+      // 23
+      "SELECT MIN(kt.kind), MIN(t.title) "
+      "FROM complete_cast cc, comp_cast_type cct, company_name cn, company_type ct, info_type it, keyword k, kind_type kt, movie_companies mc, movie_info mi, movie_keyword mk, title t "
+      "WHERE cct.kind = 'complete+verified' AND cn.country_code = 'us' AND it.info = 'release dates' "
+      "AND kt.kind IN ('movie') AND mi.note LIKE '%internet%' AND t.production_year > 2000 "
+      "AND kt.id = t.kind_id AND t.id = mi.movie_id AND t.id = mk.movie_id "
+      "AND t.id = mc.movie_id AND t.id = cc.movie_id AND mk.keyword_id = k.id "
+      "AND it.id = mi.info_type_id AND cn.id = mc.company_id AND ct.id = mc.company_type_id "
+      "AND cct.id = cc.status_id",
+      // 24
+      "SELECT MIN(chn.name), MIN(t.title) "
+      "FROM aka_name an, char_name chn, cast_info ci, company_name cn, info_type it, keyword k, movie_companies mc, movie_info mi, movie_keyword mk, name n, role_type rt, title t "
+      "WHERE ci.note IN ('(voice)', '(voice: English version)') AND cn.country_code = 'us' "
+      "AND it.info = 'release dates' AND k.keyword IN ('hero', 'martial-arts') "
+      "AND n.gender = 'f' AND rt.role = 'actress' AND t.production_year > 2010 "
+      "AND t.id = mi.movie_id AND t.id = mc.movie_id AND t.id = ci.movie_id "
+      "AND t.id = mk.movie_id AND mc.company_id = cn.id AND it.id = mi.info_type_id "
+      "AND n.id = ci.person_id AND ci.role_id = rt.id AND an.person_id = n.id "
+      "AND chn.id = ci.person_role_id AND mk.keyword_id = k.id",
+      // 25
+      "SELECT MIN(mi.info), MIN(n.name), MIN(t.title) "
+      "FROM cast_info ci, info_type it, info_type it2, keyword k, movie_info mi, movie_info_idx mi_idx, movie_keyword mk, name n, title t "
+      "WHERE ci.note = '(writer)' AND it.info = 'genres' AND it2.info = 'votes' "
+      "AND k.keyword IN ('murder', 'blood') AND mi.info = 'Horror' AND n.gender = 'm' "
+      "AND t.id = mi.movie_id AND t.id = mi_idx.movie_id AND t.id = ci.movie_id "
+      "AND t.id = mk.movie_id AND ci.person_id = n.id AND it.id = mi.info_type_id "
+      "AND it2.id = mi_idx.info_type_id AND k.id = mk.keyword_id",
+      // 26
+      "SELECT MIN(chn.name), MIN(mi_idx.info), MIN(t.title) "
+      "FROM complete_cast cc, comp_cast_type cct, char_name chn, cast_info ci, info_type it, keyword k, kind_type kt, movie_info_idx mi_idx, movie_keyword mk, name n, title t "
+      "WHERE cct.kind = 'cast' AND chn.name LIKE '%man%' AND it.info = 'rating' "
+      "AND k.keyword IN ('superhero', 'marvel-comics') AND kt.kind = 'movie' "
+      "AND mi_idx.info > '7.0' AND t.production_year > 2000 "
+      "AND kt.id = t.kind_id AND t.id = mk.movie_id AND t.id = ci.movie_id "
+      "AND t.id = cc.movie_id AND t.id = mi_idx.movie_id AND mk.keyword_id = k.id "
+      "AND ci.person_role_id = chn.id AND n.id = ci.person_id AND it.id = mi_idx.info_type_id "
+      "AND cct.id = cc.subject_id",
+      // 27
+      "SELECT MIN(cn.name), MIN(lt.link), MIN(t.title) "
+      "FROM complete_cast cc, comp_cast_type cct, company_name cn, company_type ct, keyword k, link_type lt, movie_companies mc, movie_keyword mk, movie_link ml, title t "
+      "WHERE cct.kind = 'cast' AND cn.country_code <> 'pl' AND ct.kind = 'production companies' "
+      "AND k.keyword = 'sequel' AND lt.link LIKE '%follow%' AND t.production_year BETWEEN 1950 AND 2000 "
+      "AND lt.id = ml.link_type_id AND ml.movie_id = t.id AND t.id = mk.movie_id "
+      "AND mk.keyword_id = k.id AND t.id = mc.movie_id AND mc.company_type_id = ct.id "
+      "AND mc.company_id = cn.id AND t.id = cc.movie_id AND cct.id = cc.subject_id",
+      // 28
+      "SELECT MIN(cn.name), MIN(mi_idx.info), MIN(t.title) "
+      "FROM complete_cast cc, comp_cast_type cct, company_name cn, company_type ct, info_type it, info_type it2, keyword k, kind_type kt, movie_companies mc, movie_info mi, movie_info_idx mi_idx, movie_keyword mk, title t "
+      "WHERE cct.kind = 'crew' AND cn.country_code <> 'us' AND it.info = 'countries' "
+      "AND it2.info = 'rating' AND k.keyword IN ('murder', 'violence') AND kt.kind = 'movie' "
+      "AND mi.info IN ('Sweden', 'Germany') AND mi_idx.info < '8.5' AND t.production_year > 2000 "
+      "AND kt.id = t.kind_id AND t.id = mi.movie_id AND t.id = mk.movie_id "
+      "AND t.id = mi_idx.movie_id AND t.id = mc.movie_id AND t.id = cc.movie_id "
+      "AND k.id = mk.keyword_id AND it.id = mi.info_type_id AND it2.id = mi_idx.info_type_id "
+      "AND ct.id = mc.company_type_id AND cn.id = mc.company_id AND cct.id = cc.subject_id",
+      // 29
+      "SELECT MIN(chn.name), MIN(n.name), MIN(t.title) "
+      "FROM aka_name an, complete_cast cc, comp_cast_type cct, char_name chn, cast_info ci, company_name cn, info_type it, keyword k, movie_companies mc, movie_info mi, movie_keyword mk, name n, role_type rt, title t "
+      "WHERE cct.kind = 'cast' AND chn.name = 'Queen' AND ci.note IN ('(voice)', '(voice) (uncredited)') "
+      "AND cn.country_code = 'us' AND it.info = 'release dates' AND k.keyword = 'computer-animation' "
+      "AND n.gender = 'f' AND rt.role = 'actress' AND t.title = 'Shrek 2' "
+      "AND t.production_year BETWEEN 2000 AND 2010 AND t.id = mi.movie_id "
+      "AND t.id = mc.movie_id AND t.id = ci.movie_id AND t.id = mk.movie_id "
+      "AND t.id = cc.movie_id AND mc.company_id = cn.id AND it.id = mi.info_type_id "
+      "AND n.id = ci.person_id AND ci.role_id = rt.id AND an.person_id = n.id "
+      "AND chn.id = ci.person_role_id AND mk.keyword_id = k.id AND cct.id = cc.subject_id",
+      // 30
+      "SELECT MIN(mi.info), MIN(t.title) "
+      "FROM complete_cast cc, comp_cast_type cct, cast_info ci, info_type it, info_type it2, keyword k, movie_info mi, movie_info_idx mi_idx, movie_keyword mk, name n, title t "
+      "WHERE cct.kind = 'cast' AND ci.note = '(writer)' AND it.info = 'genres' "
+      "AND it2.info = 'votes' AND k.keyword IN ('murder', 'violence') AND mi.info = 'Horror' "
+      "AND n.gender = 'm' AND t.id = mi.movie_id AND t.id = mi_idx.movie_id "
+      "AND t.id = ci.movie_id AND t.id = mk.movie_id AND t.id = cc.movie_id "
+      "AND ci.person_id = n.id AND it.id = mi.info_type_id AND it2.id = mi_idx.info_type_id "
+      "AND k.id = mk.keyword_id AND cct.id = cc.subject_id",
+      // 31
+      "SELECT MIN(mi.info), MIN(t.title) "
+      "FROM cast_info ci, company_name cn, info_type it, info_type it2, keyword k, movie_companies mc, movie_info mi, movie_info_idx mi_idx, movie_keyword mk, name n, title t "
+      "WHERE ci.note = '(writer)' AND cn.name LIKE 'Lionsgate%' AND it.info = 'genres' "
+      "AND it2.info = 'votes' AND k.keyword IN ('murder', 'blood') AND mi.info = 'Horror' "
+      "AND t.id = mi.movie_id AND t.id = mi_idx.movie_id AND t.id = ci.movie_id "
+      "AND t.id = mk.movie_id AND t.id = mc.movie_id AND ci.person_id = n.id "
+      "AND it.id = mi.info_type_id AND it2.id = mi_idx.info_type_id AND k.id = mk.keyword_id "
+      "AND cn.id = mc.company_id",
+      // 32
+      "SELECT MIN(lt.link), MIN(t1.title), MIN(t2.title) "
+      "FROM keyword k, link_type lt, movie_keyword mk, movie_link ml, title t1, title t2 "
+      "WHERE k.keyword = '10,000-mile-club' AND mk.keyword_id = k.id AND t1.id = mk.movie_id "
+      "AND ml.movie_id = t1.id AND ml.linked_movie_id = t2.id AND lt.id = ml.link_type_id",
+      // 33
+      "SELECT MIN(cn.name), MIN(mi_idx.info), MIN(t.title) "
+      "FROM company_name cn, info_type it, keyword k, link_type lt, movie_companies mc, movie_info_idx mi_idx, movie_keyword mk, movie_link ml, title t "
+      "WHERE cn.country_code <> 'us' AND it.info = 'rating' AND k.keyword = 'sequel' "
+      "AND lt.link LIKE '%follow%' AND mi_idx.info < '3.5' "
+      "AND t.production_year BETWEEN 2000 AND 2010 AND lt.id = ml.link_type_id "
+      "AND t.id = ml.movie_id AND t.id = mk.movie_id AND mk.keyword_id = k.id "
+      "AND t.id = mi_idx.movie_id AND it.id = mi_idx.info_type_id "
+      "AND t.id = mc.movie_id AND cn.id = mc.company_id",
+  };
+}
+
+}  // namespace
+
+Workload MakeJob(const WorkloadOptions& options) {
+  auto db = MakeImdbDatabase(options.scale);
+  std::vector<std::string> sqls = JobQueries();
+  std::vector<std::string> names;
+  for (size_t i = 0; i < sqls.size(); ++i) {
+    names.push_back("job_" + std::to_string(i + 1));
+  }
+  return schema_util::BindAll("job", std::move(db), sqls, names);
+}
+
+}  // namespace bati

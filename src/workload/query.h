@@ -1,0 +1,111 @@
+#ifndef BATI_WORKLOAD_QUERY_H_
+#define BATI_WORKLOAD_QUERY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+
+namespace bati {
+
+/// Filter-predicate shape as seen by the cost model. Equality predicates can
+/// use any position of an index key prefix; range-like predicates can only
+/// exploit the final key part (the classic B+-tree sargability rule).
+enum class FilterKind {
+  kEquality,
+  kRange,
+  kIn,
+  kLike,
+  kNotEqual,
+  /// Comparison between two columns of the same scan (e.g.
+  /// "l_commitdate < l_receiptdate"); never sargable.
+  kColumnColumn,
+  /// A disjunction "(p1 OR p2 ...)" over one scan, folded into a single
+  /// filter with union selectivity; never sargable.
+  kOr,
+};
+
+/// One table access in a query (a query may scan the same table twice under
+/// different aliases; each gets its own scan id).
+struct QueryScan {
+  int table_id = -1;
+  std::string alias;
+};
+
+/// A bound single-table filter conjunct with its bind-time selectivity.
+struct BoundFilter {
+  int scan_id = -1;
+  ColumnRef column;
+  FilterKind kind = FilterKind::kEquality;
+  /// Estimated fraction of rows satisfying the conjunct, in (0, 1].
+  double selectivity = 1.0;
+};
+
+/// A bound equi-join conjunct between two scans.
+struct BoundJoin {
+  int left_scan = -1;
+  ColumnRef left_column;
+  int right_scan = -1;
+  ColumnRef right_column;
+};
+
+/// A column needed by the query output (projection), grouping or ordering.
+struct BoundColumnUse {
+  int scan_id = -1;
+  ColumnRef column;
+};
+
+/// A fully bound analytic query: the IR consumed by candidate-index
+/// generation and by the what-if optimizer. Produced by BindQuery from parsed
+/// SQL, or directly by workload generators.
+struct Query {
+  /// Position of the query within its workload; also used in traces.
+  int id = 0;
+  /// Template name, e.g. "q17" or "job_03a".
+  std::string name;
+  /// Original SQL text (kept for tooling; not used by the cost model).
+  std::string sql;
+
+  std::vector<QueryScan> scans;
+  std::vector<BoundFilter> filters;
+  std::vector<BoundJoin> joins;
+  /// Columns in the SELECT list (payload for covering indexes).
+  std::vector<BoundColumnUse> projections;
+  std::vector<BoundColumnUse> group_by;
+  std::vector<BoundColumnUse> order_by;
+  /// True if the select list is or contains '*' (all columns needed).
+  bool select_star = false;
+  bool has_aggregation = false;
+
+  int num_scans() const { return static_cast<int>(scans.size()); }
+  int num_joins() const { return static_cast<int>(joins.size()); }
+  int num_filters() const { return static_cast<int>(filters.size()); }
+};
+
+/// A named workload over one database: the tuner's unit of input.
+struct Workload {
+  std::string name;
+  std::shared_ptr<const Database> database;
+  std::vector<Query> queries;
+
+  int num_queries() const { return static_cast<int>(queries.size()); }
+};
+
+/// Summary statistics in the shape of the paper's Table 1.
+struct WorkloadStats {
+  std::string name;
+  double size_gb = 0.0;
+  int num_queries = 0;
+  int num_tables = 0;
+  double avg_joins = 0.0;
+  double avg_filters = 0.0;
+  double avg_scans = 0.0;
+};
+
+/// Computes Table-1-style statistics for a workload.
+WorkloadStats ComputeWorkloadStats(const Workload& workload);
+
+}  // namespace bati
+
+#endif  // BATI_WORKLOAD_QUERY_H_

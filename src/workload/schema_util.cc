@@ -1,0 +1,81 @@
+#include "workload/schema_util.h"
+
+#include <cstdio>
+
+#include "common/macros.h"
+#include "workload/binder.h"
+
+namespace bati::schema_util {
+
+Column IntCol(const std::string& name, double ndv, double min_value,
+              double max_value) {
+  Column c;
+  c.name = name;
+  c.type = ColumnType::kInt;
+  c.stats.ndv = ndv;
+  c.stats.min_value = min_value;
+  c.stats.max_value = max_value;
+  return c;
+}
+
+Column KeyCol(const std::string& name, double rows) {
+  return IntCol(name, rows, 0, rows);
+}
+
+Column NumCol(const std::string& name, double ndv, double min_value,
+              double max_value) {
+  Column c;
+  c.name = name;
+  c.type = ColumnType::kDouble;
+  c.stats.ndv = ndv;
+  c.stats.min_value = min_value;
+  c.stats.max_value = max_value;
+  return c;
+}
+
+Column DateCol(const std::string& name, double days) {
+  Column c;
+  c.name = name;
+  c.type = ColumnType::kDate;
+  c.stats.ndv = days;
+  c.stats.min_value = 0;
+  c.stats.max_value = days;
+  return c;
+}
+
+Column StrCol(const std::string& name, int length, double ndv) {
+  Column c;
+  c.name = name;
+  c.type = ColumnType::kString;
+  c.declared_length = length;
+  c.stats.ndv = ndv;
+  c.stats.min_value = 0;
+  c.stats.max_value = 1;
+  return c;
+}
+
+Workload BindAll(std::string workload_name,
+                 std::shared_ptr<const Database> db,
+                 const std::vector<std::string>& sqls,
+                 const std::vector<std::string>& names) {
+  BATI_CHECK(sqls.size() == names.size());
+  Workload w;
+  w.name = std::move(workload_name);
+  w.database = db;
+  for (size_t i = 0; i < sqls.size(); ++i) {
+    auto bound = BindSql(sqls[i], *db);
+    if (!bound.ok()) {
+      std::fprintf(stderr, "workload %s, query %s: %s\nSQL: %s\n",
+                   w.name.c_str(), names[i].c_str(),
+                   bound.status().ToString().c_str(), sqls[i].c_str());
+      BATI_CHECK(false && "workload template failed to bind");
+    }
+    Query q = std::move(bound.value());
+    q.id = static_cast<int>(i);
+    q.name = names[i];
+    w.queries.push_back(std::move(q));
+  }
+  return w;
+}
+
+}  // namespace bati::schema_util

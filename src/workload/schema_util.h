@@ -1,0 +1,40 @@
+#ifndef BATI_WORKLOAD_SCHEMA_UTIL_H_
+#define BATI_WORKLOAD_SCHEMA_UTIL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "workload/query.h"
+
+namespace bati::schema_util {
+
+/// Integer column with the given distinct-value count over [min, max].
+Column IntCol(const std::string& name, double ndv, double min_value,
+              double max_value);
+
+/// Integer key column: NDV == row domain [0, rows).
+Column KeyCol(const std::string& name, double rows);
+
+/// Decimal/double column.
+Column NumCol(const std::string& name, double ndv, double min_value,
+              double max_value);
+
+/// Date column over `days` days starting at day 0.
+Column DateCol(const std::string& name, double days);
+
+/// Fixed-length string column with the given NDV.
+Column StrCol(const std::string& name, int length, double ndv);
+
+/// Binds each SQL text against `db` and assembles a Workload. Aborts on any
+/// parse/bind failure (generator templates are trusted inputs); `names[i]`
+/// labels query i.
+Workload BindAll(std::string workload_name,
+                 std::shared_ptr<const Database> db,
+                 const std::vector<std::string>& sqls,
+                 const std::vector<std::string>& names);
+
+}  // namespace bati::schema_util
+
+#endif  // BATI_WORKLOAD_SCHEMA_UTIL_H_

@@ -1,0 +1,46 @@
+#include <memory>
+
+#include "common/macros.h"
+#include "workload/generators.h"
+#include "workload/schema_util.h"
+
+namespace bati {
+
+using schema_util::IntCol;
+using schema_util::KeyCol;
+using schema_util::NumCol;
+
+Workload MakeToyWorkload() {
+  // Paper Figure 3: R(a, b), S(c, d) with two queries.
+  auto db = std::make_shared<Database>("toy");
+  {
+    Table r("R", 1000000);
+    r.AddColumn(IntCol("a", 100, 0, 100));
+    r.AddColumn(IntCol("b", 50000, 0, 50000));
+    BATI_CHECK_OK(db->AddTable(std::move(r)).status());
+  }
+  {
+    Table s("S", 2000000);
+    s.AddColumn(IntCol("c", 50000, 0, 50000));
+    s.AddColumn(IntCol("d", 1000, 0, 1000));
+    BATI_CHECK_OK(db->AddTable(std::move(s)).status());
+  }
+  std::vector<std::string> sqls = {
+      "SELECT a, d FROM R, S WHERE R.b = S.c AND R.a = 5 AND S.d > 200",
+      "SELECT a FROM R, S WHERE R.b = S.c AND R.a = 40",
+  };
+  return schema_util::BindAll("toy", std::move(db), sqls, {"Q1", "Q2"});
+}
+
+Workload MakeWorkloadByName(const std::string& name,
+                            const WorkloadOptions& options) {
+  if (name == "tpch") return MakeTpch(options);
+  if (name == "tpcds") return MakeTpcds(options);
+  if (name == "job") return MakeJob(options);
+  if (name == "real-d") return MakeRealD(options);
+  if (name == "real-m") return MakeRealM(options);
+  if (name == "toy") return MakeToyWorkload();
+  return Workload{};
+}
+
+}  // namespace bati

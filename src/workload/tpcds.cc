@@ -1,0 +1,778 @@
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/macros.h"
+#include "workload/generators.h"
+#include "workload/schema_util.h"
+
+namespace bati {
+
+namespace {
+
+using schema_util::DateCol;
+using schema_util::IntCol;
+using schema_util::KeyCol;
+using schema_util::NumCol;
+using schema_util::StrCol;
+
+std::shared_ptr<Database> MakeTpcdsDatabase(double scale) {
+  auto db = std::make_shared<Database>("tpcds");
+  const double sf = 10.0 * scale;  // paper uses sf=10
+
+  auto add = [&db](Table t) { BATI_CHECK_OK(db->AddTable(std::move(t)).status()); };
+
+  // ---- Dimension tables ----
+  {
+    Table t("date_dim", 73049);
+    t.AddColumn(KeyCol("d_date_sk", 73049));
+    t.AddColumn(IntCol("d_year", 200, 1900, 2100));
+    t.AddColumn(IntCol("d_moy", 12, 1, 12));
+    t.AddColumn(IntCol("d_dom", 31, 1, 31));
+    t.AddColumn(IntCol("d_qoy", 4, 1, 4));
+    t.AddColumn(IntCol("d_month_seq", 2400, 0, 2400));
+    t.AddColumn(IntCol("d_week_seq", 10436, 0, 10436));
+    t.AddColumn(StrCol("d_day_name", 9, 7));
+    t.AddColumn(IntCol("d_dow", 7, 0, 7));
+    add(std::move(t));
+  }
+  {
+    Table t("time_dim", 86400);
+    t.AddColumn(KeyCol("t_time_sk", 86400));
+    t.AddColumn(IntCol("t_hour", 24, 0, 24));
+    t.AddColumn(IntCol("t_minute", 60, 0, 60));
+    t.AddColumn(StrCol("t_meal_time", 20, 4));
+    add(std::move(t));
+  }
+  {
+    const double rows = 102000;
+    Table t("item", rows);
+    t.AddColumn(KeyCol("i_item_sk", rows));
+    t.AddColumn(StrCol("i_item_id", 16, rows / 2));
+    t.AddColumn(NumCol("i_current_price", 100, 0.09, 99.99));
+    t.AddColumn(StrCol("i_brand", 50, 700));
+    t.AddColumn(StrCol("i_class", 50, 99));
+    t.AddColumn(StrCol("i_category", 50, 10));
+    t.AddColumn(IntCol("i_manufact_id", 1000, 1, 1000));
+    t.AddColumn(IntCol("i_manager_id", 100, 1, 100));
+    t.AddColumn(StrCol("i_color", 20, 92));
+    t.AddColumn(StrCol("i_size", 20, 7));
+    t.AddColumn(StrCol("i_units", 10, 21));
+    add(std::move(t));
+  }
+  {
+    const double rows = 50000 * sf;
+    Table t("customer", rows);
+    t.AddColumn(KeyCol("c_customer_sk", rows));
+    t.AddColumn(StrCol("c_customer_id", 16, rows));
+    t.AddColumn(IntCol("c_current_cdemo_sk", 1920800, 0, 1920800));
+    t.AddColumn(IntCol("c_current_hdemo_sk", 7200, 0, 7200));
+    t.AddColumn(IntCol("c_current_addr_sk", 25000 * sf, 0, 25000 * sf));
+    t.AddColumn(StrCol("c_first_name", 20, 5000));
+    t.AddColumn(StrCol("c_last_name", 30, 5000));
+    t.AddColumn(IntCol("c_birth_year", 70, 1924, 1994));
+    t.AddColumn(StrCol("c_birth_country", 20, 200));
+    add(std::move(t));
+  }
+  {
+    const double rows = 25000 * sf;
+    Table t("customer_address", rows);
+    t.AddColumn(KeyCol("ca_address_sk", rows));
+    t.AddColumn(StrCol("ca_city", 60, 700));
+    t.AddColumn(StrCol("ca_county", 30, 1850));
+    t.AddColumn(StrCol("ca_state", 2, 51));
+    t.AddColumn(StrCol("ca_zip", 10, 10000));
+    t.AddColumn(StrCol("ca_country", 20, 1));
+    t.AddColumn(IntCol("ca_gmt_offset", 6, -10, -5));
+    add(std::move(t));
+  }
+  {
+    Table t("customer_demographics", 1920800);
+    t.AddColumn(KeyCol("cd_demo_sk", 1920800));
+    t.AddColumn(StrCol("cd_gender", 1, 2));
+    t.AddColumn(StrCol("cd_marital_status", 1, 5));
+    t.AddColumn(StrCol("cd_education_status", 20, 7));
+    t.AddColumn(IntCol("cd_purchase_estimate", 20, 500, 10000));
+    t.AddColumn(StrCol("cd_credit_rating", 10, 4));
+    t.AddColumn(IntCol("cd_dep_count", 7, 0, 6));
+    add(std::move(t));
+  }
+  {
+    Table t("household_demographics", 7200);
+    t.AddColumn(KeyCol("hd_demo_sk", 7200));
+    t.AddColumn(IntCol("hd_income_band_sk", 20, 0, 20));
+    t.AddColumn(StrCol("hd_buy_potential", 15, 6));
+    t.AddColumn(IntCol("hd_dep_count", 10, 0, 9));
+    t.AddColumn(IntCol("hd_vehicle_count", 6, -1, 4));
+    add(std::move(t));
+  }
+  {
+    const double rows = 102;
+    Table t("store", rows);
+    t.AddColumn(KeyCol("s_store_sk", rows));
+    t.AddColumn(StrCol("s_store_id", 16, rows / 2));
+    t.AddColumn(StrCol("s_store_name", 50, rows / 2));
+    t.AddColumn(IntCol("s_number_employees", 100, 200, 300));
+    t.AddColumn(StrCol("s_city", 60, 20));
+    t.AddColumn(StrCol("s_county", 30, 9));
+    t.AddColumn(StrCol("s_state", 2, 9));
+    t.AddColumn(IntCol("s_market_id", 10, 1, 10));
+    add(std::move(t));
+  }
+  {
+    Table t("warehouse", 10);
+    t.AddColumn(KeyCol("w_warehouse_sk", 10));
+    t.AddColumn(StrCol("w_warehouse_name", 20, 10));
+    t.AddColumn(IntCol("w_warehouse_sq_ft", 10, 50000, 1000000));
+    t.AddColumn(StrCol("w_state", 2, 9));
+    add(std::move(t));
+  }
+  {
+    Table t("ship_mode", 20);
+    t.AddColumn(KeyCol("sm_ship_mode_sk", 20));
+    t.AddColumn(StrCol("sm_type", 30, 6));
+    t.AddColumn(StrCol("sm_carrier", 20, 20));
+    add(std::move(t));
+  }
+  {
+    Table t("web_site", 42);
+    t.AddColumn(KeyCol("web_site_sk", 42));
+    t.AddColumn(StrCol("web_name", 50, 21));
+    t.AddColumn(StrCol("web_company_name", 50, 6));
+    add(std::move(t));
+  }
+  {
+    Table t("web_page", 2040);
+    t.AddColumn(KeyCol("wp_web_page_sk", 2040));
+    t.AddColumn(StrCol("wp_char_count", 10, 100));
+    t.AddColumn(IntCol("wp_link_count", 25, 2, 25));
+    add(std::move(t));
+  }
+  {
+    Table t("catalog_page", 12000);
+    t.AddColumn(KeyCol("cp_catalog_page_sk", 12000));
+    t.AddColumn(StrCol("cp_department", 20, 1));
+    t.AddColumn(IntCol("cp_catalog_number", 109, 1, 109));
+    add(std::move(t));
+  }
+  {
+    Table t("call_center", 24);
+    t.AddColumn(KeyCol("cc_call_center_sk", 24));
+    t.AddColumn(StrCol("cc_name", 50, 12));
+    t.AddColumn(StrCol("cc_manager", 40, 12));
+    add(std::move(t));
+  }
+  {
+    Table t("promotion", 500);
+    t.AddColumn(KeyCol("p_promo_sk", 500));
+    t.AddColumn(StrCol("p_channel_email", 1, 2));
+    t.AddColumn(StrCol("p_channel_event", 1, 2));
+    add(std::move(t));
+  }
+  {
+    Table t("reason", 45);
+    t.AddColumn(KeyCol("r_reason_sk", 45));
+    t.AddColumn(StrCol("r_reason_desc", 100, 45));
+    add(std::move(t));
+  }
+  {
+    Table t("income_band", 20);
+    t.AddColumn(KeyCol("ib_income_band_sk", 20));
+    t.AddColumn(IntCol("ib_lower_bound", 20, 0, 190001));
+    t.AddColumn(IntCol("ib_upper_bound", 20, 10000, 200000));
+    add(std::move(t));
+  }
+
+  // ---- Fact tables ----
+  const double customers = 50000 * sf;
+  const double addresses = 25000 * sf;
+  auto add_sales_cols = [&](Table& t, const std::string& p, double rows) {
+    t.AddColumn(IntCol(p + "_sold_date_sk", 1824, 2450815, 2452654));
+    t.AddColumn(IntCol(p + "_sold_time_sk", 86400, 0, 86400));
+    t.AddColumn(IntCol(p + "_item_sk", 102000, 0, 102000));
+    t.AddColumn(IntCol(p + "_customer_sk", customers, 0, customers));
+    t.AddColumn(IntCol(p + "_cdemo_sk", 1920800, 0, 1920800));
+    t.AddColumn(IntCol(p + "_hdemo_sk", 7200, 0, 7200));
+    t.AddColumn(IntCol(p + "_addr_sk", addresses, 0, addresses));
+    t.AddColumn(IntCol(p + "_promo_sk", 500, 0, 500));
+    t.AddColumn(IntCol(p + "_quantity", 100, 1, 100));
+    t.AddColumn(NumCol(p + "_wholesale_cost", 10000, 1, 100));
+    t.AddColumn(NumCol(p + "_list_price", 20000, 1, 200));
+    t.AddColumn(NumCol(p + "_sales_price", 20000, 0, 200));
+    t.AddColumn(NumCol(p + "_ext_sales_price", 1000000, 0, 20000));
+    t.AddColumn(NumCol(p + "_ext_discount_amt", 1000000, 0, 20000));
+    t.AddColumn(NumCol(p + "_net_profit", 2000000, -10000, 20000));
+    t.AddColumn(NumCol(p + "_net_paid", 2000000, 0, 24000));
+    (void)rows;
+  };
+  {
+    const double rows = 2880000 * sf;
+    Table t("store_sales", rows);
+    add_sales_cols(t, "ss", rows);
+    t.AddColumn(IntCol("ss_store_sk", 102, 0, 102));
+    t.AddColumn(IntCol("ss_ticket_number", rows / 5, 0, rows / 5));
+    add(std::move(t));
+  }
+  {
+    const double rows = 288000 * sf;
+    Table t("store_returns", rows);
+    t.AddColumn(IntCol("sr_returned_date_sk", 1824, 2450815, 2452654));
+    t.AddColumn(IntCol("sr_item_sk", 102000, 0, 102000));
+    t.AddColumn(IntCol("sr_customer_sk", customers, 0, customers));
+    t.AddColumn(IntCol("sr_cdemo_sk", 1920800, 0, 1920800));
+    t.AddColumn(IntCol("sr_store_sk", 102, 0, 102));
+    t.AddColumn(IntCol("sr_reason_sk", 45, 0, 45));
+    t.AddColumn(IntCol("sr_ticket_number", rows, 0, rows));
+    t.AddColumn(NumCol("sr_return_quantity", 100, 1, 100));
+    t.AddColumn(NumCol("sr_return_amt", 1000000, 0, 19000));
+    t.AddColumn(NumCol("sr_net_loss", 1000000, 0, 10000));
+    add(std::move(t));
+  }
+  {
+    const double rows = 1440000 * sf;
+    Table t("catalog_sales", rows);
+    add_sales_cols(t, "cs", rows);
+    t.AddColumn(IntCol("cs_call_center_sk", 24, 0, 24));
+    t.AddColumn(IntCol("cs_catalog_page_sk", 12000, 0, 12000));
+    t.AddColumn(IntCol("cs_ship_mode_sk", 20, 0, 20));
+    t.AddColumn(IntCol("cs_warehouse_sk", 10, 0, 10));
+    t.AddColumn(IntCol("cs_order_number", rows / 2, 0, rows / 2));
+    t.AddColumn(IntCol("cs_ship_date_sk", 1824, 2450815, 2452654));
+    add(std::move(t));
+  }
+  {
+    const double rows = 144000 * sf;
+    Table t("catalog_returns", rows);
+    t.AddColumn(IntCol("cr_returned_date_sk", 1824, 2450815, 2452654));
+    t.AddColumn(IntCol("cr_item_sk", 102000, 0, 102000));
+    t.AddColumn(IntCol("cr_refunded_customer_sk", customers, 0, customers));
+    t.AddColumn(IntCol("cr_call_center_sk", 24, 0, 24));
+    t.AddColumn(IntCol("cr_reason_sk", 45, 0, 45));
+    t.AddColumn(IntCol("cr_order_number", rows, 0, rows));
+    t.AddColumn(NumCol("cr_return_quantity", 100, 1, 100));
+    t.AddColumn(NumCol("cr_return_amount", 1000000, 0, 19000));
+    t.AddColumn(NumCol("cr_net_loss", 1000000, 0, 10000));
+    add(std::move(t));
+  }
+  {
+    const double rows = 720000 * sf;
+    Table t("web_sales", rows);
+    add_sales_cols(t, "ws", rows);
+    t.AddColumn(IntCol("ws_web_site_sk", 42, 0, 42));
+    t.AddColumn(IntCol("ws_web_page_sk", 2040, 0, 2040));
+    t.AddColumn(IntCol("ws_ship_mode_sk", 20, 0, 20));
+    t.AddColumn(IntCol("ws_warehouse_sk", 10, 0, 10));
+    t.AddColumn(IntCol("ws_order_number", rows / 2, 0, rows / 2));
+    t.AddColumn(IntCol("ws_ship_date_sk", 1824, 2450815, 2452654));
+    add(std::move(t));
+  }
+  {
+    const double rows = 71800 * sf;
+    Table t("web_returns", rows);
+    t.AddColumn(IntCol("wr_returned_date_sk", 1824, 2450815, 2452654));
+    t.AddColumn(IntCol("wr_item_sk", 102000, 0, 102000));
+    t.AddColumn(IntCol("wr_refunded_customer_sk", customers, 0, customers));
+    t.AddColumn(IntCol("wr_web_page_sk", 2040, 0, 2040));
+    t.AddColumn(IntCol("wr_reason_sk", 45, 0, 45));
+    t.AddColumn(IntCol("wr_order_number", rows, 0, rows));
+    t.AddColumn(NumCol("wr_return_quantity", 100, 1, 100));
+    t.AddColumn(NumCol("wr_return_amt", 1000000, 0, 19000));
+    t.AddColumn(NumCol("wr_net_loss", 1000000, 0, 10000));
+    add(std::move(t));
+  }
+  {
+    const double rows = 13311000 * sf;
+    Table t("inventory", rows);
+    t.AddColumn(IntCol("inv_date_sk", 261, 2450815, 2452654));
+    t.AddColumn(IntCol("inv_item_sk", 102000, 0, 102000));
+    t.AddColumn(IntCol("inv_warehouse_sk", 10, 0, 10));
+    t.AddColumn(IntCol("inv_quantity_on_hand", 1000, 0, 1000));
+    add(std::move(t));
+  }
+  return db;
+}
+
+/// One query-family structure: a fact table (by column prefix), the dimension
+/// joins to emit, raw filter conjuncts (with one "%d" slot for a variant
+/// parameter in some filters), and grouping columns. Each family is emitted
+/// three times with different literal parameters, yielding 99 query
+/// templates matching TPC-DS's template-with-substitution design.
+struct Family {
+  const char* fact;                 // fact table name
+  const char* prefix;               // fact column prefix, e.g. "ss"
+  std::vector<std::string> joins;   // full join conjuncts
+  std::vector<std::string> filters; // conjuncts; "{v}" substituted per variant
+  std::vector<std::string> group_by;
+  std::vector<std::string> select;  // select list items
+  std::vector<std::string> extra_tables;  // joined tables besides fact
+};
+
+std::string Substitute(const std::string& text, const std::string& value) {
+  std::string out = text;
+  size_t pos = out.find("{v}");
+  if (pos != std::string::npos) out.replace(pos, 3, value);
+  return out;
+}
+
+std::string AssembleSql(const Family& f, const std::string& variant) {
+  std::string sql = "SELECT ";
+  for (size_t i = 0; i < f.select.size(); ++i) {
+    if (i > 0) sql += ", ";
+    sql += f.select[i];
+  }
+  sql += " FROM ";
+  sql += f.fact;
+  for (const std::string& t : f.extra_tables) sql += ", " + t;
+  sql += " WHERE ";
+  bool first = true;
+  for (const std::string& j : f.joins) {
+    if (!first) sql += " AND ";
+    sql += j;
+    first = false;
+  }
+  for (const std::string& flt : f.filters) {
+    if (!first) sql += " AND ";
+    sql += Substitute(flt, variant);
+    first = false;
+  }
+  if (!f.group_by.empty()) {
+    sql += " GROUP BY ";
+    for (size_t i = 0; i < f.group_by.size(); ++i) {
+      if (i > 0) sql += ", ";
+      sql += f.group_by[i];
+    }
+    sql += " ORDER BY " + f.group_by[0];
+  }
+  return sql;
+}
+
+/// 33 structural families x 3 literal variants = 99 queries.
+std::vector<Family> TpcdsFamilies() {
+  std::vector<Family> fams;
+
+  // 1: store sales by item category and year.
+  fams.push_back(Family{
+      "store_sales", "ss",
+      {"ss_sold_date_sk = d_date_sk", "ss_item_sk = i_item_sk"},
+      {"d_year = {v}", "i_category = 'Books'"},
+      {"i_brand", "i_class"},
+      {"i_brand", "i_class", "SUM(ss_ext_sales_price)"},
+      {"date_dim", "item"}});
+  // 2: store sales by customer demographics.
+  fams.push_back(Family{
+      "store_sales", "ss",
+      {"ss_sold_date_sk = d_date_sk", "ss_cdemo_sk = cd_demo_sk",
+       "ss_item_sk = i_item_sk"},
+      {"cd_gender = 'M'", "cd_marital_status = 'S'",
+       "cd_education_status = 'College'", "d_year = {v}"},
+      {"i_item_id"},
+      {"i_item_id", "AVG(ss_quantity)", "AVG(ss_list_price)",
+       "AVG(ss_sales_price)"},
+      {"date_dim", "customer_demographics", "item"}});
+  // 3: store + store_returns chained by ticket.
+  fams.push_back(Family{
+      "store_sales", "ss",
+      {"ss_sold_date_sk = d_date_sk", "ss_ticket_number = sr_ticket_number",
+       "ss_item_sk = sr_item_sk", "ss_store_sk = s_store_sk",
+       "sr_reason_sk = r_reason_sk"},
+      {"d_moy = {v}", "s_state = 'TN'"},
+      {"s_store_name"},
+      {"s_store_name", "SUM(sr_return_amt)", "COUNT(*)"},
+      {"date_dim", "store_returns", "store", "reason"}});
+  // 4: web sales by site and month.
+  fams.push_back(Family{
+      "web_sales", "ws",
+      {"ws_sold_date_sk = d_date_sk", "ws_web_site_sk = web_site_sk",
+       "ws_item_sk = i_item_sk"},
+      {"d_year = {v}", "d_moy = 11", "i_category = 'Electronics'"},
+      {"web_name"},
+      {"web_name", "SUM(ws_ext_sales_price)", "SUM(ws_net_profit)"},
+      {"date_dim", "web_site", "item"}});
+  // 5: catalog sales with warehouse and ship mode.
+  fams.push_back(Family{
+      "catalog_sales", "cs",
+      {"cs_sold_date_sk = d_date_sk", "cs_warehouse_sk = w_warehouse_sk",
+       "cs_ship_mode_sk = sm_ship_mode_sk",
+       "cs_call_center_sk = cc_call_center_sk"},
+      {"d_moy = {v}", "sm_type = 'EXPRESS'"},
+      {"w_warehouse_name", "sm_type"},
+      {"w_warehouse_name", "sm_type", "SUM(cs_ext_sales_price)", "COUNT(*)"},
+      {"date_dim", "warehouse", "ship_mode", "call_center"}});
+  // 6: customer + address + store sales.
+  fams.push_back(Family{
+      "store_sales", "ss",
+      {"ss_sold_date_sk = d_date_sk", "ss_customer_sk = c_customer_sk",
+       "c_current_addr_sk = ca_address_sk", "ss_item_sk = i_item_sk"},
+      {"ca_state = '{v}'", "d_year = 2001"},
+      {"ca_state", "i_category"},
+      {"ca_state", "i_category", "COUNT(*)", "AVG(ss_quantity)"},
+      {"date_dim", "customer", "customer_address", "item"}});
+  // 7: promotion effect on store sales.
+  fams.push_back(Family{
+      "store_sales", "ss",
+      {"ss_sold_date_sk = d_date_sk", "ss_item_sk = i_item_sk",
+       "ss_promo_sk = p_promo_sk", "ss_cdemo_sk = cd_demo_sk"},
+      {"cd_gender = 'F'", "cd_marital_status = 'W'", "d_year = {v}",
+       "p_channel_email = 'N'"},
+      {"i_item_id"},
+      {"i_item_id", "AVG(ss_quantity)", "AVG(ss_sales_price)"},
+      {"date_dim", "item", "promotion", "customer_demographics"}});
+  // 8: store sales by household demographics and time.
+  fams.push_back(Family{
+      "store_sales", "ss",
+      {"ss_sold_time_sk = t_time_sk", "ss_hdemo_sk = hd_demo_sk",
+       "ss_store_sk = s_store_sk"},
+      {"t_hour = {v}", "hd_dep_count = 5", "s_store_name = 'ese'"},
+      {},
+      {"COUNT(*)"},
+      {"time_dim", "household_demographics", "store"}});
+  // 9: inventory by item and warehouse.
+  fams.push_back(Family{
+      "inventory", "inv",
+      {"inv_date_sk = d_date_sk", "inv_item_sk = i_item_sk",
+       "inv_warehouse_sk = w_warehouse_sk"},
+      {"d_month_seq BETWEEN {v} AND 1211",
+       "i_current_price BETWEEN 0.99 AND 1.49"},
+      {"w_warehouse_name", "i_item_id"},
+      {"w_warehouse_name", "i_item_id", "SUM(inv_quantity_on_hand)"},
+      {"date_dim", "item", "warehouse"}});
+  // 10: web returns with reasons and pages.
+  fams.push_back(Family{
+      "web_returns", "wr",
+      {"wr_returned_date_sk = d_date_sk", "wr_item_sk = i_item_sk",
+       "wr_reason_sk = r_reason_sk", "wr_web_page_sk = wp_web_page_sk"},
+      {"d_year = {v}"},
+      {"r_reason_desc"},
+      {"r_reason_desc", "SUM(wr_return_amt)", "AVG(wr_return_quantity)"},
+      {"date_dim", "item", "reason", "web_page"}});
+  // 11: catalog returns by call center.
+  fams.push_back(Family{
+      "catalog_returns", "cr",
+      {"cr_returned_date_sk = d_date_sk",
+       "cr_call_center_sk = cc_call_center_sk", "cr_item_sk = i_item_sk",
+       "cr_reason_sk = r_reason_sk"},
+      {"d_year = {v}", "d_moy = 12"},
+      {"cc_name"},
+      {"cc_name", "SUM(cr_net_loss)", "COUNT(*)"},
+      {"date_dim", "call_center", "item", "reason"}});
+  // 12: cross-channel: store and web sales on the same items.
+  fams.push_back(Family{
+      "store_sales", "ss",
+      {"ss_item_sk = i_item_sk", "ws_item_sk = i_item_sk",
+       "ss_sold_date_sk = d_date_sk", "ws_sold_date_sk = d_date_sk"},
+      {"d_year = {v}", "i_category = 'Music'"},
+      {"i_item_id"},
+      {"i_item_id", "SUM(ss_ext_sales_price)", "SUM(ws_ext_sales_price)"},
+      {"web_sales", "item", "date_dim"}});
+  // 13: store sales with address gmt offset and demographics.
+  fams.push_back(Family{
+      "store_sales", "ss",
+      {"ss_sold_date_sk = d_date_sk", "ss_addr_sk = ca_address_sk",
+       "ss_cdemo_sk = cd_demo_sk", "ss_store_sk = s_store_sk"},
+      {"ca_gmt_offset = -5", "cd_education_status = '{v}'", "d_year = 1998"},
+      {"s_store_name"},
+      {"s_store_name", "AVG(ss_quantity)", "AVG(ss_ext_sales_price)"},
+      {"date_dim", "customer_address", "customer_demographics", "store"}});
+  // 14: item price comparison across brands.
+  fams.push_back(Family{
+      "store_sales", "ss",
+      {"ss_item_sk = i_item_sk", "ss_sold_date_sk = d_date_sk"},
+      {"i_manufact_id = {v}", "d_moy = 11"},
+      {"i_brand", "d_year"},
+      {"i_brand", "d_year", "SUM(ss_ext_sales_price)"},
+      {"item", "date_dim"}});
+  // 15: catalog sales to customers in given states.
+  fams.push_back(Family{
+      "catalog_sales", "cs",
+      {"cs_sold_date_sk = d_date_sk", "cs_customer_sk = c_customer_sk",
+       "c_current_addr_sk = ca_address_sk"},
+      {"ca_state IN ('CA', 'WA', 'GA')", "d_qoy = {v}", "d_year = 2001"},
+      {"ca_zip"},
+      {"ca_zip", "SUM(cs_sales_price)"},
+      {"date_dim", "customer", "customer_address"}});
+  // 16: catalog orders shipped from warehouses.
+  fams.push_back(Family{
+      "catalog_sales", "cs",
+      {"cs_ship_date_sk = d_date_sk", "cs_warehouse_sk = w_warehouse_sk",
+       "cs_call_center_sk = cc_call_center_sk"},
+      {"d_moy = {v}", "w_state = 'GA'"},
+      {},
+      {"COUNT(cs_order_number)", "SUM(cs_ext_sales_price)"},
+      {"date_dim", "warehouse", "call_center"}});
+  // 17: store + returns + catalog chained (three facts).
+  fams.push_back(Family{
+      "store_sales", "ss",
+      {"ss_ticket_number = sr_ticket_number", "ss_item_sk = sr_item_sk",
+       "sr_customer_sk = cs_customer_sk", "sr_item_sk = cs_item_sk",
+       "ss_sold_date_sk = d_date_sk", "ss_item_sk = i_item_sk",
+       "ss_store_sk = s_store_sk"},
+      {"d_qoy = {v}", "d_year = 2001"},
+      {"i_item_id", "s_state"},
+      {"i_item_id", "s_state", "AVG(ss_quantity)", "AVG(sr_return_quantity)",
+       "AVG(cs_quantity)"},
+      {"store_returns", "catalog_sales", "date_dim", "item", "store"}});
+  // 18: catalog sales with customer birth demographics.
+  fams.push_back(Family{
+      "catalog_sales", "cs",
+      {"cs_sold_date_sk = d_date_sk", "cs_customer_sk = c_customer_sk",
+       "cs_cdemo_sk = cd_demo_sk", "c_current_addr_sk = ca_address_sk",
+       "cs_item_sk = i_item_sk"},
+      {"cd_gender = 'F'", "cd_education_status = '{v}'",
+       "c_birth_year BETWEEN 1960 AND 1970"},
+      {"i_item_id", "ca_state"},
+      {"i_item_id", "ca_state", "AVG(cs_quantity)", "AVG(cs_list_price)"},
+      {"date_dim", "customer", "customer_demographics", "customer_address",
+       "item"}});
+  // 19: store sales by brand and manager.
+  fams.push_back(Family{
+      "store_sales", "ss",
+      {"ss_sold_date_sk = d_date_sk", "ss_item_sk = i_item_sk",
+       "ss_customer_sk = c_customer_sk",
+       "c_current_addr_sk = ca_address_sk", "ss_store_sk = s_store_sk"},
+      {"i_manager_id = {v}", "d_moy = 11", "d_year = 1999"},
+      {"i_brand"},
+      {"i_brand", "SUM(ss_ext_sales_price)"},
+      {"date_dim", "item", "customer", "customer_address", "store"}});
+  // 20: catalog sales by item class over a date range.
+  fams.push_back(Family{
+      "catalog_sales", "cs",
+      {"cs_sold_date_sk = d_date_sk", "cs_item_sk = i_item_sk"},
+      {"i_category IN ('Sports', 'Books', 'Home')",
+       "d_date_sk BETWEEN {v} AND 2451500"},
+      {"i_item_id", "i_class"},
+      {"i_item_id", "i_class", "SUM(cs_ext_sales_price)"},
+      {"date_dim", "item"}});
+  // 21: inventory before/after a date.
+  fams.push_back(Family{
+      "inventory", "inv",
+      {"inv_date_sk = d_date_sk", "inv_item_sk = i_item_sk",
+       "inv_warehouse_sk = w_warehouse_sk"},
+      {"i_current_price BETWEEN {v} AND 1.5",
+       "d_date_sk BETWEEN 2451200 AND 2451260"},
+      {"w_warehouse_name", "i_item_id"},
+      {"w_warehouse_name", "i_item_id", "SUM(inv_quantity_on_hand)"},
+      {"date_dim", "item", "warehouse"}});
+  // 22: inventory by product hierarchy.
+  fams.push_back(Family{
+      "inventory", "inv",
+      {"inv_date_sk = d_date_sk", "inv_item_sk = i_item_sk"},
+      {"d_month_seq BETWEEN {v} AND 1205"},
+      {"i_brand", "i_class", "i_category"},
+      {"i_brand", "i_class", "i_category", "AVG(inv_quantity_on_hand)"},
+      {"date_dim", "item"}});
+  // 23: frequent store buyers who bought from catalog too.
+  fams.push_back(Family{
+      "catalog_sales", "cs",
+      {"cs_sold_date_sk = d_date_sk", "cs_customer_sk = c_customer_sk",
+       "ss_customer_sk = c_customer_sk", "ss_item_sk = i_item_sk"},
+      {"d_year = {v}", "d_moy = 3"},
+      {"c_last_name"},
+      {"c_last_name", "SUM(cs_ext_sales_price)"},
+      {"date_dim", "customer", "store_sales", "item"}});
+  // 24: store returns joined back to sales with customers.
+  fams.push_back(Family{
+      "store_returns", "sr",
+      {"sr_ticket_number = ss_ticket_number", "sr_item_sk = ss_item_sk",
+       "sr_customer_sk = c_customer_sk", "ss_store_sk = s_store_sk",
+       "sr_item_sk = i_item_sk"},
+      {"s_market_id = {v}", "i_color = 'pale'"},
+      {"c_last_name", "c_first_name"},
+      {"c_last_name", "c_first_name", "SUM(sr_return_amt)"},
+      {"store_sales", "customer", "store", "item"}});
+  // 25: store sales and returns and catalog re-purchases.
+  fams.push_back(Family{
+      "store_sales", "ss",
+      {"ss_ticket_number = sr_ticket_number", "ss_item_sk = sr_item_sk",
+       "sr_customer_sk = ws_customer_sk", "sr_item_sk = ws_item_sk",
+       "ss_item_sk = i_item_sk", "ss_store_sk = s_store_sk",
+       "ss_sold_date_sk = d_date_sk"},
+      {"d_moy = {v}", "d_year = 2000"},
+      {"i_item_id", "s_store_id"},
+      {"i_item_id", "s_store_id", "SUM(ss_net_profit)", "SUM(sr_net_loss)",
+       "SUM(ws_net_profit)"},
+      {"store_returns", "web_sales", "item", "store", "date_dim"}});
+  // 26: catalog sales demographic averages.
+  fams.push_back(Family{
+      "catalog_sales", "cs",
+      {"cs_sold_date_sk = d_date_sk", "cs_item_sk = i_item_sk",
+       "cs_cdemo_sk = cd_demo_sk", "cs_promo_sk = p_promo_sk"},
+      {"cd_gender = 'M'", "cd_marital_status = '{v}'",
+       "cd_education_status = 'College'", "d_year = 2000"},
+      {"i_item_id"},
+      {"i_item_id", "AVG(cs_quantity)", "AVG(cs_list_price)",
+       "AVG(cs_sales_price)"},
+      {"date_dim", "item", "customer_demographics", "promotion"}});
+  // 27: store sales over states for given demographics.
+  fams.push_back(Family{
+      "store_sales", "ss",
+      {"ss_sold_date_sk = d_date_sk", "ss_item_sk = i_item_sk",
+       "ss_store_sk = s_store_sk", "ss_cdemo_sk = cd_demo_sk"},
+      {"cd_gender = 'F'", "cd_marital_status = 'D'", "d_year = {v}",
+       "s_state IN ('TN', 'SD')"},
+      {"i_item_id", "s_state"},
+      {"i_item_id", "s_state", "AVG(ss_quantity)", "AVG(ss_list_price)"},
+      {"date_dim", "item", "store", "customer_demographics"}});
+  // 28: store sales price buckets (single table, heavy filters).
+  fams.push_back(Family{
+      "store_sales", "ss",
+      {},
+      {"ss_quantity BETWEEN 0 AND 5",
+       "ss_list_price BETWEEN {v} AND 100",
+       "ss_wholesale_cost BETWEEN 10 AND 60"},
+      {},
+      {"AVG(ss_list_price)", "COUNT(*)"},
+      {}});
+  // 29: web page visits by time and household.
+  fams.push_back(Family{
+      "web_sales", "ws",
+      {"ws_sold_time_sk = t_time_sk", "ws_ship_mode_sk = sm_ship_mode_sk",
+       "ws_web_page_sk = wp_web_page_sk"},
+      {"t_hour BETWEEN {v} AND 12", "sm_carrier = 'UPS'"},
+      {"wp_link_count"},
+      {"wp_link_count", "COUNT(*)"},
+      {"time_dim", "ship_mode", "web_page"}});
+  // 30: web returns per customer and state.
+  fams.push_back(Family{
+      "web_returns", "wr",
+      {"wr_returned_date_sk = d_date_sk",
+       "wr_refunded_customer_sk = c_customer_sk",
+       "c_current_addr_sk = ca_address_sk"},
+      {"d_year = {v}", "ca_state = 'GA'"},
+      {"c_customer_id", "c_last_name"},
+      {"c_customer_id", "c_last_name", "SUM(wr_return_amt)"},
+      {"date_dim", "customer", "customer_address"}});
+  // 31: store and web sales by county and quarter.
+  fams.push_back(Family{
+      "store_sales", "ss",
+      {"ss_sold_date_sk = d_date_sk", "ss_addr_sk = ca_address_sk",
+       "ws_sold_date_sk = d_date_sk", "ws_addr_sk = ca_address_sk"},
+      {"d_qoy = {v}", "d_year = 2000"},
+      {"ca_county"},
+      {"ca_county", "SUM(ss_ext_sales_price)", "SUM(ws_ext_sales_price)"},
+      {"web_sales", "date_dim", "customer_address"}});
+  // 32: catalog sales discount outliers.
+  fams.push_back(Family{
+      "catalog_sales", "cs",
+      {"cs_item_sk = i_item_sk", "cs_sold_date_sk = d_date_sk"},
+      {"i_manufact_id = {v}",
+       "d_date_sk BETWEEN 2451200 AND 2451290",
+       "cs_ext_discount_amt > 1000"},
+      {},
+      {"SUM(cs_ext_discount_amt)"},
+      {"item", "date_dim"}});
+  // 33: store sales of specific manufacturers by month.
+  fams.push_back(Family{
+      "store_sales", "ss",
+      {"ss_sold_date_sk = d_date_sk", "ss_item_sk = i_item_sk",
+       "ss_addr_sk = ca_address_sk"},
+      {"i_manufact_id IN (350, 245, 900, 230)", "d_moy = {v}",
+       "ca_gmt_offset = -6"},
+      {"i_manufact_id"},
+      {"i_manufact_id", "SUM(ss_ext_sales_price)"},
+      {"date_dim", "item", "customer_address"}});
+
+  BATI_CHECK(fams.size() == 33);
+
+  // Enrichment pass: TPC-DS queries are wide star joins (Table 1: avg 8.8
+  // scans per query). Give every multi-table sales-fact family its channel
+  // dimension, the customer chain, and the time dimension where absent.
+  auto has_table = [](const Family& f, const std::string& t) {
+    for (const std::string& e : f.extra_tables) {
+      if (e == t) return true;
+    }
+    return false;
+  };
+  auto add_join = [&](Family& f, const std::string& table,
+                      const std::string& conjunct) {
+    if (has_table(f, table)) return;
+    f.extra_tables.push_back(table);
+    f.joins.push_back(conjunct);
+  };
+  for (Family& f : fams) {
+    if (f.joins.empty()) continue;  // keep single-table families single
+    std::string fact = f.fact;
+    std::string p = f.prefix;
+    if (fact == "store_sales" || fact == "catalog_sales" ||
+        fact == "web_sales") {
+      add_join(f, "time_dim", p + "_sold_time_sk = t_time_sk");
+      add_join(f, "customer", p + "_customer_sk = c_customer_sk");
+      if (!has_table(f, "customer_address")) {
+        f.extra_tables.push_back("customer_address");
+        f.joins.push_back("c_current_addr_sk = ca_address_sk");
+      }
+    }
+    if (fact == "store_sales") {
+      add_join(f, "store", "ss_store_sk = s_store_sk");
+      add_join(f, "item", "ss_item_sk = i_item_sk");
+    } else if (fact == "catalog_sales") {
+      add_join(f, "call_center", "cs_call_center_sk = cc_call_center_sk");
+      add_join(f, "item", "cs_item_sk = i_item_sk");
+    } else if (fact == "web_sales") {
+      add_join(f, "web_site", "ws_web_site_sk = web_site_sk");
+      add_join(f, "item", "ws_item_sk = i_item_sk");
+    }
+  }
+  return fams;
+}
+
+/// Variant parameter values per family (three instances per family).
+std::vector<std::string> FamilyVariants(size_t family_idx) {
+  // Cycle through value sets appropriate for the filter slot of each family.
+  switch (family_idx % 33) {
+    case 0: return {"1999", "2000", "2001"};
+    case 1: return {"1998", "2000", "2002"};
+    case 2: return {"4", "7", "11"};
+    case 3: return {"1999", "2000", "2001"};
+    case 4: return {"2", "5", "9"};
+    case 5: return {"TX", "CA", "NY"};
+    case 6: return {"1998", "1999", "2000"};
+    case 7: return {"9", "15", "20"};
+    case 8: return {"1200", "1204", "1208"};
+    case 9: return {"1999", "2000", "2001"};
+    case 10: return {"1998", "1999", "2000"};
+    case 11: return {"1999", "2000", "2001"};
+    case 12: return {"College", "Advanced Degree", "4 yr Degree"};
+    case 13: return {"100", "350", "800"};
+    case 14: return {"1", "2", "3"};
+    case 15: return {"2", "4", "6"};
+    case 16: return {"1", "2", "3"};
+    case 17: return {"College", "Primary", "Secondary"};
+    case 18: return {"8", "38", "88"};
+    case 19: return {"2451100", "2451180", "2451400"};
+    case 20: return {"0.99", "1.10", "1.25"};
+    case 21: return {"1193", "1197", "1201"};
+    case 22: return {"1999", "2000", "2001"};
+    case 23: return {"5", "7", "10"};
+    case 24: return {"1", "6", "11"};
+    case 25: return {"S", "M", "D"};
+    case 26: return {"1999", "2000", "2001"};
+    case 27: return {"20", "50", "80"};
+    case 28: return {"6", "8", "10"};
+    case 29: return {"1999", "2000", "2001"};
+    case 30: return {"1", "2", "3"};
+    case 31: return {"120", "400", "770"};
+    case 32: return {"3", "7", "12"};
+  }
+  return {"1", "2", "3"};
+}
+
+}  // namespace
+
+Workload MakeTpcds(const WorkloadOptions& options) {
+  auto db = MakeTpcdsDatabase(options.scale);
+  std::vector<Family> fams = TpcdsFamilies();
+  std::vector<std::string> sqls;
+  std::vector<std::string> names;
+  int qnum = 1;
+  for (int variant = 0; variant < 3; ++variant) {
+    for (size_t f = 0; f < fams.size(); ++f) {
+      std::vector<std::string> variants = FamilyVariants(f);
+      sqls.push_back(AssembleSql(fams[f], variants[static_cast<size_t>(variant)]));
+      names.push_back("q" + std::to_string(qnum++));
+    }
+  }
+  BATI_CHECK(sqls.size() == 99);
+  return schema_util::BindAll("tpcds", std::move(db), sqls, names);
+}
+
+}  // namespace bati

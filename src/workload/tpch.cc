@@ -1,0 +1,255 @@
+#include <memory>
+
+#include "common/macros.h"
+#include "workload/generators.h"
+#include "workload/schema_util.h"
+
+namespace bati {
+
+namespace {
+
+using schema_util::DateCol;
+using schema_util::IntCol;
+using schema_util::KeyCol;
+using schema_util::NumCol;
+using schema_util::StrCol;
+
+/// Dates are encoded as days since 1992-01-01 (domain 0..2525, ~7 years).
+constexpr double kDays = 2525;
+
+std::shared_ptr<Database> MakeTpchDatabase(double scale) {
+  auto db = std::make_shared<Database>("tpch");
+  const double sf = 10.0 * scale;  // paper uses sf=10
+
+  {
+    Table t("region", 5);
+    t.AddColumn(KeyCol("r_regionkey", 5));
+    t.AddColumn(StrCol("r_name", 25, 5));
+    t.AddColumn(StrCol("r_comment", 100, 5));
+    BATI_CHECK_OK(db->AddTable(std::move(t)).status());
+  }
+  {
+    Table t("nation", 25);
+    t.AddColumn(KeyCol("n_nationkey", 25));
+    t.AddColumn(StrCol("n_name", 25, 25));
+    t.AddColumn(IntCol("n_regionkey", 5, 0, 5));
+    t.AddColumn(StrCol("n_comment", 100, 25));
+    BATI_CHECK_OK(db->AddTable(std::move(t)).status());
+  }
+  {
+    const double rows = 10000 * sf;
+    Table t("supplier", rows);
+    t.AddColumn(KeyCol("s_suppkey", rows));
+    t.AddColumn(StrCol("s_name", 25, rows));
+    t.AddColumn(StrCol("s_address", 40, rows));
+    t.AddColumn(IntCol("s_nationkey", 25, 0, 25));
+    t.AddColumn(StrCol("s_phone", 15, rows));
+    t.AddColumn(NumCol("s_acctbal", 100000, -1000, 10000));
+    t.AddColumn(StrCol("s_comment", 100, rows));
+    BATI_CHECK_OK(db->AddTable(std::move(t)).status());
+  }
+  {
+    const double rows = 150000 * sf;
+    Table t("customer", rows);
+    t.AddColumn(KeyCol("c_custkey", rows));
+    t.AddColumn(StrCol("c_name", 25, rows));
+    t.AddColumn(StrCol("c_address", 40, rows));
+    t.AddColumn(IntCol("c_nationkey", 25, 0, 25));
+    t.AddColumn(StrCol("c_phone", 15, rows));
+    t.AddColumn(NumCol("c_acctbal", 1000000, -1000, 10000));
+    t.AddColumn(StrCol("c_mktsegment", 10, 5));
+    t.AddColumn(StrCol("c_comment", 117, rows));
+    BATI_CHECK_OK(db->AddTable(std::move(t)).status());
+  }
+  {
+    const double rows = 200000 * sf;
+    Table t("part", rows);
+    t.AddColumn(KeyCol("p_partkey", rows));
+    t.AddColumn(StrCol("p_name", 55, rows));
+    t.AddColumn(StrCol("p_mfgr", 25, 5));
+    t.AddColumn(StrCol("p_brand", 10, 25));
+    t.AddColumn(StrCol("p_type", 25, 150));
+    t.AddColumn(IntCol("p_size", 50, 1, 50));
+    t.AddColumn(StrCol("p_container", 10, 40));
+    t.AddColumn(NumCol("p_retailprice", 100000, 900, 2100));
+    t.AddColumn(StrCol("p_comment", 23, rows));
+    BATI_CHECK_OK(db->AddTable(std::move(t)).status());
+  }
+  {
+    const double rows = 800000 * sf;
+    Table t("partsupp", rows);
+    t.AddColumn(IntCol("ps_partkey", 200000 * sf, 0, 200000 * sf));
+    t.AddColumn(IntCol("ps_suppkey", 10000 * sf, 0, 10000 * sf));
+    t.AddColumn(IntCol("ps_availqty", 10000, 1, 10000));
+    t.AddColumn(NumCol("ps_supplycost", 100000, 1, 1000));
+    t.AddColumn(StrCol("ps_comment", 199, rows));
+    BATI_CHECK_OK(db->AddTable(std::move(t)).status());
+  }
+  {
+    const double rows = 1500000 * sf;
+    Table t("orders", rows);
+    t.AddColumn(KeyCol("o_orderkey", rows));
+    t.AddColumn(IntCol("o_custkey", 150000 * sf, 0, 150000 * sf));
+    t.AddColumn(StrCol("o_orderstatus", 1, 3));
+    t.AddColumn(NumCol("o_totalprice", 1000000, 850, 560000));
+    t.AddColumn(DateCol("o_orderdate", kDays));
+    t.AddColumn(StrCol("o_orderpriority", 15, 5));
+    t.AddColumn(StrCol("o_clerk", 15, 1000 * sf));
+    t.AddColumn(IntCol("o_shippriority", 1, 0, 1));
+    t.AddColumn(StrCol("o_comment", 79, rows));
+    BATI_CHECK_OK(db->AddTable(std::move(t)).status());
+  }
+  {
+    const double rows = 6000000 * sf;
+    Table t("lineitem", rows);
+    t.AddColumn(IntCol("l_orderkey", 1500000 * sf, 0, 1500000 * sf));
+    t.AddColumn(IntCol("l_partkey", 200000 * sf, 0, 200000 * sf));
+    t.AddColumn(IntCol("l_suppkey", 10000 * sf, 0, 10000 * sf));
+    t.AddColumn(IntCol("l_linenumber", 7, 1, 7));
+    t.AddColumn(NumCol("l_quantity", 50, 1, 50));
+    t.AddColumn(NumCol("l_extendedprice", 1000000, 900, 105000));
+    t.AddColumn(NumCol("l_discount", 11, 0, 0.1));
+    t.AddColumn(NumCol("l_tax", 9, 0, 0.08));
+    t.AddColumn(StrCol("l_returnflag", 1, 3));
+    t.AddColumn(StrCol("l_linestatus", 1, 2));
+    t.AddColumn(DateCol("l_shipdate", kDays));
+    t.AddColumn(DateCol("l_commitdate", kDays));
+    t.AddColumn(DateCol("l_receiptdate", kDays));
+    t.AddColumn(StrCol("l_shipinstruct", 25, 4));
+    t.AddColumn(StrCol("l_shipmode", 10, 7));
+    t.AddColumn(StrCol("l_comment", 44, rows));
+    BATI_CHECK_OK(db->AddTable(std::move(t)).status());
+  }
+  return db;
+}
+
+/// Simplified TPC-H templates expressed in the analytic SQL subset
+/// (conjunctive predicates, equi-joins; subqueries flattened into joins).
+/// Dates appear as day numbers in [0, 2525).
+std::vector<std::string> TpchQueries() {
+  return {
+      // q1: pricing summary report
+      "SELECT l_returnflag, l_linestatus, SUM(l_quantity), SUM(l_extendedprice), AVG(l_discount), COUNT(*) "
+      "FROM lineitem WHERE l_shipdate <= 2430 GROUP BY l_returnflag, l_linestatus "
+      "ORDER BY l_returnflag, l_linestatus",
+      // q2: minimum cost supplier
+      "SELECT s_acctbal, s_name, n_name, p_partkey, p_mfgr, s_address, s_phone "
+      "FROM part, supplier, partsupp, nation, region "
+      "WHERE p_partkey = ps_partkey AND s_suppkey = ps_suppkey AND p_size = 15 "
+      "AND p_type LIKE '%BRASS' AND s_nationkey = n_nationkey AND n_regionkey = r_regionkey "
+      "AND r_name = 'EUROPE' ORDER BY s_acctbal DESC, n_name, s_name, p_partkey",
+      // q3: shipping priority
+      "SELECT l_orderkey, SUM(l_extendedprice), o_orderdate, o_shippriority "
+      "FROM customer, orders, lineitem "
+      "WHERE c_mktsegment = 'BUILDING' AND c_custkey = o_custkey AND l_orderkey = o_orderkey "
+      "AND o_orderdate < 1165 AND l_shipdate > 1165 "
+      "GROUP BY l_orderkey, o_orderdate, o_shippriority ORDER BY o_orderdate",
+      // q4: order priority checking
+      "SELECT o_orderpriority, COUNT(*) FROM orders, lineitem "
+      "WHERE l_orderkey = o_orderkey AND o_orderdate >= 1370 AND o_orderdate < 1460 "
+      "AND l_commitdate < l_receiptdate GROUP BY o_orderpriority ORDER BY o_orderpriority",
+      // q5: local supplier volume
+      "SELECT n_name, SUM(l_extendedprice) FROM customer, orders, lineitem, supplier, nation, region "
+      "WHERE c_custkey = o_custkey AND l_orderkey = o_orderkey AND l_suppkey = s_suppkey "
+      "AND c_nationkey = s_nationkey AND s_nationkey = n_nationkey AND n_regionkey = r_regionkey "
+      "AND r_name = 'ASIA' AND o_orderdate >= 730 AND o_orderdate < 1095 "
+      "GROUP BY n_name ORDER BY n_name",
+      // q6: forecasting revenue change
+      "SELECT SUM(l_extendedprice) FROM lineitem "
+      "WHERE l_shipdate >= 730 AND l_shipdate < 1095 AND l_discount BETWEEN 0.05 AND 0.07 "
+      "AND l_quantity < 24",
+      // q7: volume shipping
+      "SELECT n_name, SUM(l_extendedprice) FROM supplier, lineitem, orders, customer, nation "
+      "WHERE s_suppkey = l_suppkey AND o_orderkey = l_orderkey AND c_custkey = o_custkey "
+      "AND s_nationkey = n_nationkey AND n_name = 'FRANCE' "
+      "AND l_shipdate BETWEEN 1095 AND 1825 GROUP BY n_name",
+      // q8: national market share
+      "SELECT o_orderdate, SUM(l_extendedprice) "
+      "FROM part, supplier, lineitem, orders, customer, nation, region "
+      "WHERE p_partkey = l_partkey AND s_suppkey = l_suppkey AND l_orderkey = o_orderkey "
+      "AND o_custkey = c_custkey AND c_nationkey = n_nationkey AND n_regionkey = r_regionkey "
+      "AND r_name = 'AMERICA' AND o_orderdate BETWEEN 1095 AND 1825 "
+      "AND p_type = 'ECONOMY ANODIZED STEEL' GROUP BY o_orderdate ORDER BY o_orderdate",
+      // q9: product type profit measure
+      "SELECT n_name, o_orderdate, SUM(l_extendedprice) "
+      "FROM part, supplier, lineitem, partsupp, orders, nation "
+      "WHERE s_suppkey = l_suppkey AND ps_suppkey = l_suppkey AND ps_partkey = l_partkey "
+      "AND p_partkey = l_partkey AND o_orderkey = l_orderkey AND s_nationkey = n_nationkey "
+      "AND p_name LIKE '%green%' GROUP BY n_name, o_orderdate ORDER BY n_name, o_orderdate DESC",
+      // q10: returned item reporting
+      "SELECT c_custkey, c_name, SUM(l_extendedprice), c_acctbal, n_name, c_address, c_phone "
+      "FROM customer, orders, lineitem, nation "
+      "WHERE c_custkey = o_custkey AND l_orderkey = o_orderkey AND o_orderdate >= 1000 "
+      "AND o_orderdate < 1090 AND l_returnflag = 'R' AND c_nationkey = n_nationkey "
+      "GROUP BY c_custkey, c_name, c_acctbal, c_phone, n_name, c_address",
+      // q11: important stock identification
+      "SELECT ps_partkey, SUM(ps_supplycost) FROM partsupp, supplier, nation "
+      "WHERE ps_suppkey = s_suppkey AND s_nationkey = n_nationkey AND n_name = 'GERMANY' "
+      "GROUP BY ps_partkey ORDER BY ps_partkey",
+      // q12: shipping modes and order priority
+      "SELECT l_shipmode, COUNT(*) FROM orders, lineitem "
+      "WHERE o_orderkey = l_orderkey AND l_shipmode IN ('MAIL', 'SHIP') "
+      "AND l_commitdate < l_receiptdate AND l_receiptdate >= 730 AND l_receiptdate < 1095 "
+      "GROUP BY l_shipmode ORDER BY l_shipmode",
+      // q13: customer distribution
+      "SELECT c_custkey, COUNT(o_orderkey) FROM customer, orders "
+      "WHERE c_custkey = o_custkey AND o_comment LIKE '%special%requests%' "
+      "GROUP BY c_custkey",
+      // q14: promotion effect
+      "SELECT SUM(l_extendedprice) FROM lineitem, part "
+      "WHERE l_partkey = p_partkey AND l_shipdate >= 1340 AND l_shipdate < 1370",
+      // q15: top supplier (view flattened)
+      "SELECT s_suppkey, s_name, s_address, s_phone, SUM(l_extendedprice) "
+      "FROM supplier, lineitem WHERE s_suppkey = l_suppkey "
+      "AND l_shipdate >= 1460 AND l_shipdate < 1550 "
+      "GROUP BY s_suppkey, s_name, s_address, s_phone ORDER BY s_suppkey",
+      // q16: parts/supplier relationship
+      "SELECT p_brand, p_type, p_size, COUNT(ps_suppkey) FROM partsupp, part "
+      "WHERE p_partkey = ps_partkey AND p_brand <> 'Brand#45' "
+      "AND p_size IN (49, 14, 23, 45, 19, 3, 36, 9) "
+      "GROUP BY p_brand, p_type, p_size ORDER BY p_brand, p_type, p_size",
+      // q17: small-quantity-order revenue
+      "SELECT AVG(l_extendedprice) FROM lineitem, part "
+      "WHERE p_partkey = l_partkey AND p_brand = 'Brand#23' AND p_container = 'MED BOX' "
+      "AND l_quantity < 5",
+      // q18: large volume customer
+      "SELECT c_name, c_custkey, o_orderkey, o_orderdate, o_totalprice, SUM(l_quantity) "
+      "FROM customer, orders, lineitem "
+      "WHERE c_custkey = o_custkey AND o_orderkey = l_orderkey AND o_totalprice > 400000 "
+      "GROUP BY c_name, c_custkey, o_orderkey, o_orderdate, o_totalprice "
+      "ORDER BY o_totalprice DESC, o_orderdate",
+      // q19: discounted revenue
+      "SELECT SUM(l_extendedprice) FROM lineitem, part "
+      "WHERE p_partkey = l_partkey AND p_brand = 'Brand#12' "
+      "AND l_quantity BETWEEN 1 AND 11 AND p_size BETWEEN 1 AND 5 "
+      "AND l_shipmode IN ('AIR', 'REG AIR') AND l_shipinstruct = 'DELIVER IN PERSON'",
+      // q20: potential part promotion
+      "SELECT s_name, s_address FROM supplier, nation, partsupp, part "
+      "WHERE s_suppkey = ps_suppkey AND ps_partkey = p_partkey AND p_name LIKE 'forest%' "
+      "AND s_nationkey = n_nationkey AND n_name = 'CANADA' AND ps_availqty > 5000 "
+      "ORDER BY s_name",
+      // q21: suppliers who kept orders waiting
+      "SELECT s_name, COUNT(*) FROM supplier, lineitem, orders, nation "
+      "WHERE s_suppkey = l_suppkey AND o_orderkey = l_orderkey AND o_orderstatus = 'F' "
+      "AND l_receiptdate > l_commitdate AND s_nationkey = n_nationkey "
+      "AND n_name = 'SAUDI ARABIA' GROUP BY s_name ORDER BY s_name",
+      // q22: global sales opportunity
+      "SELECT c_phone, COUNT(*), SUM(c_acctbal) FROM customer "
+      "WHERE c_acctbal > 0 AND c_phone LIKE '13%' GROUP BY c_phone",
+  };
+}
+
+}  // namespace
+
+Workload MakeTpch(const WorkloadOptions& options) {
+  auto db = MakeTpchDatabase(options.scale);
+  std::vector<std::string> sqls = TpchQueries();
+  std::vector<std::string> names;
+  names.reserve(sqls.size());
+  for (size_t i = 0; i < sqls.size(); ++i) {
+    names.push_back("q" + std::to_string(i + 1));
+  }
+  return schema_util::BindAll("tpch", std::move(db), sqls, names);
+}
+
+}  // namespace bati

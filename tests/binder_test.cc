@@ -1,0 +1,193 @@
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "workload/binder.h"
+#include "workload/schema_util.h"
+
+namespace bati {
+namespace {
+
+using schema_util::IntCol;
+using schema_util::KeyCol;
+using schema_util::StrCol;
+
+std::shared_ptr<Database> TwoTableDb() {
+  auto db = std::make_shared<Database>("db");
+  Table r("R", 10000);
+  r.AddColumn(IntCol("a", 100, 0, 100));
+  r.AddColumn(IntCol("b", 5000, 0, 5000));
+  BATI_CHECK_OK(db->AddTable(std::move(r)).status());
+  Table s("S", 20000);
+  s.AddColumn(IntCol("c", 5000, 0, 5000));
+  s.AddColumn(IntCol("d", 1000, 0, 1000));
+  s.AddColumn(StrCol("name", 20, 500));
+  BATI_CHECK_OK(db->AddTable(std::move(s)).status());
+  return db;
+}
+
+TEST(Binder, ResolvesJoinAndFilter) {
+  auto db = TwoTableDb();
+  auto q = BindSql("SELECT a, d FROM R, S WHERE R.b = S.c AND R.a = 5", *db);
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->num_scans(), 2);
+  ASSERT_EQ(q->num_joins(), 1);
+  EXPECT_EQ(q->joins[0].left_column.table_id, 0);
+  EXPECT_EQ(q->joins[0].right_column.table_id, 1);
+  ASSERT_EQ(q->num_filters(), 1);
+  EXPECT_EQ(q->filters[0].kind, FilterKind::kEquality);
+  EXPECT_NEAR(q->filters[0].selectivity, 1.0 / 100, 1e-9);
+  EXPECT_EQ(q->projections.size(), 2u);
+}
+
+TEST(Binder, BareColumnAmbiguityIsAnError) {
+  auto db = std::make_shared<Database>("db");
+  Table a("A", 10);
+  a.AddColumn(IntCol("x", 10, 0, 10));
+  BATI_CHECK_OK(db->AddTable(std::move(a)).status());
+  Table b("B", 10);
+  b.AddColumn(IntCol("x", 10, 0, 10));
+  BATI_CHECK_OK(db->AddTable(std::move(b)).status());
+  auto q = BindSql("SELECT x FROM A, B WHERE x = 1", *db);
+  EXPECT_FALSE(q.ok());
+  EXPECT_EQ(q.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Binder, UnknownNamesAreNotFound) {
+  auto db = TwoTableDb();
+  EXPECT_EQ(BindSql("SELECT a FROM missing", *db).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(BindSql("SELECT zz FROM R", *db).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(BindSql("SELECT R.zz FROM R", *db).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(BindSql("SELECT qq.a FROM R", *db).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(Binder, SameScanColumnComparisonBecomesFilter) {
+  auto db = TwoTableDb();
+  auto q = BindSql("SELECT c FROM S WHERE S.c < S.d", *db);
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->num_joins(), 0);
+  ASSERT_EQ(q->num_filters(), 1);
+  EXPECT_EQ(q->filters[0].kind, FilterKind::kColumnColumn);
+  EXPECT_NEAR(q->filters[0].selectivity, 1.0 / 3.0, 1e-9);
+}
+
+TEST(Binder, NonEqualityCrossScanJoinUnsupported) {
+  auto db = TwoTableDb();
+  auto q = BindSql("SELECT a FROM R, S WHERE R.b < S.c", *db);
+  EXPECT_FALSE(q.ok());
+  EXPECT_EQ(q.status().code(), StatusCode::kUnimplemented);
+}
+
+TEST(Binder, DuplicateTableGetsDistinctScans) {
+  auto db = TwoTableDb();
+  auto q = BindSql("SELECT r1.a FROM R r1, R r2 WHERE r1.b = r2.b", *db);
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->num_scans(), 2);
+  EXPECT_EQ(q->num_joins(), 1);
+  EXPECT_NE(q->joins[0].left_scan, q->joins[0].right_scan);
+}
+
+TEST(Binder, GroupOrderAggregationFlags) {
+  auto db = TwoTableDb();
+  auto q = BindSql(
+      "SELECT d, COUNT(*) FROM S WHERE d > 10 GROUP BY d ORDER BY d", *db);
+  ASSERT_TRUE(q.ok());
+  EXPECT_TRUE(q->has_aggregation);
+  EXPECT_EQ(q->group_by.size(), 1u);
+  EXPECT_EQ(q->order_by.size(), 1u);
+  EXPECT_FALSE(q->select_star);
+}
+
+TEST(Binder, SelectStarFlag) {
+  auto db = TwoTableDb();
+  auto q = BindSql("SELECT * FROM S WHERE d = 5", *db);
+  ASSERT_TRUE(q.ok());
+  EXPECT_TRUE(q->select_star);
+  EXPECT_FALSE(q->has_aggregation);
+}
+
+// ---------- selectivity estimation ----------
+
+TEST(Selectivity, Equality) {
+  Column c = IntCol("x", 200, 0, 1000);
+  EXPECT_NEAR(LiteralSelectivity(c, sql::CmpOp::kEq, 5), 1.0 / 200, 1e-12);
+  EXPECT_NEAR(LiteralSelectivity(c, sql::CmpOp::kNe, 5), 1 - 1.0 / 200,
+              1e-12);
+}
+
+TEST(Selectivity, RangeFractionOfDomain) {
+  Column c = IntCol("x", 200, 0, 1000);
+  EXPECT_NEAR(LiteralSelectivity(c, sql::CmpOp::kLt, 250), 0.25, 1e-9);
+  EXPECT_NEAR(LiteralSelectivity(c, sql::CmpOp::kGe, 250), 0.75, 1e-9);
+  // Out-of-domain literals clamp.
+  EXPECT_NEAR(LiteralSelectivity(c, sql::CmpOp::kLt, -10), 1e-6, 1e-9);
+  EXPECT_NEAR(LiteralSelectivity(c, sql::CmpOp::kLt, 5000), 1.0, 1e-9);
+}
+
+TEST(Selectivity, Between) {
+  Column c = IntCol("x", 200, 0, 1000);
+  EXPECT_NEAR(BetweenSelectivity(c, 100, 200), 0.1, 1e-9);
+  EXPECT_NEAR(BetweenSelectivity(c, 900, 5000), 0.1, 1e-9);  // clamped high
+  EXPECT_NEAR(BetweenSelectivity(c, 700, 100), 1e-6, 1e-9);  // empty range
+}
+
+TEST(Selectivity, InList) {
+  Column c = IntCol("x", 200, 0, 1000);
+  EXPECT_NEAR(InListSelectivity(c, 4), 4.0 / 200, 1e-12);
+  EXPECT_NEAR(InListSelectivity(c, 0), 1.0 / 200, 1e-12);  // at least one
+  EXPECT_NEAR(InListSelectivity(c, 100000), 1.0, 1e-12);   // capped at 1
+}
+
+TEST(Selectivity, LikePrefixesAreMoreSelective) {
+  double prefix = LikeSelectivity("abc%");
+  double contains = LikeSelectivity("%abc%");
+  EXPECT_LT(prefix, contains);
+  EXPECT_GT(prefix, 0.0);
+  EXPECT_LE(contains, 1.0);
+  // Longer fixed parts are more selective.
+  EXPECT_LT(LikeSelectivity("abcdefgh%"), LikeSelectivity("ab%"));
+}
+
+TEST(Selectivity, AlwaysInUnitInterval) {
+  Column c = IntCol("x", 1, 5, 5);  // degenerate domain
+  for (auto op : {sql::CmpOp::kEq, sql::CmpOp::kNe, sql::CmpOp::kLt,
+                  sql::CmpOp::kLe, sql::CmpOp::kGt, sql::CmpOp::kGe}) {
+    double s = LiteralSelectivity(c, op, 5);
+    EXPECT_GT(s, 0.0);
+    EXPECT_LE(s, 1.0);
+  }
+}
+
+TEST(Binder, StringLiteralsGetDeterministicSelectivity) {
+  auto db = TwoTableDb();
+  auto q1 = BindSql("SELECT c FROM S WHERE name = 'alpha'", *db);
+  auto q2 = BindSql("SELECT c FROM S WHERE name = 'alpha'", *db);
+  ASSERT_TRUE(q1.ok());
+  ASSERT_TRUE(q2.ok());
+  EXPECT_DOUBLE_EQ(q1->filters[0].selectivity, q2->filters[0].selectivity);
+  EXPECT_NEAR(q1->filters[0].selectivity, 1.0 / 500, 1e-9);
+}
+
+TEST(WorkloadStats, ComputedAverages) {
+  auto db = TwoTableDb();
+  Workload w;
+  w.name = "wl";
+  w.database = db;
+  auto q1 = BindSql("SELECT a, d FROM R, S WHERE R.b = S.c AND R.a = 5", *db);
+  auto q2 = BindSql("SELECT a FROM R WHERE a = 1", *db);
+  w.queries.push_back(std::move(q1.value()));
+  w.queries.push_back(std::move(q2.value()));
+  WorkloadStats stats = ComputeWorkloadStats(w);
+  EXPECT_EQ(stats.num_queries, 2);
+  EXPECT_EQ(stats.num_tables, 2);
+  EXPECT_DOUBLE_EQ(stats.avg_scans, 1.5);
+  EXPECT_DOUBLE_EQ(stats.avg_joins, 0.5);
+  EXPECT_DOUBLE_EQ(stats.avg_filters, 1.0);
+}
+
+}  // namespace
+}  // namespace bati

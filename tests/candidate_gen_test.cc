@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include "harness/experiment.h"
+#include "tuner/candidate_gen.h"
+#include "workload/generators.h"
+
+namespace bati {
+namespace {
+
+TEST(CandidateGen, ToyWorkloadMatchesFigureThreeShapes) {
+  const Workload w = MakeToyWorkload();
+  CandidateSet set = GenerateCandidates(w);
+  ASSERT_GT(set.size(), 0);
+  const Database& db = *w.database;
+
+  // Expect a filter-based index on R keyed on the equality column `a`, and
+  // join-based indexes keyed on R.b / S.c (Figure 3 of the paper).
+  bool found_filter_on_a = false;
+  bool found_join_on_b = false;
+  bool found_join_on_c = false;
+  int r = db.FindTable("R");
+  int s = db.FindTable("S");
+  int col_a = db.table(r).FindColumn("a");
+  int col_b = db.table(r).FindColumn("b");
+  int col_c = db.table(s).FindColumn("c");
+  for (const Index& ix : set.indexes) {
+    if (ix.table_id == r && ix.key_columns.front() == col_a) {
+      found_filter_on_a = true;
+    }
+    if (ix.table_id == r && ix.key_columns.front() == col_b) {
+      found_join_on_b = true;
+    }
+    if (ix.table_id == s && ix.key_columns.front() == col_c) {
+      found_join_on_c = true;
+    }
+  }
+  EXPECT_TRUE(found_filter_on_a);
+  EXPECT_TRUE(found_join_on_b);
+  EXPECT_TRUE(found_join_on_c);
+}
+
+TEST(CandidateGen, DeduplicatesAcrossQueries) {
+  const Workload w = MakeToyWorkload();
+  CandidateSet set = GenerateCandidates(w);
+  for (int i = 0; i < set.size(); ++i) {
+    for (int j = i + 1; j < set.size(); ++j) {
+      EXPECT_FALSE(set.indexes[static_cast<size_t>(i)] ==
+                   set.indexes[static_cast<size_t>(j)])
+          << "duplicate candidates at " << i << "," << j;
+    }
+  }
+}
+
+TEST(CandidateGen, ProvenanceCoversEveryQueryWithIndexableColumns) {
+  const Workload w = MakeTpch();
+  CandidateSet set = GenerateCandidates(w);
+  ASSERT_EQ(set.per_query.size(), w.queries.size());
+  for (size_t q = 0; q < w.queries.size(); ++q) {
+    EXPECT_FALSE(set.per_query[q].empty()) << w.queries[q].name;
+    for (int pos : set.per_query[q]) {
+      ASSERT_GE(pos, 0);
+      ASSERT_LT(pos, set.size());
+    }
+  }
+}
+
+TEST(CandidateGen, KeyColumnCapIsRespected) {
+  const Workload w = MakeTpcds();
+  CandidateGenOptions options;
+  options.max_key_columns = 2;
+  CandidateSet set = GenerateCandidates(w, options);
+  for (const Index& ix : set.indexes) {
+    EXPECT_LE(ix.key_columns.size(), 2u);
+  }
+}
+
+TEST(CandidateGen, CoveringDisabledYieldsNoIncludes) {
+  const Workload w = MakeTpch();
+  CandidateGenOptions options;
+  options.covering_indexes = false;
+  CandidateSet set = GenerateCandidates(w, options);
+  for (const Index& ix : set.indexes) {
+    EXPECT_TRUE(ix.include_columns.empty());
+  }
+}
+
+TEST(CandidateGen, PerScanCapLimitsUniverseSize) {
+  const Workload w = MakeTpcds();
+  CandidateGenOptions tight;
+  tight.max_per_scan = 1;
+  CandidateGenOptions loose;
+  loose.max_per_scan = 6;
+  EXPECT_LT(GenerateCandidates(w, tight).size(),
+            GenerateCandidates(w, loose).size());
+}
+
+TEST(CandidateGen, CandidatesReferenceOnlyAccessedTables) {
+  const Workload w = MakeRealD();
+  CandidateSet set = GenerateCandidates(w);
+  std::set<int> accessed;
+  for (const Query& q : w.queries) {
+    for (const QueryScan& s : q.scans) accessed.insert(s.table_id);
+  }
+  for (const Index& ix : set.indexes) {
+    EXPECT_TRUE(accessed.count(ix.table_id) > 0);
+  }
+}
+
+TEST(CandidateGen, UniverseScaleMatchesPaperReports) {
+  // "hundreds to thousands of candidate indexes" for the large workloads.
+  EXPECT_GT(LoadBundle("tpcds").candidates.size(), 100);
+  EXPECT_GT(LoadBundle("real-m").candidates.size(), 1000);
+}
+
+}  // namespace
+}  // namespace bati

@@ -1,0 +1,247 @@
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/bitset.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/status.h"
+#include "common/strings.h"
+
+namespace bati {
+namespace {
+
+// ---------- Rng ----------
+
+TEST(Rng, DeterministicForEqualSeeds) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int differing = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (a.Next() != b.Next()) ++differing;
+  }
+  EXPECT_GT(differing, 0);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    double u = rng.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive) {
+  Rng rng(7);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.UniformInt(3, 7));
+  EXPECT_EQ(seen.size(), 5u);
+  EXPECT_EQ(*seen.begin(), 3);
+  EXPECT_EQ(*seen.rbegin(), 7);
+}
+
+TEST(Rng, UniformIntSingleton) {
+  Rng rng(9);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.UniformInt(5, 5), 5);
+}
+
+TEST(Rng, NormalMeanAndStddevRoughlyCorrect) {
+  Rng rng(11);
+  RunningStats stats;
+  for (int i = 0; i < 20000; ++i) stats.Add(rng.Normal(10.0, 2.0));
+  EXPECT_NEAR(stats.mean(), 10.0, 0.1);
+  EXPECT_NEAR(stats.stddev(), 2.0, 0.1);
+}
+
+TEST(Rng, BernoulliEdgeCases) {
+  Rng rng(13);
+  EXPECT_FALSE(rng.Bernoulli(0.0));
+  EXPECT_TRUE(rng.Bernoulli(1.0));
+}
+
+TEST(Rng, WeightedIndexRespectsWeights) {
+  Rng rng(17);
+  std::vector<double> w = {0.0, 1.0, 0.0};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.WeightedIndex(w), 1u);
+}
+
+TEST(Rng, WeightedIndexAllZeroFallsBackToUniform) {
+  Rng rng(19);
+  std::vector<double> w = {0.0, 0.0, 0.0};
+  std::set<size_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.WeightedIndex(w));
+  EXPECT_EQ(seen.size(), 3u);
+}
+
+TEST(Rng, WeightedIndexProportions) {
+  Rng rng(23);
+  std::vector<double> w = {1.0, 3.0};
+  int count1 = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) {
+    if (rng.WeightedIndex(w) == 1) ++count1;
+  }
+  EXPECT_NEAR(static_cast<double>(count1) / trials, 0.75, 0.02);
+}
+
+TEST(Rng, SampleWithoutReplacementDistinct) {
+  Rng rng(29);
+  std::vector<size_t> sample = rng.SampleWithoutReplacement(20, 10);
+  std::set<size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 10u);
+  for (size_t v : sample) EXPECT_LT(v, 20u);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(31);
+  std::vector<int> v = {1, 2, 3, 4, 5};
+  std::vector<int> original = v;
+  rng.Shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, original);
+}
+
+// ---------- DynamicBitset ----------
+
+TEST(DynamicBitset, SetTestResetCount) {
+  DynamicBitset b(100);
+  EXPECT_TRUE(b.empty());
+  b.set(0);
+  b.set(63);
+  b.set(64);
+  b.set(99);
+  EXPECT_EQ(b.count(), 4u);
+  EXPECT_TRUE(b.test(63));
+  EXPECT_TRUE(b.test(64));
+  EXPECT_FALSE(b.test(1));
+  b.reset(63);
+  EXPECT_FALSE(b.test(63));
+  EXPECT_EQ(b.count(), 3u);
+}
+
+TEST(DynamicBitset, SubsetSemantics) {
+  DynamicBitset small = DynamicBitset::FromIndices(128, {3, 70});
+  DynamicBitset big = DynamicBitset::FromIndices(128, {3, 70, 127});
+  EXPECT_TRUE(small.IsSubsetOf(big));
+  EXPECT_FALSE(big.IsSubsetOf(small));
+  EXPECT_TRUE(small.IsSubsetOf(small));
+  EXPECT_TRUE(DynamicBitset(128).IsSubsetOf(small));
+}
+
+TEST(DynamicBitset, SetAlgebra) {
+  DynamicBitset a = DynamicBitset::FromIndices(70, {1, 2, 65});
+  DynamicBitset b = DynamicBitset::FromIndices(70, {2, 3});
+  EXPECT_EQ((a | b).ToIndices(), (std::vector<size_t>{1, 2, 3, 65}));
+  EXPECT_EQ((a & b).ToIndices(), (std::vector<size_t>{2}));
+  EXPECT_EQ((a - b).ToIndices(), (std::vector<size_t>{1, 65}));
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_FALSE((a - b).Intersects(b));
+}
+
+TEST(DynamicBitset, WithWithoutDoNotMutate) {
+  DynamicBitset a = DynamicBitset::FromIndices(10, {1});
+  DynamicBitset with = a.With(5);
+  EXPECT_FALSE(a.test(5));
+  EXPECT_TRUE(with.test(5));
+  DynamicBitset without = with.Without(1);
+  EXPECT_TRUE(with.test(1));
+  EXPECT_FALSE(without.test(1));
+}
+
+TEST(DynamicBitset, EqualityAndHash) {
+  DynamicBitset a = DynamicBitset::FromIndices(90, {10, 80});
+  DynamicBitset b = DynamicBitset::FromIndices(90, {10, 80});
+  DynamicBitset c = DynamicBitset::FromIndices(90, {10, 81});
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(a.Hash(), b.Hash());
+  EXPECT_NE(a.Hash(), c.Hash());  // not guaranteed, but true for FNV here
+}
+
+TEST(DynamicBitset, ToStringFormat) {
+  EXPECT_EQ(DynamicBitset::FromIndices(10, {1, 4, 7}).ToString(), "{1,4,7}");
+  EXPECT_EQ(DynamicBitset(10).ToString(), "{}");
+}
+
+// ---------- Status ----------
+
+TEST(Status, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(Status, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("missing table");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.ToString(), "NotFound: missing table");
+}
+
+TEST(StatusOr, HoldsValue) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+}
+
+TEST(StatusOr, HoldsError) {
+  StatusOr<int> v = Status::InvalidArgument("bad");
+  EXPECT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kInvalidArgument);
+}
+
+// ---------- RunningStats ----------
+
+TEST(RunningStats, MeanStddevMinMax) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 0.01);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, EmptyAndSingle) {
+  RunningStats s;
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+  s.Add(3.5);
+  EXPECT_EQ(s.mean(), 3.5);
+  EXPECT_EQ(s.stddev(), 0.0);
+}
+
+// ---------- strings ----------
+
+TEST(Strings, Join) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"x"}, ","), "x");
+}
+
+TEST(Strings, CaseHelpers) {
+  EXPECT_EQ(ToLower("AbC"), "abc");
+  EXPECT_EQ(ToUpper("AbC"), "ABC");
+  EXPECT_TRUE(EqualsIgnoreCase("Select", "SELECT"));
+  EXPECT_FALSE(EqualsIgnoreCase("Selec", "SELECT"));
+}
+
+TEST(Strings, SplitAndTrim) {
+  EXPECT_EQ(Split("a,b,,c", ','),
+            (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_EQ(Trim("  x y  "), "x y");
+  EXPECT_EQ(Trim("   "), "");
+}
+
+TEST(Strings, StartsWith) {
+  EXPECT_TRUE(StartsWith("mcts-prior-bg", "mcts"));
+  EXPECT_FALSE(StartsWith("mc", "mcts"));
+}
+
+}  // namespace
+}  // namespace bati

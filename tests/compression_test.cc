@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include "harness/experiment.h"
+#include "mcts/mcts_tuner.h"
+#include "workload/compression.h"
+#include "workload/generators.h"
+
+namespace bati {
+namespace {
+
+TEST(TemplateSignature, LiteralValuesDoNotMatter) {
+  const Workload w = MakeToyWorkload();
+  // Q1 and Q2 differ structurally (Q1 has an extra filter on S.d) and so
+  // must not collapse.
+  EXPECT_NE(TemplateSignature(w.queries[0]), TemplateSignature(w.queries[1]));
+
+  // The same query with a different literal has the same signature.
+  auto q1a = w.queries[0];
+  auto q1b = w.queries[0];
+  q1b.filters[0].selectivity *= 0.5;  // literal change shows up only here
+  EXPECT_EQ(TemplateSignature(q1a), TemplateSignature(q1b));
+}
+
+TEST(CompressWorkload, CollapsesTpcdsVariantsToFamilies) {
+  // Our TPC-DS generator emits 33 structural families x 3 literal variants.
+  const Workload w = MakeTpcds();
+  CompressedWorkload c = CompressWorkload(w);
+  EXPECT_EQ(c.workload.num_queries(), 33);
+  double total_weight = 0.0;
+  for (double wgt : c.weights) total_weight += wgt;
+  EXPECT_DOUBLE_EQ(total_weight, 99.0);
+  for (double wgt : c.weights) EXPECT_DOUBLE_EQ(wgt, 3.0);
+}
+
+TEST(CompressWorkload, MembersPartitionTheInput) {
+  const Workload w = MakeTpcds();
+  CompressedWorkload c = CompressWorkload(w);
+  std::vector<bool> seen(static_cast<size_t>(w.num_queries()), false);
+  for (const auto& members : c.members) {
+    for (int id : members) {
+      ASSERT_GE(id, 0);
+      ASSERT_LT(id, w.num_queries());
+      EXPECT_FALSE(seen[static_cast<size_t>(id)]) << "duplicate member " << id;
+      seen[static_cast<size_t>(id)] = true;
+    }
+  }
+  for (bool s : seen) EXPECT_TRUE(s);
+}
+
+TEST(CompressWorkload, CapKeepsHeaviestClusters) {
+  const Workload w = MakeTpcds();
+  CompressionOptions options;
+  options.max_queries = 10;
+  CompressedWorkload c = CompressWorkload(w, options);
+  EXPECT_EQ(c.workload.num_queries(), 10);
+}
+
+TEST(CompressWorkload, NoOpOnAllDistinctWorkload) {
+  const Workload w = MakeTpch();  // 22 distinct templates
+  CompressedWorkload c = CompressWorkload(w);
+  EXPECT_EQ(c.workload.num_queries(), w.num_queries());
+}
+
+TEST(CompressWorkload, TuningCompressedTransfersToFullWorkload) {
+  // The motivating use: tune the 33-representative TPC-DS under a small
+  // budget, then evaluate the recommendation on the full 99-query workload.
+  // The improvement must carry over (within a few points of tuning the full
+  // workload directly with the same budget).
+  const WorkloadBundle& full = LoadBundle("tpcds");
+  CompressedWorkload compressed = CompressWorkload(full.workload);
+  CandidateSet comp_candidates = GenerateCandidates(compressed.workload);
+
+  const int64_t budget = 600;
+  TuningContext ctx;
+  ctx.workload = &compressed.workload;
+  ctx.candidates = &comp_candidates;
+  ctx.constraints.max_indexes = 10;
+  CostService comp_service(full.optimizer.get(), &compressed.workload,
+                           &comp_candidates.indexes, budget);
+  MctsOptions options;
+  options.seed = 2;
+  MctsTuner tuner(ctx, options);
+  TuningResult result = tuner.Tune(comp_service);
+
+  // Evaluate the chosen physical indexes against the FULL workload.
+  std::vector<Index> chosen = comp_service.Materialize(result.best_config);
+  double base = 0.0, tuned = 0.0;
+  for (const Query& q : full.workload.queries) {
+    base += full.optimizer->Cost(q, {});
+    tuned += full.optimizer->Cost(q, chosen);
+  }
+  double transfer_improvement = (1.0 - tuned / base) * 100.0;
+  EXPECT_GT(transfer_improvement, 20.0);
+
+  RunSpec direct;
+  direct.workload = "tpcds";
+  direct.algorithm = "mcts";
+  direct.budget = budget;
+  direct.max_indexes = 10;
+  direct.seed = 2;
+  double direct_improvement = RunOnce(full, direct).true_improvement;
+  EXPECT_GT(transfer_improvement, direct_improvement - 15.0);
+}
+
+}  // namespace
+}  // namespace bati

@@ -1,0 +1,188 @@
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "harness/experiment.h"
+#include "tuner/greedy.h"
+
+namespace bati {
+namespace {
+
+struct GreedyFixture {
+  const WorkloadBundle& bundle;
+  TuningContext ctx;
+
+  explicit GreedyFixture(const char* workload, int k = 5,
+                         double storage = 0.0)
+      : bundle(LoadBundle(workload)) {
+    ctx.workload = &bundle.workload;
+    ctx.candidates = &bundle.candidates;
+    ctx.constraints.max_indexes = k;
+    ctx.constraints.max_storage_bytes = storage;
+  }
+
+  CostService Service(int64_t budget) const {
+    return CostService(bundle.optimizer.get(), &bundle.workload,
+                       &bundle.candidates.indexes, budget);
+  }
+
+  std::vector<int> AllQueries() const {
+    std::vector<int> ids(static_cast<size_t>(bundle.workload.num_queries()));
+    std::iota(ids.begin(), ids.end(), 0);
+    return ids;
+  }
+  std::vector<int> AllCandidates() const {
+    std::vector<int> ids(static_cast<size_t>(bundle.candidates.size()));
+    std::iota(ids.begin(), ids.end(), 0);
+    return ids;
+  }
+};
+
+TEST(GreedyEnumerate, RespectsCardinalityConstraint) {
+  GreedyFixture f("tpch", /*k=*/2);
+  CostService service = f.Service(10000);
+  Config best = GreedyEnumerate(f.ctx, service, f.AllQueries(),
+                                f.AllCandidates(), service.EmptyConfig(),
+                                AllowAllWhatIf());
+  EXPECT_LE(best.count(), 2u);
+}
+
+TEST(GreedyEnumerate, NeverExceedsBudget) {
+  for (int64_t budget : {0, 1, 7, 50}) {
+    GreedyFixture f("tpch");
+    CostService service = f.Service(budget);
+    GreedyEnumerate(f.ctx, service, f.AllQueries(), f.AllCandidates(),
+                    service.EmptyConfig(), AllowAllWhatIf());
+    EXPECT_LE(service.calls_made(), budget);
+  }
+}
+
+TEST(GreedyEnumerate, ZeroBudgetFallsBackToDerivedOnly) {
+  GreedyFixture f("tpch");
+  CostService service = f.Service(0);
+  Config best = GreedyEnumerate(f.ctx, service, f.AllQueries(),
+                                f.AllCandidates(), service.EmptyConfig(),
+                                AllowAllWhatIf());
+  // Nothing is known, all derived costs equal the base: no index can look
+  // better than the empty configuration.
+  EXPECT_TRUE(best.empty());
+  EXPECT_EQ(service.calls_made(), 0);
+}
+
+TEST(GreedyEnumerate, StorageConstraintFiltersLargeIndexes) {
+  // Allow only ~the smallest candidate's worth of storage.
+  GreedyFixture unconstrained("tpch", 5, 0.0);
+  double min_size = 1e300;
+  const Database& db = *unconstrained.bundle.workload.database;
+  for (const Index& ix : unconstrained.bundle.candidates.indexes) {
+    min_size = std::min(min_size, ix.SizeBytes(db));
+  }
+  GreedyFixture tight("tpch", 5, min_size * 1.01);
+  CostService service = tight.Service(5000);
+  Config best = GreedyEnumerate(tight.ctx, service, tight.AllQueries(),
+                                tight.AllCandidates(),
+                                service.EmptyConfig(), AllowAllWhatIf());
+  double used = 0.0;
+  for (size_t pos : best.ToIndices()) {
+    used += tight.bundle.candidates.indexes[pos].SizeBytes(db);
+  }
+  EXPECT_LE(used, min_size * 1.01);
+}
+
+TEST(GreedyEnumerate, MoreStorageNeverHurts) {
+  const Database& db = *LoadBundle("tpch").workload.database;
+  double total_db = db.TotalSizeBytes();
+  double small_storage = 0.1 * total_db;
+  double large_storage = 3.0 * total_db;
+  double improvements[2];
+  int i = 0;
+  for (double storage : {small_storage, large_storage}) {
+    GreedyFixture f("tpch", 10, storage);
+    CostService service = f.Service(2000);
+    Config best = GreedyEnumerate(f.ctx, service, f.AllQueries(),
+                                  f.AllCandidates(), service.EmptyConfig(),
+                                  AllowAllWhatIf());
+    improvements[i++] = service.TrueImprovement(best);
+  }
+  EXPECT_LE(improvements[0], improvements[1] + 1e-9);
+}
+
+TEST(GreedyTuner, ImprovementGrowsWithBudget) {
+  const WorkloadBundle& bundle = LoadBundle("tpcds");
+  double last = -1.0;
+  for (int64_t budget : {200, 2000, 20000}) {
+    RunSpec spec;
+    spec.workload = "tpcds";
+    spec.algorithm = "vanilla-greedy";
+    spec.budget = budget;
+    spec.max_indexes = 10;
+    double improvement = RunOnce(bundle, spec).true_improvement;
+    EXPECT_GE(improvement, last - 1e-9) << "budget " << budget;
+    last = improvement;
+  }
+  EXPECT_GT(last, 10.0);  // with ample budget greedy finds real indexes
+}
+
+TEST(TwoPhaseGreedy, BeatsVanillaUnderSmallBudget) {
+  // The motivating observation of Section 4.2: FCFS vanilla greedy starves
+  // on large workloads while two-phase makes progress.
+  const WorkloadBundle& bundle = LoadBundle("tpcds");
+  RunSpec spec;
+  spec.workload = "tpcds";
+  spec.budget = 1000;
+  spec.max_indexes = 10;
+  spec.algorithm = "vanilla-greedy";
+  double vanilla = RunOnce(bundle, spec).true_improvement;
+  spec.algorithm = "two-phase-greedy";
+  double two_phase = RunOnce(bundle, spec).true_improvement;
+  EXPECT_GT(two_phase, vanilla);
+}
+
+TEST(AutoAdminGreedy, SpendsWhatIfOnlyOnAtomicConfigurations) {
+  const WorkloadBundle& bundle = LoadBundle("tpch");
+  TuningContext ctx;
+  ctx.workload = &bundle.workload;
+  ctx.candidates = &bundle.candidates;
+  ctx.constraints.max_indexes = 5;
+  CostService service(bundle.optimizer.get(), &bundle.workload,
+                      &bundle.candidates.indexes, 500);
+  AutoAdminGreedyTuner tuner(ctx);
+  tuner.Tune(service);
+  for (const LayoutEntry& entry : service.layout()) {
+    EXPECT_LE(entry.config.count(), 1u)
+        << "AutoAdmin variant issued a what-if call on a non-atomic "
+           "configuration";
+  }
+}
+
+TEST(GreedyVariants, AllRespectBudgetOnEveryWorkload) {
+  for (const char* workload : {"toy", "tpch", "job"}) {
+    for (const char* algo :
+         {"vanilla-greedy", "two-phase-greedy", "autoadmin-greedy"}) {
+      const WorkloadBundle& bundle = LoadBundle(workload);
+      RunSpec spec;
+      spec.workload = workload;
+      spec.algorithm = algo;
+      spec.budget = 120;
+      spec.max_indexes = 5;
+      RunOutcome outcome = RunOnce(bundle, spec);
+      EXPECT_LE(outcome.calls_used, spec.budget)
+          << workload << "/" << algo;
+      EXPECT_LE(outcome.config_size, 5u) << workload << "/" << algo;
+    }
+  }
+}
+
+TEST(WhatIfFilters, BehaveAsDocumented) {
+  Config small(10);
+  small.set(1);
+  Config big = small.With(2).With(3);
+  EXPECT_TRUE(AllowAllWhatIf()(0, big));
+  EXPECT_FALSE(DenyAllWhatIf()(0, small));
+  EXPECT_TRUE(AtomicOnlyWhatIf(1)(0, small));
+  EXPECT_FALSE(AtomicOnlyWhatIf(1)(0, big));
+  EXPECT_TRUE(AtomicOnlyWhatIf(3)(0, big));
+}
+
+}  // namespace
+}  // namespace bati

@@ -1,0 +1,149 @@
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+#include "harness/experiment.h"
+#include "mcts/mcts_tuner.h"
+
+namespace bati {
+namespace {
+
+TEST(MakeTuner, ResolvesEveryAlgorithmName) {
+  TuningContext ctx;
+  ctx.workload = &LoadBundle("toy").workload;
+  ctx.candidates = &LoadBundle("toy").candidates;
+  struct Case {
+    const char* spec;
+    const char* expected_name;
+  };
+  const Case cases[] = {
+      {"vanilla-greedy", "vanilla-greedy"},
+      {"two-phase-greedy", "two-phase-greedy"},
+      {"autoadmin-greedy", "autoadmin-greedy"},
+      {"dba-bandits", "dba-bandits"},
+      {"no-dba", "no-dba"},
+      {"dta", "dta"},
+      {"mcts", "mcts-prior-fix0-bg"},
+      {"mcts-uct-bce", "mcts-uct-fix0-bce"},
+      {"mcts-prior-bg-rnd", "mcts-prior-rnd-bg"},
+      {"mcts-prior-bg-fix1", "mcts-prior-fix1-bg"},
+      {"mcts-boltz", "mcts-boltz-fix0-bg"},
+      {"mcts-prior-hybrid", "mcts-prior-fix0-hybrid"},
+      {"mcts-prior-bg-rave", "mcts-prior-fix0-bg-rave"},
+      {"mcts-prior-bg-feat", "mcts-prior-fix0-bg-feat"},
+  };
+  for (const Case& c : cases) {
+    auto tuner = MakeTuner(c.spec, ctx, 1);
+    ASSERT_NE(tuner, nullptr) << c.spec;
+    EXPECT_EQ(tuner->name(), c.expected_name) << c.spec;
+  }
+}
+
+TEST(MakeTuner, SeedIsPropagatedToRandomizedTuners) {
+  const WorkloadBundle& bundle = LoadBundle("tpch");
+  RunSpec spec;
+  spec.workload = "tpch";
+  spec.algorithm = "mcts";
+  spec.budget = 120;
+  spec.max_indexes = 5;
+  spec.seed = 1;
+  RunOutcome a = RunOnce(bundle, spec);
+  RunOutcome b = RunOnce(bundle, spec);
+  EXPECT_DOUBLE_EQ(a.true_improvement, b.true_improvement);
+}
+
+TEST(BenchScale, DefaultIsReduced) {
+  unsetenv("BATI_SCALE");
+  BenchScale scale = GetBenchScale();
+  EXPECT_EQ(scale.large_budgets.size(), 3u);
+  EXPECT_EQ(scale.seeds.size(), 2u);
+}
+
+TEST(BenchScale, FullMatchesPaperGrid) {
+  setenv("BATI_SCALE", "full", 1);
+  BenchScale scale = GetBenchScale();
+  EXPECT_EQ(scale.large_budgets,
+            (std::vector<int64_t>{1000, 2000, 3000, 4000, 5000}));
+  EXPECT_EQ(scale.small_budgets,
+            (std::vector<int64_t>{50, 100, 200, 500, 1000}));
+  EXPECT_EQ(scale.cardinalities, (std::vector<int>{5, 10, 20}));
+  EXPECT_EQ(scale.seeds.size(), 5u);
+  unsetenv("BATI_SCALE");
+}
+
+TEST(RunOnce, ReportsTimeBreakdownAndTrace) {
+  const WorkloadBundle& bundle = LoadBundle("tpch");
+  RunSpec spec;
+  spec.workload = "tpch";
+  spec.algorithm = "dba-bandits";
+  spec.budget = 100;
+  spec.max_indexes = 5;
+  RunOutcome outcome = RunOnce(bundle, spec);
+  EXPECT_GT(outcome.whatif_seconds, 0.0);
+  EXPECT_GT(outcome.other_seconds, 0.0);
+  EXPECT_FALSE(outcome.trace.empty());
+}
+
+TEST(McstExtensions, AllVariantsRespectBudget) {
+  const WorkloadBundle& bundle = LoadBundle("tpch");
+  for (const char* algo : {"mcts-boltz", "mcts-prior-hybrid",
+                           "mcts-prior-bg-rave", "mcts-prior-bg-feat",
+                           "mcts-boltz-hybrid-rave"}) {
+    RunSpec spec;
+    spec.workload = "tpch";
+    spec.algorithm = algo;
+    spec.budget = 150;
+    spec.max_indexes = 5;
+    RunOutcome outcome = RunOnce(bundle, spec);
+    EXPECT_LE(outcome.calls_used, 150) << algo;
+    EXPECT_GE(outcome.true_improvement, -1e-9) << algo;
+  }
+}
+
+TEST(McstExtensions, HybridExtractionNeverWorseThanBgOrBceInDerivedTerms) {
+  const WorkloadBundle& bundle = LoadBundle("tpch");
+  TuningContext ctx;
+  ctx.workload = &bundle.workload;
+  ctx.candidates = &bundle.candidates;
+  ctx.constraints.max_indexes = 5;
+  double results[3];
+  MctsOptions::Extraction kinds[] = {MctsOptions::Extraction::kBce,
+                                     MctsOptions::Extraction::kBestGreedy,
+                                     MctsOptions::Extraction::kHybrid};
+  for (int i = 0; i < 3; ++i) {
+    CostService service(bundle.optimizer.get(), &bundle.workload,
+                        &bundle.candidates.indexes, 150);
+    MctsOptions options;
+    options.seed = 17;  // same seed -> same search, different extraction
+    options.extraction = kinds[i];
+    MctsTuner tuner(ctx, options);
+    TuningResult result = tuner.Tune(service);
+    results[i] = result.derived_improvement;
+  }
+  EXPECT_GE(results[2], results[0] - 1e-9);  // hybrid >= BCE
+  EXPECT_GE(results[2], results[1] - 1e-9);  // hybrid >= BG
+}
+
+TEST(McstExtensions, QuerySelectionStrategiesAllWork) {
+  const WorkloadBundle& bundle = LoadBundle("tpch");
+  TuningContext ctx;
+  ctx.workload = &bundle.workload;
+  ctx.candidates = &bundle.candidates;
+  ctx.constraints.max_indexes = 5;
+  for (auto qs : {MctsOptions::QuerySelection::kProportionalToDerivedCost,
+                  MctsOptions::QuerySelection::kUniform,
+                  MctsOptions::QuerySelection::kRoundRobin}) {
+    CostService service(bundle.optimizer.get(), &bundle.workload,
+                        &bundle.candidates.indexes, 120);
+    MctsOptions options;
+    options.seed = 3;
+    options.query_selection = qs;
+    MctsTuner tuner(ctx, options);
+    TuningResult result = tuner.Tune(service);
+    EXPECT_LE(service.calls_made(), 120);
+    EXPECT_GE(service.TrueImprovement(result.best_config), 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace bati

@@ -1,0 +1,167 @@
+// Tests for the extended optimizer features: merge join, order-providing
+// indexes with sort elimination, and the join-method ablation toggles.
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "optimizer/what_if.h"
+#include "tuner/candidate_gen.h"
+#include "workload/binder.h"
+#include "workload/generators.h"
+#include "workload/schema_util.h"
+
+namespace bati {
+namespace {
+
+using schema_util::IntCol;
+using schema_util::StrCol;
+
+std::shared_ptr<Database> JoinDb() {
+  auto db = std::make_shared<Database>("db");
+  Table fact("fact", 5000000);
+  fact.AddColumn(IntCol("f_dim", 50000, 0, 50000));
+  fact.AddColumn(IntCol("f_val", 100000, 0, 100000));
+  fact.AddColumn(StrCol("f_pad", 80, 1000));
+  BATI_CHECK_OK(db->AddTable(std::move(fact)).status());
+  Table dim("dim", 50000);
+  dim.AddColumn(IntCol("d_id", 50000, 0, 50000));
+  dim.AddColumn(IntCol("d_attr", 100, 0, 100));
+  BATI_CHECK_OK(db->AddTable(std::move(dim)).status());
+  return db;
+}
+
+Index MakeIndex(int table, std::vector<int> keys, std::vector<int> incs = {}) {
+  Index ix;
+  ix.table_id = table;
+  ix.key_columns = std::move(keys);
+  ix.include_columns = std::move(incs);
+  ix.Canonicalize();
+  return ix;
+}
+
+TEST(MergeJoin, SelectedWhenHashDisabledAndOrderAvailable) {
+  auto db = JoinDb();
+  CostModelParams params;
+  params.enable_hash_join = false;
+  params.enable_index_nested_loop = false;
+  WhatIfOptimizer opt(db, params);
+  auto q = BindSql("SELECT f_val FROM fact, dim WHERE f_dim = d_id", *db);
+  ASSERT_TRUE(q.ok());
+  PlanExplanation plan = opt.Explain(*q, {MakeIndex(0, {0}, {1})});
+  ASSERT_EQ(plan.steps.size(), 2u);
+  EXPECT_EQ(plan.steps[1].join, JoinMethod::kMergeJoin);
+}
+
+TEST(MergeJoin, OrderProvidingIndexBeatsSortedHeap) {
+  auto db = JoinDb();
+  CostModelParams params;
+  params.enable_hash_join = false;
+  params.enable_index_nested_loop = false;
+  WhatIfOptimizer opt(db, params);
+  auto q = BindSql("SELECT f_val FROM fact, dim WHERE f_dim = d_id", *db);
+  ASSERT_TRUE(q.ok());
+  double without = opt.Cost(*q, {});
+  // Covering index ordered by the fact's join column removes the big sort.
+  double with_order = opt.Cost(*q, {MakeIndex(0, {0}, {1})});
+  EXPECT_LT(with_order, without);
+}
+
+TEST(MergeJoin, DisablingItFallsBackToHash) {
+  auto db = JoinDb();
+  CostModelParams params;
+  params.enable_merge_join = false;
+  WhatIfOptimizer opt(db, params);
+  auto q = BindSql("SELECT f_val FROM fact, dim WHERE f_dim = d_id", *db);
+  ASSERT_TRUE(q.ok());
+  PlanExplanation plan = opt.Explain(*q, {});
+  EXPECT_EQ(plan.steps[1].join, JoinMethod::kHashJoin);
+}
+
+TEST(SortElimination, OrderProvidingIndexDropsTheSort) {
+  auto db = JoinDb();
+  WhatIfOptimizer opt(db);
+  // Full-table ORDER BY on a narrow column: sorting 5M rows is expensive;
+  // an index on (f_val) with the payload included streams them in order.
+  auto q = BindSql("SELECT f_val, f_dim FROM fact ORDER BY f_val", *db);
+  ASSERT_TRUE(q.ok());
+  double base = opt.Cost(*q, {});
+  std::vector<Index> config = {MakeIndex(0, {1}, {0})};
+  PlanExplanation plan = opt.Explain(*q, config);
+  EXPECT_LT(plan.total_cost, base);
+  EXPECT_EQ(plan.steps[0].access, AccessPathKind::kIndexOnlyScan);
+  // The post-processing no longer contains the sort term: it is strictly
+  // smaller than the no-index post cost.
+  PlanExplanation base_plan = opt.Explain(*q, {});
+  EXPECT_LT(plan.post_processing_cost, base_plan.post_processing_cost);
+}
+
+TEST(SortElimination, EqualityBoundPrefixPositionsAreSkippable) {
+  auto db = JoinDb();
+  WhatIfOptimizer opt(db);
+  // WHERE d_attr = 5 ORDER BY d_id: an index on (d_attr, d_id) provides the
+  // order because d_attr is pinned by the equality.
+  auto q = BindSql("SELECT d_id FROM dim WHERE d_attr = 5 ORDER BY d_id",
+                   *db);
+  ASSERT_TRUE(q.ok());
+  std::vector<Index> config = {MakeIndex(1, {1, 0})};
+  PlanExplanation with_ix = opt.Explain(*q, config);
+  PlanExplanation without = opt.Explain(*q, {});
+  EXPECT_LT(with_ix.total_cost, without.total_cost);
+}
+
+TEST(JoinMethodToggles, AtLeastOneIndexFreeMethodRequired) {
+  auto db = JoinDb();
+  CostModelParams params;
+  params.enable_hash_join = false;
+  params.enable_merge_join = false;
+  EXPECT_DEATH({ WhatIfOptimizer opt(db, params); }, "CHECK failed");
+}
+
+TEST(ExtendedOptimizer, MonotonicityStillHoldsWithAllMethods) {
+  const Workload w = MakeTpch();
+  WhatIfOptimizer opt(w.database);
+  CandidateSet candidates = GenerateCandidates(w);
+  Rng rng(5150);
+  for (int trial = 0; trial < 150; ++trial) {
+    std::vector<Index> c1, c2;
+    for (int i = 0; i < candidates.size(); ++i) {
+      if (rng.Bernoulli(0.2)) {
+        c2.push_back(candidates.indexes[static_cast<size_t>(i)]);
+        if (rng.Bernoulli(0.5)) {
+          c1.push_back(candidates.indexes[static_cast<size_t>(i)]);
+        }
+      }
+    }
+    const Query& q = w.queries[static_cast<size_t>(
+        rng.UniformInt(0, w.num_queries() - 1))];
+    EXPECT_LE(opt.Cost(q, c2), opt.Cost(q, c1) + 1e-9) << q.name;
+  }
+}
+
+TEST(ExtendedOptimizer, MergeOnlyModeIsAlsoMonotone) {
+  const Workload w = MakeTpch();
+  CostModelParams params;
+  params.enable_hash_join = false;
+  WhatIfOptimizer opt(w.database, params);
+  CandidateSet candidates = GenerateCandidates(w);
+  Rng rng(5151);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<Index> c1, c2;
+    for (int i = 0; i < candidates.size(); ++i) {
+      if (rng.Bernoulli(0.2)) {
+        c2.push_back(candidates.indexes[static_cast<size_t>(i)]);
+        if (rng.Bernoulli(0.5)) {
+          c1.push_back(candidates.indexes[static_cast<size_t>(i)]);
+        }
+      }
+    }
+    const Query& q = w.queries[static_cast<size_t>(
+        rng.UniformInt(0, w.num_queries() - 1))];
+    EXPECT_LE(opt.Cost(q, c2), opt.Cost(q, c1) + 1e-9) << q.name;
+  }
+}
+
+}  // namespace
+}  // namespace bati

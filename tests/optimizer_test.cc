@@ -1,0 +1,219 @@
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "optimizer/what_if.h"
+#include "tuner/candidate_gen.h"
+#include "workload/binder.h"
+#include "workload/generators.h"
+#include "workload/schema_util.h"
+
+namespace bati {
+namespace {
+
+using schema_util::IntCol;
+using schema_util::StrCol;
+
+std::shared_ptr<Database> BigSmallDb() {
+  auto db = std::make_shared<Database>("db");
+  Table fact("fact", 10000000);
+  fact.AddColumn(IntCol("f_id", 10000000, 0, 10000000));
+  fact.AddColumn(IntCol("f_dim", 1000, 0, 1000));
+  fact.AddColumn(IntCol("f_val", 100000, 0, 100000));
+  fact.AddColumn(StrCol("f_pad", 60, 1000));
+  BATI_CHECK_OK(db->AddTable(std::move(fact)).status());
+  Table dim("dim", 1000);
+  dim.AddColumn(IntCol("d_id", 1000, 0, 1000));
+  dim.AddColumn(IntCol("d_attr", 20, 0, 20));
+  BATI_CHECK_OK(db->AddTable(std::move(dim)).status());
+  return db;
+}
+
+Index MakeIndex(int table, std::vector<int> keys, std::vector<int> incs = {}) {
+  Index ix;
+  ix.table_id = table;
+  ix.key_columns = std::move(keys);
+  ix.include_columns = std::move(incs);
+  ix.Canonicalize();
+  return ix;
+}
+
+TEST(WhatIfOptimizer, Deterministic) {
+  auto db = BigSmallDb();
+  WhatIfOptimizer opt(db);
+  auto q = BindSql("SELECT f_val FROM fact WHERE f_val = 7", *db);
+  ASSERT_TRUE(q.ok());
+  std::vector<Index> config = {MakeIndex(0, {2})};
+  EXPECT_DOUBLE_EQ(opt.Cost(*q, config), opt.Cost(*q, config));
+}
+
+TEST(WhatIfOptimizer, SelectiveEqualityFilterMakesSeekWin) {
+  auto db = BigSmallDb();
+  WhatIfOptimizer opt(db);
+  auto q = BindSql("SELECT f_val FROM fact WHERE f_val = 7", *db);
+  ASSERT_TRUE(q.ok());
+  double base = opt.Cost(*q, {});
+  double with_index = opt.Cost(*q, {MakeIndex(0, {2})});
+  EXPECT_LT(with_index, base * 0.05);  // seek is dramatically cheaper
+
+  PlanExplanation plan = opt.Explain(*q, {MakeIndex(0, {2})});
+  ASSERT_EQ(plan.steps.size(), 1u);
+  EXPECT_EQ(plan.steps[0].access, AccessPathKind::kIndexSeek);
+  EXPECT_EQ(plan.steps[0].index_pos, 0);
+}
+
+TEST(WhatIfOptimizer, UnselectiveRangePrefersHeapOverNonCoveringSeek) {
+  auto db = BigSmallDb();
+  WhatIfOptimizer opt(db);
+  // f_val > 100 keeps ~99.9% of rows: bookmark lookups would dwarf a scan.
+  auto q = BindSql("SELECT f_pad FROM fact WHERE f_val > 100", *db);
+  ASSERT_TRUE(q.ok());
+  std::vector<Index> config = {MakeIndex(0, {2})};  // not covering f_pad
+  PlanExplanation plan = opt.Explain(*q, config);
+  EXPECT_EQ(plan.steps[0].access, AccessPathKind::kHeapScan);
+  EXPECT_DOUBLE_EQ(opt.Cost(*q, config), opt.Cost(*q, {}));
+}
+
+TEST(WhatIfOptimizer, CoveringIndexEnablesIndexOnlyScan) {
+  auto db = BigSmallDb();
+  WhatIfOptimizer opt(db);
+  // No sargable filter; narrow covering index is cheaper to scan than the
+  // wide heap.
+  auto q = BindSql("SELECT SUM(f_val) FROM fact", *db);
+  ASSERT_TRUE(q.ok());
+  std::vector<Index> config = {MakeIndex(0, {2})};
+  PlanExplanation plan = opt.Explain(*q, config);
+  EXPECT_EQ(plan.steps[0].access, AccessPathKind::kIndexOnlyScan);
+  EXPECT_LT(plan.total_cost, opt.Cost(*q, {}));
+}
+
+TEST(WhatIfOptimizer, IndexNestedLoopChosenForSelectiveJoin) {
+  auto db = BigSmallDb();
+  WhatIfOptimizer opt(db);
+  auto q = BindSql(
+      "SELECT f_val FROM fact, dim WHERE f_dim = d_id AND d_attr = 3", *db);
+  ASSERT_TRUE(q.ok());
+  // Join index on the fact's join column, covering the query's needs.
+  std::vector<Index> config = {MakeIndex(0, {1}, {2})};
+  PlanExplanation plan = opt.Explain(*q, config);
+  ASSERT_EQ(plan.steps.size(), 2u);
+  EXPECT_EQ(plan.steps[1].join, JoinMethod::kIndexNestedLoop);
+  EXPECT_LT(plan.total_cost, opt.Cost(*q, {}));
+}
+
+TEST(WhatIfOptimizer, JoinOrderStartsFromMostSelectiveScan) {
+  auto db = BigSmallDb();
+  WhatIfOptimizer opt(db);
+  auto q = BindSql(
+      "SELECT f_val FROM fact, dim WHERE f_dim = d_id AND d_attr = 3", *db);
+  ASSERT_TRUE(q.ok());
+  PlanExplanation plan = opt.Explain(*q, {});
+  // dim (filtered to 50 rows) must be the outer side.
+  ASSERT_EQ(plan.steps.size(), 2u);
+  EXPECT_EQ(db->table(q->scans[static_cast<size_t>(
+                                   plan.steps[0].scan_id)].table_id)
+                .name(),
+            "dim");
+}
+
+TEST(WhatIfOptimizer, EmptyConfigEqualsNoIndexes) {
+  const Workload w = MakeToyWorkload();
+  WhatIfOptimizer opt(w.database);
+  for (const Query& q : w.queries) {
+    EXPECT_GT(opt.Cost(q, {}), 0.0);
+  }
+}
+
+// ---------- Assumption 1 (monotonicity) as a property test ----------
+
+TEST(WhatIfOptimizer, MonotonicityHoldsOnRandomConfigs) {
+  const Workload w = MakeTpch();
+  WhatIfOptimizer opt(w.database);
+  CandidateSet candidates = GenerateCandidates(w);
+  ASSERT_GT(candidates.size(), 10);
+  Rng rng(42);
+  int checks = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    // Random C1 subset of C2.
+    std::vector<Index> c2;
+    std::vector<Index> c1;
+    for (int i = 0; i < candidates.size(); ++i) {
+      if (rng.Bernoulli(0.15)) {
+        c2.push_back(candidates.indexes[static_cast<size_t>(i)]);
+        if (rng.Bernoulli(0.5)) {
+          c1.push_back(candidates.indexes[static_cast<size_t>(i)]);
+        }
+      }
+    }
+    const Query& q = w.queries[static_cast<size_t>(
+        rng.UniformInt(0, w.num_queries() - 1))];
+    double cost1 = opt.Cost(q, c1);
+    double cost2 = opt.Cost(q, c2);
+    EXPECT_LE(cost2, cost1 + 1e-9)
+        << "monotonicity violated on " << q.name << " with |C1|=" << c1.size()
+        << " |C2|=" << c2.size();
+    ++checks;
+  }
+  EXPECT_EQ(checks, 200);
+}
+
+TEST(WhatIfOptimizer, NoiseModeDeliberatelyBreaksMonotonicity) {
+  const Workload w = MakeTpch();
+  CostModelParams params;
+  params.monotonicity_noise = 0.3;
+  WhatIfOptimizer opt(w.database, params);
+  CandidateSet candidates = GenerateCandidates(w);
+  Rng rng(7);
+  int violations = 0;
+  for (int trial = 0; trial < 300; ++trial) {
+    std::vector<Index> c1, c2;
+    for (int i = 0; i < candidates.size(); ++i) {
+      if (rng.Bernoulli(0.1)) {
+        c2.push_back(candidates.indexes[static_cast<size_t>(i)]);
+        if (rng.Bernoulli(0.5)) {
+          c1.push_back(candidates.indexes[static_cast<size_t>(i)]);
+        }
+      }
+    }
+    const Query& q = w.queries[static_cast<size_t>(
+        rng.UniformInt(0, w.num_queries() - 1))];
+    if (opt.Cost(q, c2) > opt.Cost(q, c1) + 1e-9) ++violations;
+  }
+  EXPECT_GT(violations, 0);
+}
+
+TEST(WhatIfOptimizer, CallSecondsScaleWithComplexity) {
+  const Workload tpcds = MakeTpcds();
+  WhatIfOptimizer opt(tpcds.database);
+  double total = 0.0;
+  for (const Query& q : tpcds.queries) total += opt.EstimateCallSeconds(q);
+  double avg = total / tpcds.num_queries();
+  // The paper reports ~1 second per what-if call on TPC-DS.
+  EXPECT_GT(avg, 0.3);
+  EXPECT_LT(avg, 2.0);
+  // More scans => more time.
+  const Query& small = *std::min_element(
+      tpcds.queries.begin(), tpcds.queries.end(),
+      [](const Query& a, const Query& b) { return a.num_scans() < b.num_scans(); });
+  const Query& big = *std::max_element(
+      tpcds.queries.begin(), tpcds.queries.end(),
+      [](const Query& a, const Query& b) { return a.num_scans() < b.num_scans(); });
+  EXPECT_LT(opt.EstimateCallSeconds(small), opt.EstimateCallSeconds(big));
+}
+
+TEST(WhatIfOptimizer, ExplainTotalsMatchCost) {
+  const Workload w = MakeToyWorkload();
+  WhatIfOptimizer opt(w.database);
+  CandidateSet candidates = GenerateCandidates(w);
+  for (const Query& q : w.queries) {
+    PlanExplanation plan = opt.Explain(q, candidates.indexes);
+    double sum = plan.post_processing_cost;
+    for (const PlanStep& step : plan.steps) sum += step.step_cost;
+    EXPECT_NEAR(plan.total_cost, sum, 1e-9);
+    EXPECT_DOUBLE_EQ(plan.total_cost, opt.Cost(q, candidates.indexes));
+  }
+}
+
+}  // namespace
+}  // namespace bati

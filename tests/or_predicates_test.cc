@@ -1,0 +1,117 @@
+// Tests for parenthesized OR disjunction groups in the SQL subset.
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "sql/parser.h"
+#include "optimizer/what_if.h"
+#include "tuner/candidate_gen.h"
+#include "workload/binder.h"
+#include "workload/schema_util.h"
+
+namespace bati {
+namespace {
+
+using schema_util::IntCol;
+
+std::shared_ptr<Database> Db() {
+  auto db = std::make_shared<Database>("db");
+  Table t("t", 100000);
+  t.AddColumn(IntCol("a", 100, 0, 100));
+  t.AddColumn(IntCol("b", 1000, 0, 1000));
+  BATI_CHECK_OK(db->AddTable(std::move(t)).status());
+  Table u("u", 50000);
+  u.AddColumn(IntCol("c", 1000, 0, 1000));
+  BATI_CHECK_OK(db->AddTable(std::move(u)).status());
+  return db;
+}
+
+TEST(OrParsing, GroupBecomesOneConjunctWithDisjuncts) {
+  auto stmt = sql::Parse(
+      "SELECT a FROM t WHERE (a = 1 OR a = 2 OR b > 900) AND b < 500");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  ASSERT_EQ(stmt->where.size(), 2u);
+  EXPECT_EQ(stmt->where[0].or_disjuncts.size(), 2u);
+  EXPECT_TRUE(stmt->where[1].or_disjuncts.empty());
+}
+
+TEST(OrParsing, RoundTripsThroughToSql) {
+  auto stmt = sql::Parse("SELECT a FROM t WHERE (a = 1 OR b BETWEEN 2 AND 5)");
+  ASSERT_TRUE(stmt.ok());
+  std::string rendered = sql::ToSql(stmt.value());
+  EXPECT_NE(rendered.find("(a = 1 OR b BETWEEN 2 AND 5)"), std::string::npos);
+  auto reparsed = sql::Parse(rendered);
+  ASSERT_TRUE(reparsed.ok()) << rendered;
+  EXPECT_EQ(sql::ToSql(reparsed.value()), rendered);
+}
+
+TEST(OrParsing, ParenthesesWithoutOrRejected) {
+  EXPECT_FALSE(sql::Parse("SELECT a FROM t WHERE (a = 1)").ok());
+}
+
+TEST(OrBinding, UnionSelectivity) {
+  auto db = Db();
+  auto q = BindSql("SELECT a FROM t WHERE (a = 1 OR a = 2)", *db);
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  ASSERT_EQ(q->num_filters(), 1);
+  EXPECT_EQ(q->filters[0].kind, FilterKind::kOr);
+  // 1 - (1 - 0.01)^2 = 0.0199
+  EXPECT_NEAR(q->filters[0].selectivity, 0.0199, 1e-6);
+}
+
+TEST(OrBinding, MixedPredicateKindsInsideGroup) {
+  auto db = Db();
+  auto q = BindSql(
+      "SELECT a FROM t WHERE (a = 1 OR b BETWEEN 0 AND 100 OR b IN (1, 2))",
+      *db);
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  ASSERT_EQ(q->num_filters(), 1);
+  // union of 0.01, 0.1, 0.002
+  EXPECT_GT(q->filters[0].selectivity, 0.1);
+  EXPECT_LT(q->filters[0].selectivity, 0.12);
+}
+
+TEST(OrBinding, CrossTableDisjunctsRejected) {
+  auto db = Db();
+  auto q = BindSql("SELECT a FROM t, u WHERE (a = 1 OR c = 2) AND b = c",
+                   *db);
+  EXPECT_FALSE(q.ok());
+  EXPECT_EQ(q.status().code(), StatusCode::kUnimplemented);
+}
+
+TEST(OrBinding, JoinInsideOrRejected) {
+  auto db = Db();
+  auto q = BindSql("SELECT a FROM t, u WHERE (b = c OR a = 1)", *db);
+  EXPECT_FALSE(q.ok());
+}
+
+TEST(OrBinding, OrFilterIsNotSargable) {
+  // An OR filter must not be used as an index seek prefix: the optimizer
+  // should keep the heap scan even with an index on `a`.
+  auto db = Db();
+  auto q = BindSql("SELECT a FROM t WHERE (a = 1 OR b = 2)", *db);
+  ASSERT_TRUE(q.ok());
+  WhatIfOptimizer opt(db);
+  Index ix;
+  ix.table_id = 0;
+  ix.key_columns = {0};
+  PlanExplanation plan = opt.Explain(*q, {ix});
+  EXPECT_EQ(plan.steps[0].access, AccessPathKind::kHeapScan);
+}
+
+TEST(OrBinding, WholeQueryStillTunes) {
+  auto db = Db();
+  Workload w = schema_util::BindAll(
+      "orwl", db,
+      {"SELECT a, b FROM t WHERE (a = 1 OR a = 7) AND b < 100"}, {"q1"});
+  CandidateSet candidates = GenerateCandidates(w);
+  EXPECT_GT(candidates.size(), 0);
+  WhatIfOptimizer opt(db);
+  double base = opt.Cost(w.queries[0], {});
+  double full = opt.Cost(w.queries[0], candidates.indexes);
+  EXPECT_LE(full, base);
+}
+
+}  // namespace
+}  // namespace bati

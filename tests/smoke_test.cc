@@ -1,0 +1,42 @@
+#include <gtest/gtest.h>
+
+#include "harness/experiment.h"
+
+namespace bati {
+namespace {
+
+TEST(Smoke, ToyWorkloadTunesWithMcts) {
+  const WorkloadBundle& bundle = LoadBundle("toy");
+  EXPECT_EQ(bundle.workload.num_queries(), 2);
+  EXPECT_GT(bundle.candidates.size(), 0);
+
+  RunSpec spec;
+  spec.workload = "toy";
+  spec.algorithm = "mcts";
+  spec.budget = 50;
+  spec.max_indexes = 2;
+  RunOutcome outcome = RunOnce(bundle, spec);
+  EXPECT_LE(outcome.calls_used, spec.budget);
+  EXPECT_GE(outcome.true_improvement, 0.0);
+  EXPECT_LE(outcome.true_improvement, 100.0);
+}
+
+TEST(Smoke, AllAlgorithmsRunOnToy) {
+  const WorkloadBundle& bundle = LoadBundle("toy");
+  for (const char* algo :
+       {"vanilla-greedy", "two-phase-greedy", "autoadmin-greedy",
+        "dba-bandits", "no-dba", "dta", "mcts", "mcts-uct-bce",
+        "mcts-prior-bg-rnd"}) {
+    RunSpec spec;
+    spec.workload = "toy";
+    spec.algorithm = algo;
+    spec.budget = 30;
+    spec.max_indexes = 2;
+    RunOutcome outcome = RunOnce(bundle, spec);
+    EXPECT_LE(outcome.calls_used, spec.budget) << algo;
+    EXPECT_GE(outcome.true_improvement, -1e-9) << algo;
+  }
+}
+
+}  // namespace
+}  // namespace bati

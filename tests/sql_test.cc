@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include "sql/lexer.h"
+#include "sql/parser.h"
+
+namespace bati::sql {
+namespace {
+
+// ---------- Lexer ----------
+
+TEST(Lexer, BasicTokens) {
+  auto tokens = Lex("SELECT a FROM t WHERE x = 5");
+  ASSERT_TRUE(tokens.ok());
+  const auto& t = tokens.value();
+  EXPECT_EQ(t[0].type, TokenType::kKeyword);
+  EXPECT_EQ(t[0].text, "SELECT");
+  EXPECT_EQ(t[1].type, TokenType::kIdentifier);
+  EXPECT_EQ(t[1].text, "a");
+  EXPECT_EQ(t.back().type, TokenType::kEnd);
+}
+
+TEST(Lexer, KeywordsAreCaseInsensitive) {
+  auto tokens = Lex("select From");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ(tokens.value()[0].text, "SELECT");
+  EXPECT_EQ(tokens.value()[1].text, "FROM");
+}
+
+TEST(Lexer, NumbersAndStrings) {
+  auto tokens = Lex("3.25 'it''s'");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ(tokens.value()[0].type, TokenType::kNumber);
+  EXPECT_DOUBLE_EQ(tokens.value()[0].number, 3.25);
+  EXPECT_EQ(tokens.value()[1].type, TokenType::kString);
+  EXPECT_EQ(tokens.value()[1].text, "it's");
+}
+
+TEST(Lexer, TwoCharOperators) {
+  auto tokens = Lex("a <= b <> c >= d != e");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ(tokens.value()[1].text, "<=");
+  EXPECT_EQ(tokens.value()[3].text, "<>");
+  EXPECT_EQ(tokens.value()[5].text, ">=");
+  EXPECT_EQ(tokens.value()[7].text, "!=");
+}
+
+TEST(Lexer, LineComments) {
+  auto tokens = Lex("SELECT -- comment here\n a");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ(tokens.value().size(), 3u);  // SELECT, a, END
+}
+
+TEST(Lexer, UnterminatedStringFails) {
+  auto tokens = Lex("SELECT 'oops");
+  EXPECT_FALSE(tokens.ok());
+  EXPECT_EQ(tokens.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Lexer, UnexpectedCharacterFails) {
+  EXPECT_FALSE(Lex("SELECT #").ok());
+}
+
+// ---------- Parser ----------
+
+TEST(Parser, MinimalSelect) {
+  auto stmt = Parse("SELECT a FROM t");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ(stmt->select_list.size(), 1u);
+  EXPECT_EQ(stmt->from.size(), 1u);
+  EXPECT_EQ(stmt->from[0].table, "t");
+  EXPECT_TRUE(stmt->where.empty());
+}
+
+TEST(Parser, QualifiedColumnsAndAliases) {
+  auto stmt = Parse("SELECT t1.a, x.b FROM tbl t1, tbl2 AS x");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ(stmt->select_list[0].column->qualifier, "t1");
+  EXPECT_EQ(stmt->from[0].alias, "t1");
+  EXPECT_EQ(stmt->from[1].alias, "x");
+}
+
+TEST(Parser, Aggregates) {
+  auto stmt = Parse("SELECT COUNT(*), SUM(x), AVG(y), MIN(z), MAX(w) FROM t");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ(stmt->select_list[0].agg, AggFunc::kCount);
+  EXPECT_TRUE(stmt->select_list[0].star);
+  EXPECT_EQ(stmt->select_list[1].agg, AggFunc::kSum);
+  EXPECT_EQ(stmt->select_list[4].agg, AggFunc::kMax);
+}
+
+TEST(Parser, WhereConjunction) {
+  auto stmt = Parse(
+      "SELECT a FROM r, s WHERE r.x = s.y AND a = 5 AND b > 2 AND "
+      "c BETWEEN 1 AND 9 AND d IN (1, 2, 3) AND e LIKE 'ab%'");
+  ASSERT_TRUE(stmt.ok());
+  ASSERT_EQ(stmt->where.size(), 6u);
+  EXPECT_EQ(stmt->where[0].kind, Predicate::Kind::kCompareColumn);
+  EXPECT_EQ(stmt->where[1].kind, Predicate::Kind::kCompareLiteral);
+  EXPECT_EQ(stmt->where[1].op, CmpOp::kEq);
+  EXPECT_EQ(stmt->where[2].op, CmpOp::kGt);
+  EXPECT_EQ(stmt->where[3].kind, Predicate::Kind::kBetween);
+  EXPECT_EQ(stmt->where[4].kind, Predicate::Kind::kIn);
+  EXPECT_EQ(stmt->where[4].in_list.size(), 3u);
+  EXPECT_EQ(stmt->where[5].kind, Predicate::Kind::kLike);
+  EXPECT_EQ(stmt->where[5].like_pattern, "ab%");
+}
+
+TEST(Parser, GroupOrderLimit) {
+  auto stmt = Parse(
+      "SELECT a, COUNT(*) FROM t WHERE a > 0 GROUP BY a, b "
+      "ORDER BY a DESC, b ASC LIMIT 10");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ(stmt->group_by.size(), 2u);
+  ASSERT_EQ(stmt->order_by.size(), 2u);
+  EXPECT_TRUE(stmt->order_by[0].descending);
+  EXPECT_FALSE(stmt->order_by[1].descending);
+  EXPECT_EQ(stmt->limit, 10);
+}
+
+TEST(Parser, ExplicitJoinSyntaxNormalized) {
+  auto stmt = Parse(
+      "SELECT a FROM t1 JOIN t2 ON t1.x = t2.y AND t1.z = 3 "
+      "INNER JOIN t3 ON t2.u = t3.v");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ(stmt->from.size(), 3u);
+  EXPECT_EQ(stmt->where.size(), 3u);
+}
+
+TEST(Parser, DistinctFlag) {
+  auto stmt = Parse("SELECT DISTINCT a FROM t");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_TRUE(stmt->distinct);
+}
+
+TEST(Parser, TrailingSemicolonAccepted) {
+  EXPECT_TRUE(Parse("SELECT a FROM t;").ok());
+}
+
+TEST(Parser, ErrorsAreStatusesNotCrashes) {
+  EXPECT_FALSE(Parse("").ok());
+  EXPECT_FALSE(Parse("SELECT").ok());
+  EXPECT_FALSE(Parse("SELECT a").ok());
+  EXPECT_FALSE(Parse("SELECT a FROM").ok());
+  EXPECT_FALSE(Parse("SELECT a FROM t WHERE").ok());
+  EXPECT_FALSE(Parse("SELECT a FROM t WHERE x ==").ok());
+  EXPECT_FALSE(Parse("SELECT a FROM t extra junk").ok());
+  EXPECT_FALSE(Parse("SELECT a FROM t WHERE x BETWEEN 1").ok());
+  EXPECT_FALSE(Parse("SELECT a FROM t WHERE x IN ()").ok());
+  EXPECT_FALSE(Parse("SELECT a FROM t LIMIT x").ok());
+}
+
+TEST(Parser, RoundTripThroughToSql) {
+  const char* queries[] = {
+      "SELECT a, SUM(b) FROM t WHERE a = 5 AND b BETWEEN 1 AND 2 GROUP BY a "
+      "ORDER BY a DESC LIMIT 3",
+      "SELECT x.a FROM t x, u y WHERE x.a = y.b AND x.c IN (1, 2) AND "
+      "y.d LIKE 'p%'",
+      "SELECT COUNT(*) FROM t WHERE s = 'it''s'",
+  };
+  for (const char* q : queries) {
+    auto stmt = Parse(q);
+    ASSERT_TRUE(stmt.ok()) << q;
+    std::string rendered = ToSql(stmt.value());
+    auto reparsed = Parse(rendered);
+    ASSERT_TRUE(reparsed.ok()) << rendered;
+    EXPECT_EQ(ToSql(reparsed.value()), rendered) << q;
+  }
+}
+
+}  // namespace
+}  // namespace bati::sql

@@ -1,0 +1,196 @@
+// Property tests for the paper's theoretical results:
+//   Theorem 1 - b(W, C) under singleton derivation (Eq. 2) is a
+//               non-negative monotone submodular set function.
+//   Theorem 2 - greedy on that benefit achieves >= (1 - 1/e) of optimal.
+//   Theorem 3 - budget-aware greedy is insensitive to the order in which a
+//               layout's what-if cells are filled.
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "harness/experiment.h"
+#include "tuner/greedy.h"
+#include "whatif/cost_service.h"
+
+namespace bati {
+namespace {
+
+/// Singleton what-if cost table: cost[q][z], plus base costs cost0[q].
+/// Benefit b(W, C) = sum_q (cost0[q] - min(cost0[q], min_{z in C} cost[q][z]))
+/// exactly as in Section 3.1.2.
+struct SingletonModel {
+  std::vector<double> base;                 // c(q, {})
+  std::vector<std::vector<double>> single;  // c(q, {z})
+
+  double DerivedCost(size_t q, const std::vector<int>& config) const {
+    double best = base[q];
+    for (int z : config) {
+      best = std::min(best, single[q][static_cast<size_t>(z)]);
+    }
+    return best;
+  }
+
+  double Benefit(const std::vector<int>& config) const {
+    double b = 0.0;
+    for (size_t q = 0; q < base.size(); ++q) {
+      b += base[q] - DerivedCost(q, config);
+    }
+    return b;
+  }
+
+  static SingletonModel Random(Rng& rng, size_t queries, size_t indexes,
+                               bool allow_regressions) {
+    SingletonModel m;
+    m.base.resize(queries);
+    m.single.assign(queries, std::vector<double>(indexes));
+    for (size_t q = 0; q < queries; ++q) {
+      m.base[q] = rng.Uniform(50.0, 150.0);
+      for (size_t z = 0; z < indexes; ++z) {
+        // Some indexes help a lot, some not at all; optionally some would
+        // "regress" (cost above base) - derivation clips those at base.
+        double factor = rng.Uniform(0.05, allow_regressions ? 1.4 : 1.0);
+        m.single[q][z] = m.base[q] * factor;
+      }
+    }
+    return m;
+  }
+};
+
+TEST(TheoremOne, BenefitIsNonNegativeMonotoneSubmodular) {
+  Rng rng(101);
+  for (int trial = 0; trial < 50; ++trial) {
+    SingletonModel m = SingletonModel::Random(rng, 4, 8, true);
+    // Enumerate random nested pairs X subset of Y and an external z.
+    for (int check = 0; check < 60; ++check) {
+      std::vector<int> x, y;
+      int z = static_cast<int>(rng.UniformInt(0, 7));
+      for (int i = 0; i < 8; ++i) {
+        if (i == z) continue;
+        if (rng.Bernoulli(0.4)) {
+          y.push_back(i);
+          if (rng.Bernoulli(0.5)) x.push_back(i);
+        }
+      }
+      double bx = m.Benefit(x);
+      double by = m.Benefit(y);
+      std::vector<int> xz = x;
+      xz.push_back(z);
+      std::vector<int> yz = y;
+      yz.push_back(z);
+      // Non-negativity.
+      EXPECT_GE(bx, -1e-9);
+      // Monotonicity: X subset of Y implies b(X) <= b(Y).
+      EXPECT_LE(bx, by + 1e-9);
+      // Submodularity: marginal gain shrinks on the superset.
+      EXPECT_GE(m.Benefit(xz) - bx, m.Benefit(yz) - by - 1e-9);
+    }
+  }
+}
+
+TEST(TheoremTwo, GreedyAchievesOneMinusOneOverEOfOptimal) {
+  Rng rng(202);
+  for (int trial = 0; trial < 40; ++trial) {
+    const size_t n = 10;
+    const int k = 3;
+    SingletonModel m = SingletonModel::Random(rng, 5, n, true);
+
+    // Greedy maximization of the benefit under |C| <= K.
+    std::vector<int> greedy;
+    for (int step = 0; step < k; ++step) {
+      int best = -1;
+      double best_gain = 1e-12;
+      for (int z = 0; z < static_cast<int>(n); ++z) {
+        if (std::find(greedy.begin(), greedy.end(), z) != greedy.end()) {
+          continue;
+        }
+        std::vector<int> with = greedy;
+        with.push_back(z);
+        double gain = m.Benefit(with) - m.Benefit(greedy);
+        if (gain > best_gain) {
+          best_gain = gain;
+          best = z;
+        }
+      }
+      if (best < 0) break;
+      greedy.push_back(best);
+    }
+
+    // Brute-force optimum over all subsets of size <= K.
+    double opt = 0.0;
+    std::vector<int> subset;
+    std::function<void(int)> enumerate = [&](int start) {
+      opt = std::max(opt, m.Benefit(subset));
+      if (static_cast<int>(subset.size()) == k) return;
+      for (int z = start; z < static_cast<int>(n); ++z) {
+        subset.push_back(z);
+        enumerate(z + 1);
+        subset.pop_back();
+      }
+    };
+    enumerate(0);
+
+    EXPECT_GE(m.Benefit(greedy) + 1e-9, (1.0 - 1.0 / M_E) * opt)
+        << "trial " << trial;
+  }
+}
+
+// Theorem 3: two layouts with the same *outcome* (same set of evaluated
+// cells) yield the same final derived cost for the greedy algorithm, no
+// matter the order in which the cells were filled.
+TEST(TheoremThree, GreedyIsOrderInsensitiveGivenSameLayoutOutcome) {
+  const WorkloadBundle& bundle = LoadBundle("tpch");
+  TuningContext ctx;
+  ctx.workload = &bundle.workload;
+  ctx.candidates = &bundle.candidates;
+  ctx.constraints.max_indexes = 5;
+
+  Rng rng(303);
+  const int n = bundle.candidates.size();
+  // A fixed set of (query, config) cells = the layout outcome.
+  std::vector<std::pair<int, Config>> cells;
+  for (int i = 0; i < 60; ++i) {
+    Config c(static_cast<size_t>(n));
+    int size = static_cast<int>(rng.UniformInt(1, 3));
+    for (int j = 0; j < size; ++j) {
+      c.set(static_cast<size_t>(rng.UniformInt(0, n - 1)));
+    }
+    cells.emplace_back(
+        static_cast<int>(rng.UniformInt(0, bundle.workload.num_queries() - 1)),
+        c);
+  }
+
+  auto run_with_order = [&](const std::vector<size_t>& order) {
+    CostService service(bundle.optimizer.get(), &bundle.workload,
+                        &bundle.candidates.indexes,
+                        static_cast<int64_t>(cells.size()));
+    for (size_t i : order) {
+      service.WhatIfCost(cells[i].first, cells[i].second);
+    }
+    std::vector<int> all_queries(
+        static_cast<size_t>(bundle.workload.num_queries()));
+    std::iota(all_queries.begin(), all_queries.end(), 0);
+    std::vector<int> all_candidates(static_cast<size_t>(n));
+    std::iota(all_candidates.begin(), all_candidates.end(), 0);
+    // No further what-if calls: greedy sees exactly the layout's outcome.
+    Config best = GreedyEnumerate(ctx, service, all_queries, all_candidates,
+                                  service.EmptyConfig(), DenyAllWhatIf());
+    return service.DerivedWorkloadCost(best);
+  };
+
+  std::vector<size_t> order(cells.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  double reference = run_with_order(order);
+  for (int shuffle = 0; shuffle < 5; ++shuffle) {
+    rng.Shuffle(order);
+    EXPECT_NEAR(run_with_order(order), reference, 1e-9)
+        << "greedy result depended on the layout's fill order";
+  }
+}
+
+}  // namespace
+}  // namespace bati

@@ -1,0 +1,115 @@
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "workload/binder.h"
+#include "workload/generators.h"
+
+namespace bati {
+namespace {
+
+struct Expectation {
+  const char* name;
+  int queries;
+  int tables;
+  double min_avg_joins;
+  double max_avg_joins;
+  double min_size_gb;
+  double max_size_gb;
+};
+
+class WorkloadGeneratorTest : public ::testing::TestWithParam<Expectation> {};
+
+TEST_P(WorkloadGeneratorTest, MatchesTableOneShape) {
+  const Expectation& e = GetParam();
+  Workload w = MakeWorkloadByName(e.name);
+  ASSERT_NE(w.database, nullptr);
+  WorkloadStats stats = ComputeWorkloadStats(w);
+  EXPECT_EQ(stats.num_queries, e.queries);
+  EXPECT_EQ(stats.num_tables, e.tables);
+  EXPECT_GE(stats.avg_joins, e.min_avg_joins);
+  EXPECT_LE(stats.avg_joins, e.max_avg_joins);
+  EXPECT_GE(stats.size_gb, e.min_size_gb);
+  EXPECT_LE(stats.size_gb, e.max_size_gb);
+}
+
+TEST_P(WorkloadGeneratorTest, QueriesAreWellFormed) {
+  Workload w = MakeWorkloadByName(GetParam().name);
+  for (const Query& q : w.queries) {
+    EXPECT_GT(q.num_scans(), 0) << q.name;
+    for (const BoundJoin& j : q.joins) {
+      EXPECT_NE(j.left_scan, j.right_scan) << q.name;
+      EXPECT_GE(j.left_scan, 0);
+      EXPECT_LT(j.left_scan, q.num_scans());
+      EXPECT_LT(j.right_scan, q.num_scans());
+    }
+    for (const BoundFilter& f : q.filters) {
+      EXPECT_GE(f.scan_id, 0);
+      EXPECT_LT(f.scan_id, q.num_scans());
+      EXPECT_GT(f.selectivity, 0.0) << q.name;
+      EXPECT_LE(f.selectivity, 1.0) << q.name;
+    }
+  }
+}
+
+TEST_P(WorkloadGeneratorTest, SqlTextReparsesAndRebinds) {
+  Workload w = MakeWorkloadByName(GetParam().name);
+  // Spot-check a handful per workload (full reparse is covered implicitly
+  // because generators bind through the SQL front end already).
+  size_t step = std::max<size_t>(1, w.queries.size() / 5);
+  for (size_t i = 0; i < w.queries.size(); i += step) {
+    const Query& q = w.queries[i];
+    ASSERT_FALSE(q.sql.empty()) << q.name;
+    auto rebound = BindSql(q.sql, *w.database);
+    ASSERT_TRUE(rebound.ok()) << q.name << ": "
+                              << rebound.status().ToString();
+    EXPECT_EQ(rebound->num_scans(), q.num_scans()) << q.name;
+    EXPECT_EQ(rebound->num_joins(), q.num_joins()) << q.name;
+  }
+}
+
+TEST_P(WorkloadGeneratorTest, GenerationIsDeterministic) {
+  const char* name = GetParam().name;
+  Workload a = MakeWorkloadByName(name);
+  Workload b = MakeWorkloadByName(name);
+  ASSERT_EQ(a.queries.size(), b.queries.size());
+  for (size_t i = 0; i < a.queries.size(); ++i) {
+    EXPECT_EQ(a.queries[i].sql, b.queries[i].sql);
+  }
+  EXPECT_EQ(a.database->num_tables(), b.database->num_tables());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, WorkloadGeneratorTest,
+    ::testing::Values(
+        Expectation{"tpch", 22, 8, 1.5, 4.0, 5.0, 25.0},
+        Expectation{"tpcds", 99, 24, 2.5, 9.0, 4.0, 20.0},
+        Expectation{"job", 33, 21, 6.0, 10.0, 2.0, 15.0},
+        Expectation{"real-d", 32, 7912, 12.0, 18.0, 520.0, 650.0},
+        Expectation{"real-m", 317, 474, 17.0, 23.0, 20.0, 32.0}),
+    [](const ::testing::TestParamInfo<Expectation>& info) {
+      std::string name = info.param.name;
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+TEST(ToyWorkload, MirrorsPaperFigureThree) {
+  Workload w = MakeToyWorkload();
+  ASSERT_EQ(w.num_queries(), 2);
+  EXPECT_EQ(w.queries[0].name, "Q1");
+  EXPECT_EQ(w.queries[0].num_joins(), 1);
+  EXPECT_EQ(w.queries[0].num_filters(), 2);  // R.a = 5, S.d > 200
+  EXPECT_EQ(w.queries[1].num_filters(), 1);  // R.a = 40
+  EXPECT_EQ(w.database->num_tables(), 2);
+}
+
+TEST(WorkloadByName, UnknownNameYieldsEmptyWorkload) {
+  Workload w = MakeWorkloadByName("nope");
+  EXPECT_EQ(w.database, nullptr);
+  EXPECT_EQ(w.num_queries(), 0);
+}
+
+}  // namespace
+}  // namespace bati

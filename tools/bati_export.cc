@@ -1,0 +1,59 @@
+// bati_export: dump a built-in workload (schema DDL + SQL script) to files,
+// so the generated benchmarks can be inspected, edited, and fed back through
+// `bati_tune --schema-file ... --sql-file ...`.
+//
+//   bati_export --workload tpch --out /tmp/tpch
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "harness/experiment.h"
+#include "workload/loader.h"
+
+int main(int argc, char** argv) {
+  using namespace bati;
+  std::string workload = "tpch";
+  std::string out_prefix = "workload";
+  for (int i = 1; i < argc; ++i) {
+    std::string flag = argv[i];
+    if (flag == "--workload" && i + 1 < argc) {
+      workload = argv[++i];
+    } else if (flag == "--out" && i + 1 < argc) {
+      out_prefix = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s --workload NAME --out PREFIX\n"
+                   "writes PREFIX.schema.sql and PREFIX.queries.sql\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  const WorkloadBundle& bundle = LoadBundle(workload);
+  if (bundle.workload.database == nullptr) {
+    std::fprintf(stderr, "unknown workload: %s\n", workload.c_str());
+    return 1;
+  }
+  std::string schema_path = out_prefix + ".schema.sql";
+  std::string queries_path = out_prefix + ".queries.sql";
+  {
+    std::ofstream out(schema_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", schema_path.c_str());
+      return 1;
+    }
+    out << DumpSchemaDdl(*bundle.workload.database);
+  }
+  {
+    std::ofstream out(queries_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", queries_path.c_str());
+      return 1;
+    }
+    out << DumpWorkloadSql(bundle.workload);
+  }
+  std::printf("wrote %s (%d tables) and %s (%d queries)\n",
+              schema_path.c_str(), bundle.workload.database->num_tables(),
+              queries_path.c_str(), bundle.workload.num_queries());
+  return 0;
+}

@@ -1,0 +1,260 @@
+// bati_tune: command-line front end for budget-aware index tuning.
+//
+//   bati_tune --workload tpcds --algorithm mcts --budget 2000 --k 10
+//   bati_tune --workload tpch --minutes 5 --algorithm mcts --verbose
+//   bati_tune --workload real-m --algorithm autoadmin-greedy --budget 1000
+//             --storage-gb 78 --seed 3  (one line)
+//
+// Prints the recommendation as CREATE INDEX statements plus the measured
+// improvement, what-if call usage, and (optionally) the layout trace.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "harness/experiment.h"
+#include "mcts/mcts_tuner.h"
+#include "tuner/time_budget.h"
+#include "whatif/cost_service.h"
+#include "whatif/trace_io.h"
+#include "workload/loader.h"
+
+namespace {
+
+struct Args {
+  std::string workload = "tpch";
+  std::string schema_file;  // DDL; used with --sql-file instead of --workload
+  std::string sql_file;
+  std::string algorithm = "mcts";
+  int64_t budget = 1000;
+  double minutes = 0.0;  // when > 0, derives the budget from time
+  int k = 10;
+  double storage_gb = 0.0;
+  uint64_t seed = 1;
+  bool verbose = false;
+  bool show_layout = false;
+  std::string layout_csv;  // write the layout trace to this CSV file
+  bool json = false;       // print a machine-readable result line
+};
+
+void Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [options]\n"
+      "  --workload NAME     toy|tpch|tpcds|job|real-d|real-m (default tpch)\n"
+      "  --schema-file PATH  CREATE TABLE script (see sql/ddl.h annotations)\n"
+      "  --sql-file PATH     ';'-separated SELECT workload (with "
+      "--schema-file)\n"
+      "  --algorithm NAME    vanilla-greedy|two-phase-greedy|autoadmin-greedy|\n"
+      "                      dba-bandits|no-dba|dta|mcts[...] (default mcts)\n"
+      "  --budget N          what-if call budget (default 1000)\n"
+      "  --minutes M         derive the budget from a time budget instead\n"
+      "  --k N               max indexes to recommend (default 10)\n"
+      "  --storage-gb G      storage constraint in GB (default: none)\n"
+      "  --seed S            RNG seed for randomized tuners (default 1)\n"
+      "  --layout            dump the budget-allocation layout trace\n"
+      "  --layout-csv PATH   write the layout trace as CSV\n"
+      "  --json              print a machine-readable result line\n"
+      "  --verbose           per-query improvement details\n",
+      argv0);
+}
+
+bool ParseArgs(int argc, char** argv, Args* args) {
+  for (int i = 1; i < argc; ++i) {
+    std::string flag = argv[i];
+    auto next = [&]() -> const char* {
+      return (i + 1 < argc) ? argv[++i] : nullptr;
+    };
+    if (flag == "--workload") {
+      const char* v = next();
+      if (!v) return false;
+      args->workload = v;
+    } else if (flag == "--schema-file") {
+      const char* v = next();
+      if (!v) return false;
+      args->schema_file = v;
+    } else if (flag == "--sql-file") {
+      const char* v = next();
+      if (!v) return false;
+      args->sql_file = v;
+    } else if (flag == "--algorithm") {
+      const char* v = next();
+      if (!v) return false;
+      args->algorithm = v;
+    } else if (flag == "--budget") {
+      const char* v = next();
+      if (!v) return false;
+      args->budget = std::atoll(v);
+    } else if (flag == "--minutes") {
+      const char* v = next();
+      if (!v) return false;
+      args->minutes = std::atof(v);
+    } else if (flag == "--k") {
+      const char* v = next();
+      if (!v) return false;
+      args->k = std::atoi(v);
+    } else if (flag == "--storage-gb") {
+      const char* v = next();
+      if (!v) return false;
+      args->storage_gb = std::atof(v);
+    } else if (flag == "--seed") {
+      const char* v = next();
+      if (!v) return false;
+      args->seed = static_cast<uint64_t>(std::atoll(v));
+    } else if (flag == "--layout") {
+      args->show_layout = true;
+    } else if (flag == "--layout-csv") {
+      const char* v = next();
+      if (!v) return false;
+      args->layout_csv = v;
+    } else if (flag == "--json") {
+      args->json = true;
+    } else if (flag == "--verbose") {
+      args->verbose = true;
+    } else if (flag == "--help" || flag == "-h") {
+      return false;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace bati;
+  Args args;
+  if (!ParseArgs(argc, argv, &args)) {
+    Usage(argv[0]);
+    return 2;
+  }
+
+  WorkloadBundle file_bundle;
+  const WorkloadBundle* bundle_ptr = nullptr;
+  if (!args.schema_file.empty() || !args.sql_file.empty()) {
+    if (args.schema_file.empty() || args.sql_file.empty()) {
+      std::fprintf(stderr,
+                   "--schema-file and --sql-file must be used together\n");
+      return 1;
+    }
+    auto ddl = ReadFileToString(args.schema_file);
+    if (!ddl.ok()) {
+      std::fprintf(stderr, "%s\n", ddl.status().ToString().c_str());
+      return 1;
+    }
+    auto db = LoadSchemaFromDdl("user", *ddl);
+    if (!db.ok()) {
+      std::fprintf(stderr, "schema: %s\n", db.status().ToString().c_str());
+      return 1;
+    }
+    auto sql = ReadFileToString(args.sql_file);
+    if (!sql.ok()) {
+      std::fprintf(stderr, "%s\n", sql.status().ToString().c_str());
+      return 1;
+    }
+    auto workload = LoadWorkloadFromSql("user", *db, *sql);
+    if (!workload.ok()) {
+      std::fprintf(stderr, "workload: %s\n",
+                   workload.status().ToString().c_str());
+      return 1;
+    }
+    file_bundle.workload = std::move(workload.value());
+    file_bundle.optimizer =
+        std::make_shared<WhatIfOptimizer>(file_bundle.workload.database);
+    file_bundle.candidates = GenerateCandidates(file_bundle.workload);
+    args.workload = "user";
+    bundle_ptr = &file_bundle;
+  } else {
+    bundle_ptr = &LoadBundle(args.workload);
+    if (bundle_ptr->workload.database == nullptr) {
+      std::fprintf(stderr, "unknown workload: %s\n", args.workload.c_str());
+      return 1;
+    }
+  }
+  const WorkloadBundle& bundle = *bundle_ptr;
+
+  int64_t budget = args.budget;
+  if (args.minutes > 0.0) {
+    budget = CallBudgetForTime(*bundle.optimizer, bundle.workload,
+                               args.minutes * 60.0);
+    std::printf("time budget %.1f min -> %lld what-if calls\n", args.minutes,
+                static_cast<long long>(budget));
+  }
+
+  TuningContext ctx;
+  ctx.workload = &bundle.workload;
+  ctx.candidates = &bundle.candidates;
+  ctx.constraints.max_indexes = args.k;
+  ctx.constraints.max_storage_bytes = args.storage_gb * 1e9;
+
+  CostService service(bundle.optimizer.get(), &bundle.workload,
+                      &bundle.candidates.indexes, budget);
+  auto tuner = MakeTuner(args.algorithm, ctx, args.seed);
+  std::printf("tuning %s (%d queries, %d candidates) with %s, budget=%lld, "
+              "K=%d%s\n\n",
+              args.workload.c_str(), bundle.workload.num_queries(),
+              bundle.candidates.size(), tuner->name().c_str(),
+              static_cast<long long>(budget), args.k,
+              args.storage_gb > 0 ? " (+storage constraint)" : "");
+  TuningResult result = tuner->Tune(service);
+
+  const Database& db = *bundle.workload.database;
+  std::printf("recommendation (%zu indexes):\n", result.best_config.count());
+  double storage = 0.0;
+  for (const Index& ix : service.Materialize(result.best_config)) {
+    storage += ix.SizeBytes(db);
+    std::printf("  CREATE INDEX %s;  -- %.1f MB\n", ix.Name(db).c_str(),
+                ix.SizeBytes(db) / 1e6);
+  }
+  std::printf("\nwhat-if calls used:        %lld / %lld (%lld cache hits)\n",
+              static_cast<long long>(service.calls_made()),
+              static_cast<long long>(budget),
+              static_cast<long long>(service.cache_hits()));
+  std::printf("estimated improvement:     %.2f%% (derived)\n",
+              result.derived_improvement);
+  std::printf("actual improvement:        %.2f%%\n",
+              service.TrueImprovement(result.best_config));
+  std::printf("total index storage:       %.2f GB\n", storage / 1e9);
+  std::printf("simulated what-if time:    %.1f min\n",
+              service.SimulatedWhatIfSeconds() / 60.0);
+
+  if (args.verbose) {
+    std::printf("\nper-query improvement:\n");
+    std::vector<Index> chosen = service.Materialize(result.best_config);
+    for (const Query& q : bundle.workload.queries) {
+      double before = bundle.optimizer->Cost(q, {});
+      double after = bundle.optimizer->Cost(q, chosen);
+      std::printf("  %-16s %10.1f -> %10.1f  (%.1f%%)\n", q.name.c_str(),
+                  before, after, (1.0 - after / before) * 100.0);
+    }
+  }
+  if (!args.layout_csv.empty()) {
+    bati::Status st =
+        WriteLayoutCsv(service, bundle.workload, args.layout_csv);
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("layout trace written to %s\n", args.layout_csv.c_str());
+  }
+  if (args.json) {
+    std::printf("%s\n",
+                ResultToJson(service, bundle.workload, tuner->name(),
+                             result.best_config,
+                             service.TrueImprovement(result.best_config))
+                    .c_str());
+  }
+  if (args.show_layout) {
+    std::printf("\nbudget allocation layout (%zu calls):\n",
+                service.layout().size());
+    for (size_t i = 0; i < service.layout().size(); ++i) {
+      const LayoutEntry& e = service.layout()[i];
+      std::printf("  %4zu  q%-4d %s\n", i + 1, e.query_id,
+                  e.config.ToString().c_str());
+    }
+  }
+  return 0;
+}
