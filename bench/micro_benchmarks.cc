@@ -10,6 +10,7 @@
 #include "sql/ddl.h"
 #include "sql/parser.h"
 #include "whatif/cost_service.h"
+#include "whatif/derived_cost_index.h"
 #include "workload/binder.h"
 #include "workload/compression.h"
 #include "workload/loader.h"
@@ -154,6 +155,131 @@ void BM_SubsetScanDerivedCost(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SubsetScanDerivedCost);
+
+// ---- Derived-cost index vs the monolithic linear scan. -------------------
+// Shared synthetic setup: one query, a cache of state.range(0) cells over a
+// 64-candidate universe, and a fixed set of probe configurations. The two
+// benchmarks below answer the same Equation-1 lookups; the indexed one must
+// be several times faster at >= 1000 entries (the layering's raison d'etre).
+
+struct SyntheticCache {
+  DerivedCostIndex index;
+  std::vector<std::pair<Config, double>> flat;  // the pre-refactor cache
+  std::vector<Config> probes;
+  double base = 1000.0;
+
+  explicit SyntheticCache(int entries) : index(1, 64) {
+    Rng rng(21);
+    while (static_cast<int>(flat.size()) < entries) {
+      Config c(64);
+      int members = static_cast<int>(rng.UniformInt(1, 6));
+      for (int i = 0; i < members; ++i) {
+        c.set(static_cast<size_t>(rng.UniformInt(0, 63)));
+      }
+      if (index.Find(0, c) != nullptr) continue;
+      double cost = rng.Uniform(1.0, 999.0);
+      index.Add(0, c, c.ToIndices(), cost);
+      flat.emplace_back(c, cost);
+    }
+    for (int i = 0; i < 64; ++i) {
+      Config p(64);
+      for (int j = 0; j < 10; ++j) {
+        p.set(static_cast<size_t>(rng.UniformInt(0, 63)));
+      }
+      probes.push_back(p);
+    }
+  }
+};
+
+void BM_DerivedLookupBruteForce(benchmark::State& state) {
+  SyntheticCache cache(static_cast<int>(state.range(0)));
+  size_t i = 0;
+  for (auto _ : state) {
+    const Config& probe = cache.probes[i++ % cache.probes.size()];
+    double best = cache.base;
+    for (const auto& [config, cost] : cache.flat) {
+      if (cost < best && config.IsSubsetOf(probe)) best = cost;
+    }
+    benchmark::DoNotOptimize(best);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DerivedLookupBruteForce)->Arg(1000)->Arg(4000);
+
+void BM_DerivedLookupIndexed(benchmark::State& state) {
+  SyntheticCache cache(static_cast<int>(state.range(0)));
+  size_t i = 0;
+  for (auto _ : state) {
+    const Config& probe = cache.probes[i++ % cache.probes.size()];
+    double d = cache.index.SubsetMin(0, probe, cache.base);
+    benchmark::DoNotOptimize(d);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DerivedLookupIndexed)->Arg(1000)->Arg(4000);
+
+void BM_DerivedDeltaAdd(benchmark::State& state) {
+  // The greedy inner-argmax probe: d(q, C u {pos}) - d(q, C) through the
+  // posting list of `pos` only.
+  SyntheticCache cache(static_cast<int>(state.range(0)));
+  size_t i = 0;
+  for (auto _ : state) {
+    const Config& probe = cache.probes[i++ % cache.probes.size()];
+    size_t pos = i % 64;
+    if (probe.test(pos)) pos = (pos + 1) % 64;
+    double delta = cache.index.DeltaAdd(0, probe, pos, cache.base);
+    benchmark::DoNotOptimize(delta);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DerivedDeltaAdd)->Arg(1000)->Arg(4000);
+
+void BM_BatchedWhatIfCostMany(benchmark::State& state) {
+  // One tuning "round": what-if the whole workload against one
+  // configuration through the batched engine entry point (thread pool
+  // engages at WhatIfExecutor::kParallelThreshold cells).
+  const WorkloadBundle& bundle = LoadBundle("tpcds");
+  CostService service(bundle.optimizer.get(), &bundle.workload,
+                      &bundle.candidates.indexes, 1 << 30);
+  Rng rng(5);
+  std::vector<int> queries(static_cast<size_t>(service.num_queries()));
+  for (int q = 0; q < service.num_queries(); ++q) {
+    queries[static_cast<size_t>(q)] = q;
+  }
+  for (auto _ : state) {
+    Config c = service.EmptyConfig();
+    for (int i = 0; i < 4; ++i) {
+      c.set(static_cast<size_t>(
+          rng.UniformInt(0, service.num_candidates() - 1)));
+    }
+    auto costs = service.WhatIfCostMany(queries, c);
+    benchmark::DoNotOptimize(costs);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(queries.size()));
+}
+BENCHMARK(BM_BatchedWhatIfCostMany)->Unit(benchmark::kMicrosecond);
+
+void BM_SequentialWhatIfLoop(benchmark::State& state) {
+  // The pre-refactor shape of the same round, for comparison.
+  const WorkloadBundle& bundle = LoadBundle("tpcds");
+  CostService service(bundle.optimizer.get(), &bundle.workload,
+                      &bundle.candidates.indexes, 1 << 30);
+  Rng rng(5);
+  for (auto _ : state) {
+    Config c = service.EmptyConfig();
+    for (int i = 0; i < 4; ++i) {
+      c.set(static_cast<size_t>(
+          rng.UniformInt(0, service.num_candidates() - 1)));
+    }
+    for (int q = 0; q < service.num_queries(); ++q) {
+      auto cost = service.WhatIfCost(q, c);
+      benchmark::DoNotOptimize(cost);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * service.num_queries());
+}
+BENCHMARK(BM_SequentialWhatIfLoop)->Unit(benchmark::kMicrosecond);
 
 void BM_MctsFullRun(benchmark::State& state) {
   const WorkloadBundle& bundle = LoadBundle("tpch");

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <numeric>
+#include <optional>
 #include <set>
 
 #include "common/macros.h"
@@ -70,15 +72,20 @@ TuningResult DbaBanditsTuner::Tune(CostService& service) {
     }
     if (chosen.empty()) break;
 
-    // Observe: one what-if call per query for the chosen configuration.
+    // Observe: one what-if call per query for the chosen configuration,
+    // batched through the engine (budget is still charged in query order).
     double round_cost = 0.0;
     bool budget_ran_out = false;
     std::vector<double> per_query_delta(static_cast<size_t>(m), 0.0);
+    std::vector<int> round_queries(static_cast<size_t>(m));
+    std::iota(round_queries.begin(), round_queries.end(), 0);
+    std::vector<std::optional<double>> costs =
+        service.WhatIfCostMany(round_queries, chosen);
     for (int q = 0; q < m; ++q) {
-      auto c = service.WhatIfCost(q, chosen);
+      const auto& c = costs[static_cast<size_t>(q)];
       if (!c.has_value()) {
         budget_ran_out = true;
-        // Fall back to derived for the remaining queries of this round.
+        // Fall back to derived for the queries the budget never reached.
         round_cost += service.DerivedCost(q, chosen);
         continue;
       }
@@ -144,6 +151,11 @@ TuningResult DbaBanditsTuner::Tune(CostService& service) {
   result.best_config = best;
   result.derived_improvement = service.DerivedImprovement(best);
   result.what_if_calls = service.calls_made();
+  // The trace always ends at the recommendation actually returned.
+  if (round_trace_.empty() ||
+      round_trace_.back() != result.derived_improvement) {
+    round_trace_.push_back(result.derived_improvement);
+  }
   return result;
 }
 

@@ -67,6 +67,20 @@ bool DynamicBitset::IsSubsetOf(const DynamicBitset& other) const {
   return true;
 }
 
+bool DynamicBitset::IsSubsetOfWith(const DynamicBitset& other,
+                                   size_t extra) const {
+  CheckCompatible(other);
+  BATI_CHECK(extra < universe_size_);
+  const size_t extra_word = extra / kBitsPerWord;
+  const uint64_t extra_bit = 1ULL << (extra % kBitsPerWord);
+  for (size_t i = 0; i < words_.size(); ++i) {
+    uint64_t outside = words_[i] & ~other.words_[i];
+    if (i == extra_word) outside &= ~extra_bit;
+    if (outside != 0) return false;
+  }
+  return true;
+}
+
 bool DynamicBitset::Intersects(const DynamicBitset& other) const {
   CheckCompatible(other);
   for (size_t i = 0; i < words_.size(); ++i) {

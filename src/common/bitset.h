@@ -44,6 +44,11 @@ class DynamicBitset {
   /// True iff this is a subset of (or equal to) `other`.
   bool IsSubsetOf(const DynamicBitset& other) const;
 
+  /// True iff this is a subset of `other` ∪ {extra}: the subset test the
+  /// derived-cost index runs per posting-list entry, without materializing
+  /// the extended configuration.
+  bool IsSubsetOfWith(const DynamicBitset& other, size_t extra) const;
+
   /// True iff the two sets share at least one element.
   bool Intersects(const DynamicBitset& other) const;
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <numeric>
+#include <optional>
 
 #include "common/macros.h"
 
@@ -95,11 +97,16 @@ TuningResult NoDbaTuner::Tune(CostService& service) {
     if (episode.empty()) break;
     episode.back().terminal = true;
 
-    // ---- Observe: one what-if call per query (a "round"). ----
+    // ---- Observe: one what-if call per query (a "round"), batched through
+    // the engine; budget is still charged in query order. ----
     double round_cost = 0.0;
     bool budget_ran_out = false;
+    std::vector<int> round_queries(static_cast<size_t>(m));
+    std::iota(round_queries.begin(), round_queries.end(), 0);
+    std::vector<std::optional<double>> costs =
+        service.WhatIfCostMany(round_queries, config);
     for (int q = 0; q < m; ++q) {
-      auto c = service.WhatIfCost(q, config);
+      const auto& c = costs[static_cast<size_t>(q)];
       if (!c.has_value()) {
         budget_ran_out = true;
         round_cost += service.DerivedCost(q, config);
@@ -171,6 +178,11 @@ TuningResult NoDbaTuner::Tune(CostService& service) {
   result.best_config = best;
   result.derived_improvement = service.DerivedImprovement(best);
   result.what_if_calls = service.calls_made();
+  // The trace always ends at the recommendation actually returned.
+  if (round_trace_.empty() ||
+      round_trace_.back() != result.derived_improvement) {
+    round_trace_.push_back(result.derived_improvement);
+  }
   return result;
 }
 

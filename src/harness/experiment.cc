@@ -139,6 +139,7 @@ RunOutcome RunOnce(const WorkloadBundle& bundle, const RunSpec& spec) {
   if (const std::vector<double>* trace = tuner->progress_trace()) {
     outcome.trace = *trace;
   }
+  outcome.engine = service.EngineStats();
   return outcome;
 }
 

@@ -7,6 +7,7 @@
 
 #include "optimizer/what_if.h"
 #include "tuner/tuner.h"
+#include "whatif/cost_engine_stats.h"
 #include "workload/generators.h"
 
 namespace bati {
@@ -54,8 +55,12 @@ struct RunOutcome {
   /// Simulated seconds spent elsewhere in tuning (Figure 2's blue bars).
   double other_seconds = 0.0;
   /// Best-so-far improvement after each episode/round, if the algorithm
-  /// exposes one (MCTS, DBA-bandits, No-DBA).
+  /// exposes one (greedy family, MCTS, DBA-bandits, No-DBA). When present,
+  /// the last point equals `derived_improvement`.
   std::vector<double> trace;
+  /// Cost-engine observability counters for the run (cache hits, derived
+  /// and delta lookups, posting-list pruning, batched cells, wall time).
+  CostEngineStats engine;
 };
 
 /// Executes one tuning run against a bundle.

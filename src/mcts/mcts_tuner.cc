@@ -301,12 +301,13 @@ bool MctsTuner::RunEpisode(CostService& service) {
   // this configuration is already cached carry weight zero — re-evaluating
   // them would spend the episode without learning anything new. ----
   const int m = service.num_queries();
-  std::vector<double> derived(static_cast<size_t>(m));
+  // Batched Equation-1 lookups through the engine's derived-cost index: one
+  // episode evaluates all m queries, the hot path of the search phase.
+  std::vector<double> derived = service.DerivedCosts(sampled);
   std::vector<double> weights(static_cast<size_t>(m), 0.0);
   double cost = 0.0;
   bool any_unknown = false;
   for (int q = 0; q < m; ++q) {
-    derived[static_cast<size_t>(q)] = service.DerivedCost(q, sampled);
     cost += derived[static_cast<size_t>(q)];
     if (!service.IsKnown(q, sampled)) {
       weights[static_cast<size_t>(q)] = derived[static_cast<size_t>(q)];
@@ -434,6 +435,11 @@ TuningResult MctsTuner::Tune(CostService& service) {
   result.best_config = best;
   result.derived_improvement = service.DerivedImprovement(best);
   result.what_if_calls = service.calls_made();
+  // The trace always ends at the returned recommendation's improvement (BG
+  // extraction can differ from the best explored configuration).
+  if (trace_.empty() || trace_.back() != result.derived_improvement) {
+    trace_.push_back(result.derived_improvement);
+  }
   return result;
 }
 

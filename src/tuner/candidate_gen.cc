@@ -181,8 +181,11 @@ CandidateSet GenerateCandidates(const Workload& workload,
       for (int j = i + 1; j < base_count; ++j) {
         const Index& a = result.indexes[static_cast<size_t>(i)];
         const Index& b = result.indexes[static_cast<size_t>(j)];
-        if (a.table_id != b.table_id) continue;
-        if (merged_per_table[a.table_id] >= options.max_merged_per_table) {
+        // push_back below reallocates result.indexes; a and b dangle after
+        // it, so everything needed later is copied out first.
+        const int table_id = a.table_id;
+        if (table_id != b.table_id) continue;
+        if (merged_per_table[table_id] >= options.max_merged_per_table) {
           continue;
         }
         std::optional<Index> merged = MergeIndexes(a, b);
@@ -191,7 +194,7 @@ CandidateSet GenerateCandidates(const Workload& workload,
         if (!inserted) continue;  // already exists as a base candidate
         int pos = static_cast<int>(result.indexes.size());
         result.indexes.push_back(*merged);
-        ++merged_per_table[a.table_id];
+        ++merged_per_table[table_id];
         for (auto& prov : result.per_query) {
           bool has_a = std::find(prov.begin(), prov.end(), i) != prov.end();
           bool has_b = std::find(prov.begin(), prov.end(), j) != prov.end();

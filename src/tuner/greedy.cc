@@ -56,7 +56,8 @@ double EvaluateCost(CostService& service, const std::vector<int>& query_ids,
 Config GreedyEnumerate(const TuningContext& ctx, CostService& service,
                        const std::vector<int>& query_ids,
                        const std::vector<int>& allowed, const Config& initial,
-                       const WhatIfFilter& filter) {
+                       const WhatIfFilter& filter,
+                       std::vector<double>* trace) {
   const Database& db = *ctx.workload->database;
   Config best = initial;
   double best_cost = EvaluateCost(service, query_ids, best, filter);
@@ -64,13 +65,33 @@ Config GreedyEnumerate(const TuningContext& ctx, CostService& service,
   std::vector<int> remaining = allowed;
   while (!remaining.empty() &&
          static_cast<int>(best.count()) < ctx.constraints.max_indexes) {
+    // Per-round derived baseline d(q, best) for the incremental argmax:
+    // cells cached during the round are supersets of `best` (they are the
+    // candidate extensions themselves), so the baseline stays exact.
+    std::vector<double> base_derived(query_ids.size());
+    for (size_t i = 0; i < query_ids.size(); ++i) {
+      base_derived[i] = service.DerivedCost(query_ids[i], best);
+    }
     int chosen = -1;
     double chosen_cost = best_cost;
     for (int pos : remaining) {
       if (best.test(static_cast<size_t>(pos))) continue;
       if (!FitsStorage(ctx, db, best, pos)) continue;
       Config candidate = best.With(static_cast<size_t>(pos));
-      double cost = EvaluateCost(service, query_ids, candidate, filter);
+      double cost = 0.0;
+      for (size_t i = 0; i < query_ids.size(); ++i) {
+        const int q = query_ids[i];
+        if (filter(q, candidate)) {
+          if (auto c = service.WhatIfCost(q, candidate); c.has_value()) {
+            cost += *c;
+            continue;
+          }
+        }
+        // Incremental Equation 1: only cached entries containing `pos` can
+        // tighten d(q, best) — probed via the posting-list index.
+        cost += service.DerivedCostWithAdd(q, best, static_cast<size_t>(pos),
+                                           base_derived[i]);
+      }
       if (cost < chosen_cost) {
         chosen = pos;
         chosen_cost = cost;
@@ -81,6 +102,7 @@ Config GreedyEnumerate(const TuningContext& ctx, CostService& service,
     best_cost = chosen_cost;
     remaining.erase(std::remove(remaining.begin(), remaining.end(), chosen),
                     remaining.end());
+    if (trace != nullptr) trace->push_back(service.DerivedImprovement(best));
   }
   return best;
 }
@@ -99,20 +121,29 @@ std::vector<int> AllCandidatePositions(const TuningContext& ctx) {
   return ids;
 }
 
+/// Builds the result and — for tuners that expose a progress trace —
+/// guarantees the trace ends with the returned recommendation's improvement
+/// (the contract tested by tests/harness_test.cc).
 TuningResult FinishResult(const std::string& algorithm, CostService& service,
-                          Config best) {
+                          Config best, std::vector<double>* trace = nullptr) {
   TuningResult result;
   result.algorithm = algorithm;
   result.derived_improvement = service.DerivedImprovement(best);
   result.best_config = std::move(best);
   result.what_if_calls = service.calls_made();
+  if (trace != nullptr &&
+      (trace->empty() || trace->back() != result.derived_improvement)) {
+    trace->push_back(result.derived_improvement);
+  }
   return result;
 }
 
 /// Shared two-phase skeleton (Algorithm 2): per-query greedy, then greedy
-/// over the union of per-query winners.
+/// over the union of per-query winners. The trace, when requested, covers
+/// the workload-level refinement phase.
 Config TwoPhaseCore(const TuningContext& ctx, CostService& service,
-                    const WhatIfFilter& filter) {
+                    const WhatIfFilter& filter,
+                    std::vector<double>* trace) {
   Config union_set = service.EmptyConfig();
   for (int q = 0; q < ctx.workload->num_queries(); ++q) {
     const std::vector<int>& mine =
@@ -127,27 +158,31 @@ Config TwoPhaseCore(const TuningContext& ctx, CostService& service,
     refined.push_back(static_cast<int>(pos));
   }
   return GreedyEnumerate(ctx, service, AllQueryIds(ctx), refined,
-                         service.EmptyConfig(), filter);
+                         service.EmptyConfig(), filter, trace);
 }
 
 }  // namespace
 
 TuningResult GreedyTuner::Tune(CostService& service) {
+  trace_.clear();
   Config best =
       GreedyEnumerate(ctx_, service, AllQueryIds(ctx_),
                       AllCandidatePositions(ctx_), service.EmptyConfig(),
-                      AllowAllWhatIf());
-  return FinishResult(name(), service, std::move(best));
+                      AllowAllWhatIf(), &trace_);
+  return FinishResult(name(), service, std::move(best), &trace_);
 }
 
 TuningResult TwoPhaseGreedyTuner::Tune(CostService& service) {
-  Config best = TwoPhaseCore(ctx_, service, AllowAllWhatIf());
-  return FinishResult(name(), service, std::move(best));
+  trace_.clear();
+  Config best = TwoPhaseCore(ctx_, service, AllowAllWhatIf(), &trace_);
+  return FinishResult(name(), service, std::move(best), &trace_);
 }
 
 TuningResult AutoAdminGreedyTuner::Tune(CostService& service) {
-  Config best = TwoPhaseCore(ctx_, service, AtomicOnlyWhatIf(atomic_size_));
-  return FinishResult(name(), service, std::move(best));
+  trace_.clear();
+  Config best =
+      TwoPhaseCore(ctx_, service, AtomicOnlyWhatIf(atomic_size_), &trace_);
+  return FinishResult(name(), service, std::move(best), &trace_);
 }
 
 }  // namespace bati

@@ -30,12 +30,17 @@ WhatIfFilter DenyAllWhatIf();
 /// to the queries in `query_ids` and the candidate positions in `allowed`,
 /// starting from `initial` (normally empty). Costs go through `service`
 /// under `filter`; when a what-if call is disallowed or the budget is
-/// exhausted, the derived cost is used. Respects the cardinality and storage
-/// constraints in `ctx`. Returns the best configuration found.
+/// exhausted, the derived cost is used — incrementally, via the engine's
+/// posting-list index (DerivedCostWithAdd), so the inner argmax does not
+/// rescan the cache per candidate. Respects the cardinality and storage
+/// constraints in `ctx`. When `trace` is non-null, the derived improvement
+/// after each accepted extension is appended to it. Returns the best
+/// configuration found.
 Config GreedyEnumerate(const TuningContext& ctx, CostService& service,
                        const std::vector<int>& query_ids,
                        const std::vector<int>& allowed, const Config& initial,
-                       const WhatIfFilter& filter);
+                       const WhatIfFilter& filter,
+                       std::vector<double>* trace = nullptr);
 
 /// Vanilla greedy (Algorithm 1) over the whole workload with FCFS budget
 /// allocation — the first baseline of Section 4.2.
@@ -44,9 +49,13 @@ class GreedyTuner : public Tuner {
   explicit GreedyTuner(TuningContext ctx) : ctx_(std::move(ctx)) {}
   TuningResult Tune(CostService& service) override;
   std::string name() const override { return "vanilla-greedy"; }
+  const std::vector<double>* progress_trace() const override {
+    return &trace_;
+  }
 
  private:
   TuningContext ctx_;
+  std::vector<double> trace_;
 };
 
 /// Two-phase greedy (Algorithm 2): per-query greedy first, then greedy over
@@ -56,9 +65,13 @@ class TwoPhaseGreedyTuner : public Tuner {
   explicit TwoPhaseGreedyTuner(TuningContext ctx) : ctx_(std::move(ctx)) {}
   TuningResult Tune(CostService& service) override;
   std::string name() const override { return "two-phase-greedy"; }
+  const std::vector<double>* progress_trace() const override {
+    return &trace_;
+  }
 
  private:
   TuningContext ctx_;
+  std::vector<double> trace_;
 };
 
 /// AutoAdmin greedy: two-phase search where what-if calls are spent only on
@@ -70,10 +83,14 @@ class AutoAdminGreedyTuner : public Tuner {
       : ctx_(std::move(ctx)), atomic_size_(atomic_size) {}
   TuningResult Tune(CostService& service) override;
   std::string name() const override { return "autoadmin-greedy"; }
+  const std::vector<double>* progress_trace() const override {
+    return &trace_;
+  }
 
  private:
   TuningContext ctx_;
   int atomic_size_;
+  std::vector<double> trace_;
 };
 
 }  // namespace bati

@@ -36,14 +36,16 @@ bool Feasible(const TuningContext& ctx, const Database& db,
 }
 
 /// Workload cost under FCFS: what-if while budget remains, derived after.
+/// Batched through the engine; the budget is still charged in query order.
 double EvaluateWorkloadCost(CostService& service, const Config& config) {
+  std::vector<int> queries(static_cast<size_t>(service.num_queries()));
+  std::iota(queries.begin(), queries.end(), 0);
+  std::vector<std::optional<double>> costs =
+      service.WhatIfCostMany(queries, config);
   double total = 0.0;
   for (int q = 0; q < service.num_queries(); ++q) {
-    if (auto c = service.WhatIfCost(q, config); c.has_value()) {
-      total += *c;
-    } else {
-      total += service.DerivedCost(q, config);
-    }
+    const auto& c = costs[static_cast<size_t>(q)];
+    total += c.has_value() ? *c : service.DerivedCost(q, config);
   }
   return total;
 }

@@ -1,0 +1,18 @@
+#include "whatif/budget_meter.h"
+
+#include "common/macros.h"
+
+namespace bati {
+
+BudgetMeter::BudgetMeter(int64_t budget) : budget_(budget) {
+  BATI_CHECK(budget_ >= 0);
+}
+
+bool BudgetMeter::TryCharge(int query_id, const Config& config) {
+  if (!HasBudget()) return false;
+  ++calls_made_;
+  layout_.push_back(LayoutEntry{query_id, config});
+  return true;
+}
+
+}  // namespace bati

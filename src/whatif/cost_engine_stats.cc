@@ -1,0 +1,48 @@
+#include "whatif/cost_engine_stats.h"
+
+#include <cstdio>
+
+namespace bati {
+
+std::string CostEngineStats::ToString() const {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "what-if calls=%lld (cache hits=%lld, batched=%lld), derived "
+      "lookups=%lld (+%lld delta), index entries=%lld "
+      "(scanned=%lld, pruned=%lld), executor wall=%.3fs, simulated "
+      "what-if=%.1fs",
+      static_cast<long long>(what_if_calls),
+      static_cast<long long>(cache_hits),
+      static_cast<long long>(batched_cells),
+      static_cast<long long>(derived_lookups),
+      static_cast<long long>(delta_lookups),
+      static_cast<long long>(index_entries),
+      static_cast<long long>(index_scanned_entries),
+      static_cast<long long>(index_pruned_entries), executor_wall_seconds,
+      simulated_whatif_seconds);
+  return buf;
+}
+
+std::string CostEngineStats::ToJson() const {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\"what_if_calls\":%lld,\"cache_hits\":%lld,\"batched_cells\":%lld,"
+      "\"derived_lookups\":%lld,\"delta_lookups\":%lld,"
+      "\"index_entries\":%lld,\"index_scanned_entries\":%lld,"
+      "\"index_pruned_entries\":%lld,\"executor_wall_seconds\":%.6f,"
+      "\"simulated_whatif_seconds\":%.3f}",
+      static_cast<long long>(what_if_calls),
+      static_cast<long long>(cache_hits),
+      static_cast<long long>(batched_cells),
+      static_cast<long long>(derived_lookups),
+      static_cast<long long>(delta_lookups),
+      static_cast<long long>(index_entries),
+      static_cast<long long>(index_scanned_entries),
+      static_cast<long long>(index_pruned_entries), executor_wall_seconds,
+      simulated_whatif_seconds);
+  return buf;
+}
+
+}  // namespace bati

@@ -1,0 +1,47 @@
+#ifndef BATI_WHATIF_COST_ENGINE_STATS_H_
+#define BATI_WHATIF_COST_ENGINE_STATS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace bati {
+
+/// Observability counters for the layered cost engine (BudgetMeter,
+/// WhatIfExecutor, DerivedCostIndex behind the CostService façade). Cheap to
+/// copy; assembled on demand by CostService::EngineStats() and surfaced by
+/// the harness and the CLI tools.
+struct CostEngineStats {
+  /// Counted what-if optimizer invocations (budget units spent).
+  int64_t what_if_calls = 0;
+  /// WhatIfCost() requests answered from the exact-cell cache.
+  int64_t cache_hits = 0;
+  /// Cells evaluated through the batched CostMany() entry point (subset of
+  /// what_if_calls).
+  int64_t batched_cells = 0;
+  /// Full subset-minimum derived-cost lookups (Equation 1 evaluations).
+  int64_t derived_lookups = 0;
+  /// Incremental delta lookups (DeltaAdd / posting-list probes).
+  int64_t delta_lookups = 0;
+  /// Cached cells currently indexed (sum over queries).
+  int64_t index_entries = 0;
+  /// Entries a linear Equation-1 scan would have visited but the index
+  /// skipped via the cost-ascending order and the monotone best-so-far
+  /// bound.
+  int64_t index_pruned_entries = 0;
+  /// Entries actually examined by subset-minimum lookups.
+  int64_t index_scanned_entries = 0;
+  /// Real wall-clock seconds spent inside the executor (optimizer calls,
+  /// including the parallel CostMany() path).
+  double executor_wall_seconds = 0.0;
+  /// Simulated server-side what-if seconds (paper Figure 2 accounting).
+  double simulated_whatif_seconds = 0.0;
+
+  /// One-line human-readable rendering, e.g. for CLI output.
+  std::string ToString() const;
+  /// Machine-readable JSON object with one field per counter.
+  std::string ToJson() const;
+};
+
+}  // namespace bati
+
+#endif  // BATI_WHATIF_COST_ENGINE_STATS_H_

@@ -1,8 +1,5 @@
 #include "whatif/cost_service.h"
 
-#include <cmath>
-#include <limits>
-
 #include "common/macros.h"
 
 namespace bati {
@@ -13,32 +10,24 @@ CostService::CostService(const WhatIfOptimizer* optimizer,
     : optimizer_(optimizer),
       workload_(workload),
       candidates_(candidates),
-      budget_(budget) {
+      meter_(budget),
+      executor_(optimizer, workload, candidates),
+      index_(workload == nullptr ? 0 : workload->num_queries(),
+             candidates == nullptr
+                 ? 0
+                 : static_cast<int>(candidates->size())) {
   BATI_CHECK(optimizer_ != nullptr);
   BATI_CHECK(workload_ != nullptr);
   BATI_CHECK(candidates_ != nullptr);
-  BATI_CHECK(budget_ >= 0);
   const int m = workload_->num_queries();
   base_costs_.resize(static_cast<size_t>(m));
-  cache_.resize(static_cast<size_t>(m));
   const std::vector<Index> no_indexes;
   for (int q = 0; q < m; ++q) {
     base_costs_[static_cast<size_t>(q)] =
         optimizer_->Cost(workload_->queries[static_cast<size_t>(q)],
                          no_indexes);
     base_workload_cost_ += base_costs_[static_cast<size_t>(q)];
-    cache_[static_cast<size_t>(q)].singleton.assign(
-        candidates_->size(), std::numeric_limits<double>::quiet_NaN());
   }
-}
-
-std::vector<Index> CostService::Materialize(const Config& config) const {
-  BATI_CHECK(config.universe_size() == candidates_->size());
-  std::vector<Index> out;
-  for (size_t pos : config.ToIndices()) {
-    out.push_back((*candidates_)[pos]);
-  }
-  return out;
 }
 
 double CostService::BaseCost(int query_id) const {
@@ -49,48 +38,92 @@ std::optional<double> CostService::WhatIfCost(int query_id,
                                               const Config& config) {
   BATI_CHECK(query_id >= 0 && query_id < num_queries());
   if (config.empty()) return BaseCost(query_id);
-  QueryCache& qc = cache_[static_cast<size_t>(query_id)];
-  auto it = qc.exact.find(config);
-  if (it != qc.exact.end()) {
-    ++cache_hits_;
-    return it->second;
+  if (const double* cached = index_.Find(query_id, config)) {
+    meter_.RecordCacheHit();
+    return *cached;
   }
-  if (!HasBudget()) return std::nullopt;
-  ++calls_made_;
-  const Query& query = workload_->queries[static_cast<size_t>(query_id)];
-  double cost = optimizer_->Cost(query, Materialize(config));
-  whatif_seconds_ += optimizer_->EstimateCallSeconds(query);
-  qc.exact.emplace(config, cost);
-  qc.entries.emplace_back(config, cost);
-  if (config.count() == 1) {
-    qc.singleton[config.ToIndices().front()] = cost;
-  }
-  layout_.push_back(LayoutEntry{query_id, config});
+  if (!meter_.TryCharge(query_id, config)) return std::nullopt;
+  const std::vector<size_t> positions = config.ToIndices();
+  double cost = executor_.EvaluateCell(query_id, positions);
+  index_.Add(query_id, config, positions, cost);
   return cost;
+}
+
+std::vector<std::optional<double>> CostService::WhatIfCostMany(
+    const std::vector<int>& query_ids, const Config& config) {
+  std::vector<std::optional<double>> out(query_ids.size());
+  if (config.empty()) {
+    for (size_t i = 0; i < query_ids.size(); ++i) {
+      out[i] = BaseCost(query_ids[i]);
+    }
+    return out;
+  }
+  // Charge sequentially in input order — exactly the cells a WhatIfCost()
+  // loop would buy — and collect the uncached, affordable ones.
+  std::vector<WhatIfExecutor::CellRef> to_run;
+  std::vector<size_t> run_slots;  // out[] slot of each cell in to_run
+  // (duplicate slot, first-occurrence slot): a repeated query later in the
+  // batch is a cache hit in loop semantics.
+  std::vector<std::pair<size_t, size_t>> duplicates;
+  for (size_t i = 0; i < query_ids.size(); ++i) {
+    const int q = query_ids[i];
+    BATI_CHECK(q >= 0 && q < num_queries());
+    if (const double* cached = index_.Find(q, config)) {
+      meter_.RecordCacheHit();
+      out[i] = *cached;
+      continue;
+    }
+    size_t first = to_run.size();
+    for (size_t j = 0; j < to_run.size(); ++j) {
+      if (to_run[j].query_id == q) {
+        first = j;
+        break;
+      }
+    }
+    if (first < to_run.size()) {
+      meter_.RecordCacheHit();
+      duplicates.emplace_back(i, run_slots[first]);
+      continue;
+    }
+    if (!meter_.TryCharge(q, config)) continue;  // nullopt: exhausted
+    to_run.push_back(WhatIfExecutor::CellRef{q, &config});
+    run_slots.push_back(i);
+  }
+  if (!to_run.empty()) {
+    const std::vector<size_t> positions = config.ToIndices();
+    std::vector<double> costs = executor_.EvaluateCells(to_run);
+    for (size_t j = 0; j < to_run.size(); ++j) {
+      index_.Add(to_run[j].query_id, config, positions, costs[j]);
+      out[run_slots[j]] = costs[j];
+    }
+  }
+  for (const auto& [slot, source] : duplicates) out[slot] = out[source];
+  return out;
 }
 
 bool CostService::IsKnown(int query_id, const Config& config) const {
   if (config.empty()) return true;
-  const QueryCache& qc = cache_.at(static_cast<size_t>(query_id));
-  return qc.exact.find(config) != qc.exact.end();
+  return index_.Find(query_id, config) != nullptr;
 }
 
 std::optional<double> CostService::CachedCost(int query_id,
                                               const Config& config) const {
   if (config.empty()) return BaseCost(query_id);
-  const QueryCache& qc = cache_.at(static_cast<size_t>(query_id));
-  auto it = qc.exact.find(config);
-  if (it == qc.exact.end()) return std::nullopt;
-  return it->second;
+  const double* cached = index_.Find(query_id, config);
+  if (cached == nullptr) return std::nullopt;
+  return *cached;
 }
 
 double CostService::DerivedCost(int query_id, const Config& config) const {
-  const QueryCache& qc = cache_.at(static_cast<size_t>(query_id));
-  double best = BaseCost(query_id);  // the empty set is a subset of any C
-  for (const auto& [subset, cost] : qc.entries) {
-    if (cost < best && subset.IsSubsetOf(config)) best = cost;
+  return index_.SubsetMin(query_id, config, BaseCost(query_id));
+}
+
+std::vector<double> CostService::DerivedCosts(const Config& config) const {
+  std::vector<double> out(static_cast<size_t>(num_queries()));
+  for (int q = 0; q < num_queries(); ++q) {
+    out[static_cast<size_t>(q)] = index_.SubsetMin(q, config, BaseCost(q));
   }
-  return best;
+  return out;
 }
 
 double CostService::DerivedWorkloadCost(const Config& config) const {
@@ -99,15 +132,20 @@ double CostService::DerivedWorkloadCost(const Config& config) const {
   return total;
 }
 
+double CostService::DerivedCostWithAdd(int query_id, const Config& config,
+                                       size_t pos,
+                                       double current_derived) const {
+  return index_.SubsetMinWithAdd(query_id, config, pos, current_derived);
+}
+
+double CostService::DerivedCostDeltaAdd(int query_id, const Config& config,
+                                        size_t pos) const {
+  return index_.DeltaAdd(query_id, config, pos, BaseCost(query_id));
+}
+
 double CostService::SingletonDerivedCost(int query_id,
                                          const Config& config) const {
-  const QueryCache& qc = cache_.at(static_cast<size_t>(query_id));
-  double best = BaseCost(query_id);
-  for (size_t pos : config.ToIndices()) {
-    double c = qc.singleton[pos];
-    if (!std::isnan(c) && c < best) best = c;
-  }
-  return best;
+  return index_.SingletonMin(query_id, config, BaseCost(query_id));
 }
 
 double CostService::DerivedImprovement(const Config& config) const {
@@ -119,7 +157,7 @@ double CostService::TrueWorkloadCost(const Config& config) const {
   std::vector<Index> materialized = Materialize(config);
   double total = 0.0;
   for (const Query& q : workload_->queries) {
-    total += optimizer_->Cost(q, materialized);
+    total += executor_.TrueCost(q, materialized);
   }
   return total;
 }
@@ -127,6 +165,17 @@ double CostService::TrueWorkloadCost(const Config& config) const {
 double CostService::TrueImprovement(const Config& config) const {
   if (base_workload_cost_ <= 0.0) return 0.0;
   return (1.0 - TrueWorkloadCost(config) / base_workload_cost_) * 100.0;
+}
+
+CostEngineStats CostService::EngineStats() const {
+  CostEngineStats stats;
+  stats.what_if_calls = meter_.calls_made();
+  stats.cache_hits = meter_.cache_hits();
+  stats.batched_cells = executor_.batched_cells();
+  stats.executor_wall_seconds = executor_.wall_seconds();
+  stats.simulated_whatif_seconds = executor_.simulated_seconds();
+  index_.AccumulateStats(&stats);
+  return stats;
 }
 
 }  // namespace bati

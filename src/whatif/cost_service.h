@@ -3,32 +3,32 @@
 
 #include <cstdint>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "common/bitset.h"
 #include "optimizer/what_if.h"
 #include "storage/index.h"
+#include "whatif/budget_meter.h"
+#include "whatif/cost_engine_stats.h"
+#include "whatif/derived_cost_index.h"
+#include "whatif/whatif_executor.h"
 #include "workload/query.h"
 
 namespace bati {
 
-/// An index configuration: a subset of the candidate-index universe,
-/// represented as a bitset over candidate positions.
-using Config = DynamicBitset;
-
-/// One what-if call in the order it was issued: an entry of the budget
-/// allocation matrix layout (paper Definition 1). The trace of these entries
-/// is the layout phi : [B] -> {B_ij}.
-struct LayoutEntry {
-  int query_id = -1;
-  Config config;
-};
-
 /// Budget-metered access to the what-if optimizer, with caching and cost
 /// derivation (paper Section 3.1). All tuners consume costs exclusively
-/// through this service, which enforces the budget B on the number of
-/// optimizer invocations:
+/// through this service, which is a thin façade over the layered cost
+/// engine:
+///
+///  * BudgetMeter — counting, exhaustion, and the layout trace (paper
+///    Definition 1);
+///  * WhatIfExecutor — optimizer invocation, materialization, simulated
+///    latency, and the batched (thread-pooled) CostMany() path;
+///  * DerivedCostIndex — the what-if cache plus posting lists answering
+///    Equation-1 subset minima incrementally.
+///
+/// The classic entry points:
 ///
 ///  * WhatIfCost() — a counted what-if call; served from cache for free,
 ///    otherwise consumes one unit of budget; fails (nullopt) when the budget
@@ -37,6 +37,15 @@ struct LayoutEntry {
 ///    (Equation 1); always available because c(q, {}) is known.
 ///  * SingletonDerivedCost() — the Equation-2 restriction to singleton
 ///    subsets, used by the theory (Theorems 1-2) and by priors.
+///
+/// Batched and incremental entry points for hot paths:
+///
+///  * WhatIfCostMany() — semantics of a WhatIfCost() loop (identical
+///    charging order, caching, and results) with the uncached cells
+///    evaluated concurrently by the executor's thread pool.
+///  * DerivedCosts() — d(q, C) for every query at once.
+///  * DerivedCostWithAdd() / DerivedCostDeltaAdd() — d(q, C ∪ {z}) through
+///    the posting-list index, without rescanning the cache.
 ///
 /// Base costs c(q, {}) are computed up front and are not charged against the
 /// budget, matching the paper's budget allocation matrix whose rows range
@@ -49,17 +58,19 @@ class CostService {
 
   int num_queries() const { return workload_->num_queries(); }
   int num_candidates() const { return static_cast<int>(candidates_->size()); }
-  int64_t budget() const { return budget_; }
-  int64_t calls_made() const { return calls_made_; }
-  int64_t remaining_budget() const { return budget_ - calls_made_; }
-  bool HasBudget() const { return calls_made_ < budget_; }
-  int64_t cache_hits() const { return cache_hits_; }
+  int64_t budget() const { return meter_.budget(); }
+  int64_t calls_made() const { return meter_.calls_made(); }
+  int64_t remaining_budget() const { return meter_.remaining(); }
+  bool HasBudget() const { return meter_.HasBudget(); }
+  int64_t cache_hits() const { return meter_.cache_hits(); }
 
   /// An empty configuration over the candidate universe.
   Config EmptyConfig() const { return Config(candidates_->size()); }
 
   /// Materializes a configuration into concrete index definitions.
-  std::vector<Index> Materialize(const Config& config) const;
+  std::vector<Index> Materialize(const Config& config) const {
+    return executor_.Materialize(config);
+  }
 
   /// c(q, {}): the known base cost (never charged).
   double BaseCost(int query_id) const;
@@ -73,6 +84,14 @@ class CostService {
   /// the cell is unknown.
   std::optional<double> WhatIfCost(int query_id, const Config& config);
 
+  /// Counted what-if calls for one configuration across many queries — the
+  /// batched equivalent of calling WhatIfCost(query_ids[i], config) in
+  /// order. Budget is charged sequentially in input order (a hard cap, same
+  /// cells succeed/fail as the loop); uncached cells are evaluated
+  /// concurrently by the executor. Results are identical to the loop.
+  std::vector<std::optional<double>> WhatIfCostMany(
+      const std::vector<int>& query_ids, const Config& config);
+
   /// True if c(query_id, config) is cached (what-if cost "known").
   bool IsKnown(int query_id, const Config& config) const;
 
@@ -83,8 +102,21 @@ class CostService {
   /// Derived cost d(q, C) per Equation 1 (min over cached subsets).
   double DerivedCost(int query_id, const Config& config) const;
 
+  /// d(q, C) for every query of the workload at once.
+  std::vector<double> DerivedCosts(const Config& config) const;
+
   /// Derived workload cost d(W, C) = sum_q d(q, C).
   double DerivedWorkloadCost(const Config& config) const;
+
+  /// d(q, C ∪ {pos}) computed incrementally from `current_derived` =
+  /// d(q, C) via the posting-list index: only cached entries containing
+  /// `pos` are probed. Bit-identical to DerivedCost(q, C.With(pos)).
+  double DerivedCostWithAdd(int query_id, const Config& config, size_t pos,
+                            double current_derived) const;
+
+  /// The derived-cost change d(q, C ∪ {pos}) − d(q, C), a value <= 0.
+  double DerivedCostDeltaAdd(int query_id, const Config& config,
+                             size_t pos) const;
 
   /// Equation-2 derived cost: min over singletons {z} subset of C with known
   /// singleton what-if costs (and the base cost).
@@ -103,33 +135,29 @@ class CostService {
   double TrueWorkloadCost(const Config& config) const;
 
   /// The layout trace: every counted what-if call in issue order.
-  const std::vector<LayoutEntry>& layout() const { return layout_; }
+  const std::vector<LayoutEntry>& layout() const { return meter_.layout(); }
 
   /// Simulated seconds spent inside counted what-if calls so far (the
   /// paper's Figure 2 "time spent on what-if calls").
-  double SimulatedWhatIfSeconds() const { return whatif_seconds_; }
+  double SimulatedWhatIfSeconds() const {
+    return executor_.simulated_seconds();
+  }
+
+  /// The counting layer, for callers needing budget introspection.
+  const BudgetMeter& meter() const { return meter_; }
+
+  /// Snapshot of the engine's observability counters across all layers.
+  CostEngineStats EngineStats() const;
 
  private:
-  struct QueryCache {
-    /// Exact-config lookup.
-    std::unordered_map<Config, double, DynamicBitsetHash> exact;
-    /// Same entries as a flat list for subset-minimum scans.
-    std::vector<std::pair<Config, double>> entries;
-    /// Known singleton costs by candidate position (NaN when unknown).
-    std::vector<double> singleton;
-  };
-
   const WhatIfOptimizer* optimizer_;
   const Workload* workload_;
   const std::vector<Index>* candidates_;
-  int64_t budget_;
-  int64_t calls_made_ = 0;
-  int64_t cache_hits_ = 0;
-  double whatif_seconds_ = 0.0;
+  BudgetMeter meter_;
+  WhatIfExecutor executor_;
+  DerivedCostIndex index_;
   std::vector<double> base_costs_;
   double base_workload_cost_ = 0.0;
-  std::vector<QueryCache> cache_;
-  std::vector<LayoutEntry> layout_;
 };
 
 }  // namespace bati

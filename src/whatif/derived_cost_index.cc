@@ -1,0 +1,141 @@
+#include "whatif/derived_cost_index.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace bati {
+
+DerivedCostIndex::DerivedCostIndex(int num_queries, int num_candidates) {
+  BATI_CHECK(num_queries >= 0 && num_candidates >= 0);
+  queries_.resize(static_cast<size_t>(num_queries));
+  for (QueryIndex& qi : queries_) {
+    qi.postings.resize(static_cast<size_t>(num_candidates));
+    qi.singleton.assign(static_cast<size_t>(num_candidates),
+                        std::numeric_limits<double>::quiet_NaN());
+  }
+}
+
+const double* DerivedCostIndex::Find(int query_id,
+                                     const Config& config) const {
+  const QueryIndex& qi = at(query_id);
+  auto it = qi.exact.find(config);
+  return it == qi.exact.end() ? nullptr : &it->second;
+}
+
+void DerivedCostIndex::Add(int query_id, const Config& config,
+                           const std::vector<size_t>& positions,
+                           double cost) {
+  QueryIndex& qi = queries_[static_cast<size_t>(query_id)];
+  auto [it, inserted] = qi.exact.emplace(config, cost);
+  BATI_CHECK(inserted && "cell inserted twice");
+  const int32_t id = static_cast<int32_t>(qi.entries.size());
+  qi.entries.push_back(Entry{config, cost});
+  ++total_entries_;
+
+  // Keep the global ordering and every touched posting list cost-ascending.
+  auto cost_less = [&qi](int32_t a, double c) {
+    return qi.entries[static_cast<size_t>(a)].cost < c;
+  };
+  qi.by_cost.insert(
+      std::lower_bound(qi.by_cost.begin(), qi.by_cost.end(), cost, cost_less),
+      id);
+  for (size_t pos : positions) {
+    std::vector<int32_t>& list = qi.postings[pos];
+    list.insert(std::lower_bound(list.begin(), list.end(), cost, cost_less),
+                id);
+  }
+
+  if (cost < qi.best_cost) {
+    qi.best_cost = cost;
+    qi.best_entry = id;
+  }
+  if (positions.size() == 1) {
+    qi.singleton[positions.front()] = cost;
+  }
+}
+
+double DerivedCostIndex::SubsetMin(int query_id, const Config& config,
+                                   double base) const {
+  ++derived_lookups_;
+  const QueryIndex& qi = at(query_id);
+  const int64_t total = static_cast<int64_t>(qi.by_cost.size());
+  // Monotone bound: if even the cheapest cached cell is a subset of C, no
+  // other entry can beat it.
+  if (qi.best_entry >= 0 && qi.best_cost < base &&
+      qi.entries[static_cast<size_t>(qi.best_entry)].config.IsSubsetOf(
+          config)) {
+    ++scanned_entries_;
+    pruned_entries_ += total - 1;
+    return qi.best_cost;
+  }
+  double best = base;
+  int64_t scanned = 0;
+  for (int32_t id : qi.by_cost) {
+    const Entry& e = qi.entries[static_cast<size_t>(id)];
+    // Cost-ascending order: once entry costs reach the running best there
+    // is nothing left to gain.
+    if (e.cost >= best) break;
+    ++scanned;
+    if (e.config.IsSubsetOf(config)) {
+      best = e.cost;
+      break;  // first eligible entry in ascending order is the minimum
+    }
+  }
+  scanned_entries_ += scanned;
+  pruned_entries_ += total - scanned;
+  return best;
+}
+
+double DerivedCostIndex::SubsetMinWithAdd(int query_id, const Config& config,
+                                          size_t pos, double current) const {
+  ++delta_lookups_;
+  const QueryIndex& qi = at(query_id);
+  const std::vector<int32_t>& list = qi.postings[pos];
+  double best = current;
+  int64_t scanned = 0;
+  for (int32_t id : list) {
+    const Entry& e = qi.entries[static_cast<size_t>(id)];
+    if (e.cost >= best) break;  // cost-ascending posting list
+    ++scanned;
+    if (e.config.IsSubsetOfWith(config, pos)) {
+      best = e.cost;
+      break;
+    }
+  }
+  scanned_entries_ += scanned;
+  pruned_entries_ += static_cast<int64_t>(list.size()) - scanned;
+  return best;
+}
+
+double DerivedCostIndex::DeltaAdd(int query_id, const Config& config,
+                                  size_t pos, double base) const {
+  double current = SubsetMin(query_id, config, base);
+  return SubsetMinWithAdd(query_id, config, pos, current) - current;
+}
+
+double DerivedCostIndex::SingletonMin(int query_id, const Config& config,
+                                      double base) const {
+  const QueryIndex& qi = at(query_id);
+  double best = base;
+  for (size_t pos : config.ToIndices()) {
+    double c = qi.singleton[pos];
+    if (!std::isnan(c) && c < best) best = c;
+  }
+  return best;
+}
+
+int64_t DerivedCostIndex::entry_count(int query_id) const {
+  return static_cast<int64_t>(at(query_id).entries.size());
+}
+
+void DerivedCostIndex::AccumulateStats(CostEngineStats* stats) const {
+  stats->derived_lookups += derived_lookups_;
+  stats->delta_lookups += delta_lookups_;
+  stats->index_entries += total_entries_;
+  stats->index_scanned_entries += scanned_entries_;
+  stats->index_pruned_entries += pruned_entries_;
+}
+
+}  // namespace bati

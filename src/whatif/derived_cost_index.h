@@ -1,0 +1,112 @@
+#ifndef BATI_WHATIF_DERIVED_COST_INDEX_H_
+#define BATI_WHATIF_DERIVED_COST_INDEX_H_
+
+#include <cstdint>
+#include <limits>
+#include <unordered_map>
+#include <vector>
+
+#include "whatif/budget_meter.h"
+#include "whatif/cost_engine_stats.h"
+
+namespace bati {
+
+/// The derivation layer of the cost engine: an incremental index over the
+/// cached what-if cells that answers Equation-1 subset-minimum queries
+///
+///   d(q, C) = min over cached subsets S of C of c(q, S)
+///
+/// without the O(|cache|) linear scan of the monolithic implementation.
+/// Results are bit-identical to that scan (the minimum is a comparison, not
+/// an arithmetic combination), only the entries examined change.
+///
+/// Per query the index keeps:
+///  * the exact-cell map (what-if cache);
+///  * all entries in cost-ascending order, so a subset-minimum lookup stops
+///    at the *first* entry that is a subset of C — every later entry costs
+///    at least as much — and stops unconditionally once entry costs reach
+///    the running best (the monotone best-so-far bound);
+///  * per-candidate posting lists (entry ids containing that candidate,
+///    cost-ascending), which make the incremental SubsetMinWithAdd() /
+///    DeltaAdd() probes skip every entry that does not contain the added
+///    candidate: an entry is newly eligible for C ∪ {z} iff it contains z
+///    and its remaining members are inside C;
+///  * known singleton costs (Equation 2).
+///
+/// Not thread-safe: all mutation and lookup happen on the caller's thread
+/// (the executor parallelizes only pure optimizer invocations).
+class DerivedCostIndex {
+ public:
+  DerivedCostIndex(int num_queries, int num_candidates);
+
+  /// The cached cost of an exact cell, or nullptr when unknown.
+  const double* Find(int query_id, const Config& config) const;
+
+  /// Inserts a freshly evaluated cell. `positions` must equal
+  /// config.ToIndices(). A cell must not be inserted twice.
+  void Add(int query_id, const Config& config,
+           const std::vector<size_t>& positions, double cost);
+
+  /// d(q, C) with `base` = c(q, {}) as the always-known fallback.
+  double SubsetMin(int query_id, const Config& config, double base) const;
+
+  /// d(q, C ∪ {pos}) given `current` = d(q, C): probes only the posting
+  /// list of `pos`. Exact because every subset of C ∪ {pos} either omits
+  /// pos (already accounted for by `current`) or contains it (in the
+  /// posting list).
+  double SubsetMinWithAdd(int query_id, const Config& config, size_t pos,
+                          double current) const;
+
+  /// The derived-cost change d(q, C ∪ {pos}) − d(q, C), a value <= 0.
+  /// `base` = c(q, {}).
+  double DeltaAdd(int query_id, const Config& config, size_t pos,
+                  double base) const;
+
+  /// Equation-2 singleton minimum over candidates in `config` with known
+  /// singleton costs; `base` = c(q, {}).
+  double SingletonMin(int query_id, const Config& config, double base) const;
+
+  /// Number of cached cells for one query / overall.
+  int64_t entry_count(int query_id) const;
+  int64_t total_entries() const { return total_entries_; }
+
+  /// Adds this layer's counters into `stats`.
+  void AccumulateStats(CostEngineStats* stats) const;
+
+ private:
+  struct Entry {
+    Config config;
+    double cost = 0.0;
+  };
+
+  struct QueryIndex {
+    std::unordered_map<Config, double, DynamicBitsetHash> exact;
+    std::vector<Entry> entries;
+    /// Entry ids sorted by ascending cost.
+    std::vector<int32_t> by_cost;
+    /// Per candidate position: ids of entries containing it, ascending cost.
+    std::vector<std::vector<int32_t>> postings;
+    /// Known singleton costs by candidate position (NaN when unknown).
+    std::vector<double> singleton;
+    /// Monotone best-so-far bound: the cheapest cached cost and its entry.
+    double best_cost = std::numeric_limits<double>::infinity();
+    int32_t best_entry = -1;
+  };
+
+  const QueryIndex& at(int query_id) const {
+    return queries_[static_cast<size_t>(query_id)];
+  }
+
+  std::vector<QueryIndex> queries_;
+  int64_t total_entries_ = 0;
+  // Lookup counters are observability only; mutable so the read-only
+  // Equation-1/2 API stays const for callers.
+  mutable int64_t derived_lookups_ = 0;
+  mutable int64_t delta_lookups_ = 0;
+  mutable int64_t scanned_entries_ = 0;
+  mutable int64_t pruned_entries_ = 0;
+};
+
+}  // namespace bati
+
+#endif  // BATI_WHATIF_DERIVED_COST_INDEX_H_

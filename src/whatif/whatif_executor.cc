@@ -1,0 +1,148 @@
+#include "whatif/whatif_executor.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/macros.h"
+
+namespace bati {
+
+namespace {
+
+double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+WhatIfExecutor::WhatIfExecutor(const WhatIfOptimizer* optimizer,
+                               const Workload* workload,
+                               const std::vector<Index>* candidates)
+    : optimizer_(optimizer), workload_(workload), candidates_(candidates) {
+  BATI_CHECK(optimizer_ != nullptr);
+  BATI_CHECK(workload_ != nullptr);
+  BATI_CHECK(candidates_ != nullptr);
+}
+
+WhatIfExecutor::~WhatIfExecutor() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+std::vector<Index> WhatIfExecutor::Materialize(const Config& config) const {
+  BATI_CHECK(config.universe_size() == candidates_->size());
+  std::vector<Index> out;
+  std::vector<size_t> positions = config.ToIndices();
+  out.reserve(positions.size());
+  for (size_t pos : positions) {
+    out.push_back((*candidates_)[pos]);
+  }
+  return out;
+}
+
+double WhatIfExecutor::CellCost(const CellRef& cell) const {
+  const Query& query =
+      workload_->queries[static_cast<size_t>(cell.query_id)];
+  return optimizer_->Cost(query, Materialize(*cell.config));
+}
+
+double WhatIfExecutor::EvaluateCell(int query_id,
+                                    const std::vector<size_t>& positions) {
+  const double start = NowSeconds();
+  std::vector<Index> materialized;
+  materialized.reserve(positions.size());
+  for (size_t pos : positions) {
+    materialized.push_back((*candidates_)[pos]);
+  }
+  const Query& query = workload_->queries[static_cast<size_t>(query_id)];
+  double cost = optimizer_->Cost(query, materialized);
+  simulated_seconds_ += optimizer_->EstimateCallSeconds(query);
+  wall_seconds_ += NowSeconds() - start;
+  return cost;
+}
+
+std::vector<double> WhatIfExecutor::EvaluateCells(
+    const std::vector<CellRef>& cells) {
+  const double start = NowSeconds();
+  std::vector<double> out(cells.size(), 0.0);
+  if (cells.size() >= kParallelThreshold) {
+    EnsurePool();
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      job_cells_ = &cells;
+      job_out_ = &out;
+      next_cell_.store(0, std::memory_order_relaxed);
+      cells_done_ = 0;
+      ++job_generation_;
+      work_cv_.notify_all();
+      done_cv_.wait(lock, [&] { return cells_done_ == cells.size(); });
+      job_cells_ = nullptr;
+      job_out_ = nullptr;
+    }
+  } else {
+    for (size_t i = 0; i < cells.size(); ++i) out[i] = CellCost(cells[i]);
+  }
+  // Simulated latency is summed in input order so batched accounting is
+  // bit-identical to the sequential path.
+  for (const CellRef& cell : cells) {
+    simulated_seconds_ += optimizer_->EstimateCallSeconds(
+        workload_->queries[static_cast<size_t>(cell.query_id)]);
+  }
+  batched_cells_ += static_cast<int64_t>(cells.size());
+  wall_seconds_ += NowSeconds() - start;
+  return out;
+}
+
+void WhatIfExecutor::EnsurePool() {
+  if (!workers_.empty()) return;
+  unsigned hw = std::thread::hardware_concurrency();
+  size_t n = std::min<size_t>(hw == 0 ? 2 : hw, 8);
+  workers_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+void WhatIfExecutor::WorkerLoop() {
+  uint64_t seen_generation = 0;
+  while (true) {
+    const std::vector<CellRef>* cells = nullptr;
+    std::vector<double>* out = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] {
+        return shutdown_ ||
+               (job_cells_ != nullptr && job_generation_ != seen_generation);
+      });
+      if (shutdown_) return;
+      seen_generation = job_generation_;
+      cells = job_cells_;
+      out = job_out_;
+    }
+    size_t done_here = 0;
+    while (true) {
+      size_t i = next_cell_.fetch_add(1, std::memory_order_relaxed);
+      if (i >= cells->size()) break;
+      (*out)[i] = CellCost((*cells)[i]);
+      ++done_here;
+    }
+    if (done_here > 0) {
+      std::lock_guard<std::mutex> lock(mu_);
+      cells_done_ += done_here;
+      if (cells_done_ == cells->size()) done_cv_.notify_all();
+    }
+  }
+}
+
+double WhatIfExecutor::TrueCost(
+    const Query& query, const std::vector<Index>& materialized) const {
+  return optimizer_->Cost(query, materialized);
+}
+
+}  // namespace bati

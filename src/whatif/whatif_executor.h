@@ -1,0 +1,103 @@
+#ifndef BATI_WHATIF_WHATIF_EXECUTOR_H_
+#define BATI_WHATIF_WHATIF_EXECUTOR_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "optimizer/what_if.h"
+#include "whatif/budget_meter.h"
+
+namespace bati {
+
+/// The execution layer of the cost engine: wraps the what-if optimizer and
+/// owns configuration materialization, simulated-latency accounting (the
+/// paper's Figure 2 "time spent on what-if calls"), and real wall-clock
+/// accounting for observability.
+///
+/// The executor never meters anything itself — callers (the CostService
+/// façade) charge the BudgetMeter *before* a cell reaches the executor.
+/// That contract is what keeps the batched EvaluateCells() path, which fans
+/// independent cells out over a lazily started thread pool, inside the
+/// budget: charging is sequential and deterministic, only the pure
+/// optimizer invocations run concurrently.
+class WhatIfExecutor {
+ public:
+  /// A (query, configuration) cell to evaluate. `config` must outlive the
+  /// EvaluateCells() call.
+  struct CellRef {
+    int query_id = -1;
+    const Config* config = nullptr;
+  };
+
+  /// `optimizer`, `workload`, `candidates` must outlive the executor.
+  WhatIfExecutor(const WhatIfOptimizer* optimizer, const Workload* workload,
+                 const std::vector<Index>* candidates);
+  ~WhatIfExecutor();
+
+  WhatIfExecutor(const WhatIfExecutor&) = delete;
+  WhatIfExecutor& operator=(const WhatIfExecutor&) = delete;
+
+  /// Materializes a configuration into concrete index definitions.
+  std::vector<Index> Materialize(const Config& config) const;
+
+  /// Evaluates one cell given the configuration's member positions — the
+  /// caller already computed ToIndices(), so the index list is materialized
+  /// exactly once. Accumulates simulated and wall-clock seconds.
+  double EvaluateCell(int query_id, const std::vector<size_t>& positions);
+
+  /// Evaluates a batch of independent cells, returning costs in input
+  /// order. Batches of kParallelThreshold cells or more run on the thread
+  /// pool; smaller ones inline. Results and every accumulated statistic are
+  /// identical to evaluating the cells sequentially (the optimizer is pure
+  /// and simulated seconds are summed in input order).
+  std::vector<double> EvaluateCells(const std::vector<CellRef>& cells);
+
+  /// Uncounted ground-truth cost of one query (evaluation only).
+  double TrueCost(const Query& query,
+                  const std::vector<Index>& materialized) const;
+
+  /// Simulated seconds spent inside counted what-if calls so far.
+  double simulated_seconds() const { return simulated_seconds_; }
+
+  /// Real wall-clock seconds spent inside the executor so far.
+  double wall_seconds() const { return wall_seconds_; }
+
+  /// Cells that went through the batched EvaluateCells() entry point.
+  int64_t batched_cells() const { return batched_cells_; }
+
+  /// Minimum batch size that engages the thread pool.
+  static constexpr size_t kParallelThreshold = 16;
+
+ private:
+  double CellCost(const CellRef& cell) const;
+  void EnsurePool();
+  void WorkerLoop();
+
+  const WhatIfOptimizer* optimizer_;
+  const Workload* workload_;
+  const std::vector<Index>* candidates_;
+  double simulated_seconds_ = 0.0;
+  double wall_seconds_ = 0.0;
+  int64_t batched_cells_ = 0;
+
+  // Thread pool state. A job is published under `mu_`: workers claim cell
+  // indices via `next_cell_` and report completion through `cells_done_`.
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  const std::vector<CellRef>* job_cells_ = nullptr;  // guarded by mu_
+  std::vector<double>* job_out_ = nullptr;           // guarded by mu_
+  std::atomic<size_t> next_cell_{0};
+  size_t cells_done_ = 0;  // guarded by mu_
+  uint64_t job_generation_ = 0;  // guarded by mu_
+  bool shutdown_ = false;  // guarded by mu_
+};
+
+}  // namespace bati
+
+#endif  // BATI_WHATIF_WHATIF_EXECUTOR_H_

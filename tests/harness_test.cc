@@ -84,6 +84,43 @@ TEST(RunOnce, ReportsTimeBreakdownAndTrace) {
   EXPECT_FALSE(outcome.trace.empty());
 }
 
+// Every tuner that exposes a progress trace records the final improvement
+// point: the trace ends exactly at the returned recommendation's derived
+// improvement (so convergence plots terminate at the reported result).
+TEST(RunOnce, TraceEndsAtReportedImprovement) {
+  const WorkloadBundle& bundle = LoadBundle("tpch");
+  for (const char* algo :
+       {"vanilla-greedy", "two-phase-greedy", "autoadmin-greedy", "mcts",
+        "dba-bandits", "no-dba"}) {
+    RunSpec spec;
+    spec.workload = "tpch";
+    spec.algorithm = algo;
+    spec.budget = 120;
+    spec.max_indexes = 5;
+    RunOutcome outcome = RunOnce(bundle, spec);
+    ASSERT_FALSE(outcome.trace.empty()) << algo;
+    EXPECT_DOUBLE_EQ(outcome.trace.back(), outcome.derived_improvement)
+        << algo;
+  }
+}
+
+// Engine counters surface through the harness and stay consistent with the
+// run's own accounting.
+TEST(RunOnce, EngineStatsAreSurfaced) {
+  const WorkloadBundle& bundle = LoadBundle("tpch");
+  RunSpec spec;
+  spec.workload = "tpch";
+  spec.algorithm = "vanilla-greedy";
+  spec.budget = 100;
+  spec.max_indexes = 5;
+  RunOutcome outcome = RunOnce(bundle, spec);
+  EXPECT_EQ(outcome.engine.what_if_calls, outcome.calls_used);
+  EXPECT_EQ(outcome.engine.index_entries, outcome.calls_used);
+  EXPECT_GT(outcome.engine.derived_lookups, 0);
+  EXPECT_DOUBLE_EQ(outcome.engine.simulated_whatif_seconds,
+                   outcome.whatif_seconds);
+}
+
 TEST(McstExtensions, AllVariantsRespectBudget) {
   const WorkloadBundle& bundle = LoadBundle("tpch");
   for (const char* algo : {"mcts-boltz", "mcts-prior-hybrid",

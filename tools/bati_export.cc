@@ -3,6 +3,7 @@
 // `bati_tune --schema-file ... --sql-file ...`.
 //
 //   bati_export --workload tpch --out /tmp/tpch
+//   bati_export --workload tpch --engine-stats   (cost-engine probe as JSON)
 
 #include <cstdio>
 #include <fstream>
@@ -15,16 +16,21 @@ int main(int argc, char** argv) {
   using namespace bati;
   std::string workload = "tpch";
   std::string out_prefix = "workload";
+  bool engine_stats = false;
   for (int i = 1; i < argc; ++i) {
     std::string flag = argv[i];
     if (flag == "--workload" && i + 1 < argc) {
       workload = argv[++i];
     } else if (flag == "--out" && i + 1 < argc) {
       out_prefix = argv[++i];
+    } else if (flag == "--engine-stats") {
+      engine_stats = true;
     } else {
       std::fprintf(stderr,
-                   "usage: %s --workload NAME --out PREFIX\n"
-                   "writes PREFIX.schema.sql and PREFIX.queries.sql\n",
+                   "usage: %s --workload NAME [--out PREFIX] [--engine-stats]\n"
+                   "writes PREFIX.schema.sql and PREFIX.queries.sql;\n"
+                   "--engine-stats instead runs a small greedy tuning probe\n"
+                   "and prints the cost-engine counters as JSON\n",
                    argv[0]);
       return 2;
     }
@@ -33,6 +39,19 @@ int main(int argc, char** argv) {
   if (bundle.workload.database == nullptr) {
     std::fprintf(stderr, "unknown workload: %s\n", workload.c_str());
     return 1;
+  }
+  if (engine_stats) {
+    // Small deterministic greedy probe: enough activity to exercise the
+    // cache, the batched executor, and the derived-cost index.
+    RunSpec spec;
+    spec.workload = workload;
+    spec.algorithm = "vanilla-greedy";
+    spec.budget = 200;
+    spec.max_indexes = 5;
+    RunOutcome outcome = RunOnce(bundle, spec);
+    std::printf("{\"workload\":\"%s\",\"engine_stats\":%s}\n",
+                workload.c_str(), outcome.engine.ToJson().c_str());
+    return 0;
   }
   std::string schema_path = out_prefix + ".schema.sql";
   std::string queries_path = out_prefix + ".queries.sql";

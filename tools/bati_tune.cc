@@ -220,6 +220,8 @@ int main(int argc, char** argv) {
   std::printf("total index storage:       %.2f GB\n", storage / 1e9);
   std::printf("simulated what-if time:    %.1f min\n",
               service.SimulatedWhatIfSeconds() / 60.0);
+  std::printf("cost engine:               %s\n",
+              service.EngineStats().ToString().c_str());
 
   if (args.verbose) {
     std::printf("\nper-query improvement:\n");
@@ -246,6 +248,8 @@ int main(int argc, char** argv) {
                              result.best_config,
                              service.TrueImprovement(result.best_config))
                     .c_str());
+    std::printf("{\"engine_stats\":%s}\n",
+                service.EngineStats().ToJson().c_str());
   }
   if (args.show_layout) {
     std::printf("\nbudget allocation layout (%zu calls):\n",
