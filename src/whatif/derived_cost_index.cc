@@ -58,7 +58,7 @@ void DerivedCostIndex::Add(int query_id, const Config& config,
 
 double DerivedCostIndex::SubsetMin(int query_id, const Config& config,
                                    double base) const {
-  ++derived_lookups_;
+  derived_lookups_.fetch_add(1, std::memory_order_relaxed);
   const QueryIndex& qi = at(query_id);
   const int64_t total = static_cast<int64_t>(qi.by_cost.size());
   // Monotone bound: if even the cheapest cached cell is a subset of C, no
@@ -66,8 +66,8 @@ double DerivedCostIndex::SubsetMin(int query_id, const Config& config,
   if (qi.best_entry >= 0 && qi.best_cost < base &&
       qi.entries[static_cast<size_t>(qi.best_entry)].config.IsSubsetOf(
           config)) {
-    ++scanned_entries_;
-    pruned_entries_ += total - 1;
+    scanned_entries_.fetch_add(1, std::memory_order_relaxed);
+    pruned_entries_.fetch_add(total - 1, std::memory_order_relaxed);
     return qi.best_cost;
   }
   double best = base;
@@ -83,14 +83,14 @@ double DerivedCostIndex::SubsetMin(int query_id, const Config& config,
       break;  // first eligible entry in ascending order is the minimum
     }
   }
-  scanned_entries_ += scanned;
-  pruned_entries_ += total - scanned;
+  scanned_entries_.fetch_add(scanned, std::memory_order_relaxed);
+  pruned_entries_.fetch_add(total - scanned, std::memory_order_relaxed);
   return best;
 }
 
 double DerivedCostIndex::SubsetMinWithAdd(int query_id, const Config& config,
                                           size_t pos, double current) const {
-  ++delta_lookups_;
+  delta_lookups_.fetch_add(1, std::memory_order_relaxed);
   const QueryIndex& qi = at(query_id);
   const std::vector<int32_t>& list = qi.postings[pos];
   double best = current;
@@ -104,8 +104,9 @@ double DerivedCostIndex::SubsetMinWithAdd(int query_id, const Config& config,
       break;
     }
   }
-  scanned_entries_ += scanned;
-  pruned_entries_ += static_cast<int64_t>(list.size()) - scanned;
+  scanned_entries_.fetch_add(scanned, std::memory_order_relaxed);
+  pruned_entries_.fetch_add(static_cast<int64_t>(list.size()) - scanned,
+                            std::memory_order_relaxed);
   return best;
 }
 
@@ -131,11 +132,13 @@ int64_t DerivedCostIndex::entry_count(int query_id) const {
 }
 
 void DerivedCostIndex::AccumulateStats(CostEngineStats* stats) const {
-  stats->derived_lookups += derived_lookups_;
-  stats->delta_lookups += delta_lookups_;
+  stats->derived_lookups += derived_lookups_.load(std::memory_order_relaxed);
+  stats->delta_lookups += delta_lookups_.load(std::memory_order_relaxed);
   stats->index_entries += total_entries_;
-  stats->index_scanned_entries += scanned_entries_;
-  stats->index_pruned_entries += pruned_entries_;
+  stats->index_scanned_entries +=
+      scanned_entries_.load(std::memory_order_relaxed);
+  stats->index_pruned_entries +=
+      pruned_entries_.load(std::memory_order_relaxed);
 }
 
 }  // namespace bati

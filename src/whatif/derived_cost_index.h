@@ -1,6 +1,7 @@
 #ifndef BATI_WHATIF_DERIVED_COST_INDEX_H_
 #define BATI_WHATIF_DERIVED_COST_INDEX_H_
 
+#include <atomic>
 #include <cstdint>
 #include <limits>
 #include <unordered_map>
@@ -33,8 +34,10 @@ namespace bati {
 ///    and its remaining members are inside C;
 ///  * known singleton costs (Equation 2).
 ///
-/// Not thread-safe: all mutation and lookup happen on the caller's thread
-/// (the executor parallelizes only pure optimizer invocations).
+/// Mutation (Add) must happen on a single thread; const lookups only touch
+/// immutable index structure plus atomic observability counters, so they
+/// are race-free even if issued concurrently with each other (the executor
+/// parallelizes only pure optimizer invocations today).
 class DerivedCostIndex {
  public:
   DerivedCostIndex(int num_queries, int num_candidates);
@@ -100,11 +103,13 @@ class DerivedCostIndex {
   std::vector<QueryIndex> queries_;
   int64_t total_entries_ = 0;
   // Lookup counters are observability only; mutable so the read-only
-  // Equation-1/2 API stays const for callers.
-  mutable int64_t derived_lookups_ = 0;
-  mutable int64_t delta_lookups_ = 0;
-  mutable int64_t scanned_entries_ = 0;
-  mutable int64_t pruned_entries_ = 0;
+  // Equation-1/2 API stays const for callers, and atomic (relaxed) so that
+  // const lookups stay race-free even if they are ever issued from more
+  // than one thread.
+  mutable std::atomic<int64_t> derived_lookups_{0};
+  mutable std::atomic<int64_t> delta_lookups_{0};
+  mutable std::atomic<int64_t> scanned_entries_{0};
+  mutable std::atomic<int64_t> pruned_entries_{0};
 };
 
 }  // namespace bati

@@ -63,7 +63,9 @@ std::string ResultToJson(const CostService& service,
     out += "\"" + ix.Name(db) + "\"";
     first = false;
   }
-  out += "]}";
+  out += "],";
+  out += "\"engine_stats\":" + service.EngineStats().ToJson();
+  out += "}";
   return out;
 }
 

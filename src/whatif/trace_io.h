@@ -21,9 +21,11 @@ std::string LayoutToCsv(const CostService& service, const Workload& workload);
 Status WriteLayoutCsv(const CostService& service, const Workload& workload,
                       const std::string& path);
 
-/// One-line run summary as JSON (machine-readable tuning result):
+/// One-line run summary as a single JSON object (machine-readable tuning
+/// result):
 /// {"workload":..., "algorithm":..., "budget":..., "calls":...,
-///  "improvement":..., "indexes":[...names...]}.
+///  "improvement":..., "derived_improvement":..., "indexes":[...names...],
+///  "engine_stats":{...CostEngineStats::ToJson()...}}.
 std::string ResultToJson(const CostService& service, const Workload& workload,
                          const std::string& algorithm, const Config& config,
                          double true_improvement);

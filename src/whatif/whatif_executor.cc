@@ -46,10 +46,37 @@ std::vector<Index> WhatIfExecutor::Materialize(const Config& config) const {
   return out;
 }
 
-double WhatIfExecutor::CellCost(const CellRef& cell) const {
+std::shared_ptr<WhatIfExecutor::Job> WhatIfExecutor::BuildJob(
+    const std::vector<CellRef>& cells) const {
+  auto job = std::make_shared<Job>();
+  job->cells.reserve(cells.size());
+  job->results.assign(cells.size(), 0.0);
+  // Materialize each distinct configuration once per batch (in practice all
+  // cells share a single one); distinctness is by pointer, matching how
+  // CostService builds the batch.
+  std::vector<const Config*> seen;
+  for (const CellRef& cell : cells) {
+    size_t idx = seen.size();
+    for (size_t j = 0; j < seen.size(); ++j) {
+      if (seen[j] == cell.config) {
+        idx = j;
+        break;
+      }
+    }
+    if (idx == seen.size()) {
+      seen.push_back(cell.config);
+      job->materialized.push_back(Materialize(*cell.config));
+    }
+    job->cells.push_back(Job::Cell{cell.query_id, idx});
+  }
+  return job;
+}
+
+double WhatIfExecutor::CellCost(const Job& job, size_t i) const {
+  const Job::Cell& cell = job.cells[i];
   const Query& query =
       workload_->queries[static_cast<size_t>(cell.query_id)];
-  return optimizer_->Cost(query, Materialize(*cell.config));
+  return optimizer_->Cost(query, job.materialized[cell.config_idx]);
 }
 
 double WhatIfExecutor::EvaluateCell(int query_id,
@@ -71,22 +98,22 @@ std::vector<double> WhatIfExecutor::EvaluateCells(
     const std::vector<CellRef>& cells) {
   const double start = NowSeconds();
   std::vector<double> out(cells.size(), 0.0);
-  if (cells.size() >= kParallelThreshold) {
-    EnsurePool();
-    {
+  if (!cells.empty()) {
+    std::shared_ptr<Job> job = BuildJob(cells);
+    if (cells.size() >= kParallelThreshold) {
+      EnsurePool();
       std::unique_lock<std::mutex> lock(mu_);
-      job_cells_ = &cells;
-      job_out_ = &out;
-      next_cell_.store(0, std::memory_order_relaxed);
-      cells_done_ = 0;
+      job_ = job;
       ++job_generation_;
       work_cv_.notify_all();
-      done_cv_.wait(lock, [&] { return cells_done_ == cells.size(); });
-      job_cells_ = nullptr;
-      job_out_ = nullptr;
+      done_cv_.wait(lock, [&] { return job->done == job->cells.size(); });
+      job_.reset();
+    } else {
+      for (size_t i = 0; i < cells.size(); ++i) {
+        job->results[i] = CellCost(*job, i);
+      }
     }
-  } else {
-    for (size_t i = 0; i < cells.size(); ++i) out[i] = CellCost(cells[i]);
+    out = std::move(job->results);
   }
   // Simulated latency is summed in input order so batched accounting is
   // bit-identical to the sequential path.
@@ -112,30 +139,31 @@ void WhatIfExecutor::EnsurePool() {
 void WhatIfExecutor::WorkerLoop() {
   uint64_t seen_generation = 0;
   while (true) {
-    const std::vector<CellRef>* cells = nullptr;
-    std::vector<double>* out = nullptr;
+    std::shared_ptr<Job> job;
     {
       std::unique_lock<std::mutex> lock(mu_);
       work_cv_.wait(lock, [&] {
         return shutdown_ ||
-               (job_cells_ != nullptr && job_generation_ != seen_generation);
+               (job_ != nullptr && job_generation_ != seen_generation);
       });
       if (shutdown_) return;
       seen_generation = job_generation_;
-      cells = job_cells_;
-      out = job_out_;
+      job = job_;
     }
+    // The shared_ptr keeps the job alive, and its ticket counter belongs to
+    // this job alone: once the batch has finished, every remaining claim
+    // overruns cells.size() and is a no-op, so arriving late here is safe.
     size_t done_here = 0;
     while (true) {
-      size_t i = next_cell_.fetch_add(1, std::memory_order_relaxed);
-      if (i >= cells->size()) break;
-      (*out)[i] = CellCost((*cells)[i]);
+      size_t i = job->next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= job->cells.size()) break;
+      job->results[i] = CellCost(*job, i);
       ++done_here;
     }
     if (done_here > 0) {
       std::lock_guard<std::mutex> lock(mu_);
-      cells_done_ += done_here;
-      if (cells_done_ == cells->size()) done_cv_.notify_all();
+      job->done += done_here;
+      if (job->done == job->cells.size()) done_cv_.notify_all();
     }
   }
 }

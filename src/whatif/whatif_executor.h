@@ -4,6 +4,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -73,7 +74,26 @@ class WhatIfExecutor {
   static constexpr size_t kParallelThreshold = 16;
 
  private:
-  double CellCost(const CellRef& cell) const;
+  // One batch, self-contained. Workers hold the job through a shared_ptr,
+  // so a worker that stalls between observing a job and claiming a ticket
+  // can only ever drain *this* job's counter — by the time the batch has
+  // completed the counter is exhausted, so a stale worker claims nothing,
+  // touches no results, and cannot disturb a later batch. Every distinct
+  // configuration in the batch is materialized exactly once, up front.
+  struct Job {
+    struct Cell {
+      int query_id = -1;
+      size_t config_idx = 0;  // into `materialized`
+    };
+    std::vector<Cell> cells;
+    std::vector<std::vector<Index>> materialized;
+    std::vector<double> results;
+    std::atomic<size_t> next{0};
+    size_t done = 0;  // guarded by the executor's mu_
+  };
+
+  std::shared_ptr<Job> BuildJob(const std::vector<CellRef>& cells) const;
+  double CellCost(const Job& job, size_t i) const;
   void EnsurePool();
   void WorkerLoop();
 
@@ -84,18 +104,16 @@ class WhatIfExecutor {
   double wall_seconds_ = 0.0;
   int64_t batched_cells_ = 0;
 
-  // Thread pool state. A job is published under `mu_`: workers claim cell
-  // indices via `next_cell_` and report completion through `cells_done_`.
+  // Thread pool state. The current job is published under `mu_`; workers
+  // copy the shared_ptr and then claim cell indices from the job's own
+  // atomic counter, reporting completion through the job's `done`.
   std::vector<std::thread> workers_;
   std::mutex mu_;
   std::condition_variable work_cv_;
   std::condition_variable done_cv_;
-  const std::vector<CellRef>* job_cells_ = nullptr;  // guarded by mu_
-  std::vector<double>* job_out_ = nullptr;           // guarded by mu_
-  std::atomic<size_t> next_cell_{0};
-  size_t cells_done_ = 0;  // guarded by mu_
-  uint64_t job_generation_ = 0;  // guarded by mu_
-  bool shutdown_ = false;  // guarded by mu_
+  std::shared_ptr<Job> job_;      // guarded by mu_
+  uint64_t job_generation_ = 0;   // guarded by mu_
+  bool shutdown_ = false;         // guarded by mu_
 };
 
 }  // namespace bati

@@ -169,6 +169,32 @@ TEST(WhatIfCostMany, MatchesSequentialLoop) {
   }
 }
 
+TEST(WhatIfCostMany, RepeatedBatchesReuseThePoolSafely) {
+  // Back-to-back batched rounds publish a fresh job to the same worker pool
+  // each time. A worker that observed round k but stalled must not be able
+  // to claim a ticket, write a result, or advance the completion count of
+  // round k+1 (regression test for the per-job executor state).
+  ServicePair f(2000);
+  Rng rng(17);
+  const int n = f.batched.num_candidates();
+  for (int round = 0; round < 30; ++round) {
+    Config c = RandomConfig(rng, static_cast<size_t>(n), 5);
+    std::vector<int> queries = AllQueries(f.batched);
+    ASSERT_GE(queries.size(), WhatIfExecutor::kParallelThreshold);
+    std::vector<std::optional<double>> batch =
+        f.batched.WhatIfCostMany(queries, c);
+    for (size_t i = 0; i < queries.size(); ++i) {
+      std::optional<double> seq = f.sequential.WhatIfCost(queries[i], c);
+      ASSERT_EQ(seq.has_value(), batch[i].has_value());
+      if (seq.has_value()) {
+        EXPECT_EQ(*seq, *batch[i]);
+      }
+    }
+  }
+  EXPECT_EQ(f.sequential.calls_made(), f.batched.calls_made());
+  EXPECT_EQ(f.sequential.cache_hits(), f.batched.cache_hits());
+}
+
 TEST(WhatIfCostMany, RespectsBudgetCapMidBatch) {
   ServicePair f(5);
   Rng rng(13);

@@ -73,6 +73,12 @@ TEST(TraceIo, ResultJsonShape) {
   EXPECT_NE(json.find("\"algorithm\":\"mcts\""), std::string::npos);
   EXPECT_NE(json.find("\"improvement\":42.5"), std::string::npos);
   EXPECT_NE(json.find("\"indexes\":[\""), std::string::npos);
+  // engine_stats is embedded in the same (single) top-level object.
+  EXPECT_NE(json.find("\"engine_stats\":{\"what_if_calls\":"),
+            std::string::npos);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_EQ(std::count(json.begin(), json.end(), '\n'), 0);
 }
 
 TEST(ExplainFormat, RendersAllPlanElements) {

@@ -248,8 +248,6 @@ int main(int argc, char** argv) {
                              result.best_config,
                              service.TrueImprovement(result.best_config))
                     .c_str());
-    std::printf("{\"engine_stats\":%s}\n",
-                service.EngineStats().ToJson().c_str());
   }
   if (args.show_layout) {
     std::printf("\nbudget allocation layout (%zu calls):\n",
