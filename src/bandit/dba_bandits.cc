@@ -44,6 +44,7 @@ TuningResult DbaBanditsTuner::Tune(CostService& service) {
 
   int zero_call_rounds = 0;
   while (service.HasBudget()) {
+    service.BeginRound();
     int64_t calls_before = service.calls_made();
     std::vector<double> theta = SolveLinear(v, bvec);
 

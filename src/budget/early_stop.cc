@@ -1,0 +1,34 @@
+#include "budget/early_stop.h"
+
+#include <algorithm>
+
+namespace bati {
+
+EarlyStopChecker::EarlyStopChecker(EarlyStopOptions options, int64_t budget)
+    : options_(options), budget_(budget) {
+  window_ = options_.window_calls > 0
+                ? options_.window_calls
+                : std::max<int64_t>(16, budget_ / 20);
+}
+
+bool EarlyStopChecker::ShouldStop(const ImprovementCurve& curve,
+                                  int64_t calls_made,
+                                  int64_t remaining_budget) const {
+  if (remaining_budget <= 0) return false;  // the meter already stops us
+  const double min_calls =
+      options_.min_budget_fraction * static_cast<double>(budget_);
+  if (static_cast<double>(calls_made) < min_calls) return false;
+  if (calls_made < window_) return false;  // not enough history
+
+  const double gain = curve.GainSince(calls_made - window_);  // pct points
+  const double rate = gain / static_cast<double>(window_);
+  const double ub = rate * static_cast<double>(remaining_budget);
+  last_upper_bound_pct_ = ub;
+
+  const double eta = curve.ImprovementPercent();
+  // Strict comparisons: ub >= 0 always, so zero thresholds never fire.
+  return ub < options_.abs_threshold_pct ||
+         ub < options_.rel_threshold * eta;
+}
+
+}  // namespace bati

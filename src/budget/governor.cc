@@ -1,0 +1,52 @@
+#include "budget/governor.h"
+
+namespace bati {
+
+BudgetGovernor::BudgetGovernor(const BudgetGovernorOptions& options,
+                               int64_t budget, double base_workload_cost)
+    : options_(options),
+      curve_(base_workload_cost),
+      stop_checker_(options.stop, budget),
+      reallocator_(options.realloc, budget) {}
+
+CellDecision BudgetGovernor::OnCell(const CellQuote& quote) {
+  if (options_.skip_what_if && reallocator_.ShouldSkip(quote)) {
+    reallocator_.OnSkip();
+    return CellDecision::kSkip;
+  }
+  return CellDecision::kCharge;
+}
+
+void BudgetGovernor::OnCharged(const CellQuote& quote, double /*cost*/,
+                               double best_workload_cost) {
+  reallocator_.OnCharge(quote.calls_made);
+  curve_.Observe(quote.calls_made + 1, best_workload_cost);
+}
+
+void BudgetGovernor::OnRound(int round, int64_t calls_made,
+                             int64_t remaining_budget,
+                             double best_workload_cost) {
+  // Keep the curve's tail in sync with the engine's floor even when the
+  // round's last cost arrived through a cache hit.
+  curve_.Observe(calls_made, best_workload_cost);
+  curve_.MarkRound(round, calls_made);
+  if (stopped_ || !options_.early_stop) return;
+  if (stop_checker_.ShouldStop(curve_, calls_made, remaining_budget)) {
+    stopped_ = true;
+    stop_round_ = round;
+    stop_calls_ = calls_made;
+  }
+}
+
+GovernorStats BudgetGovernor::stats() const {
+  GovernorStats s;
+  s.skipped_calls = reallocator_.skipped();
+  s.banked_calls = reallocator_.banked();
+  s.reallocated_calls = reallocator_.reallocated();
+  s.stop_round = stop_round_;
+  s.stop_calls = stop_calls_;
+  s.remaining_improvement_ub_pct = stop_checker_.last_upper_bound_pct();
+  return s;
+}
+
+}  // namespace bati

@@ -1,0 +1,52 @@
+#include "budget/improvement_curve.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace bati {
+
+ImprovementCurve::ImprovementCurve(double base_cost) : base_cost_(base_cost) {}
+
+void ImprovementCurve::Observe(int64_t calls_made, double best_cost) {
+  const double clamped = std::min(best_cost, this->best_cost());
+  if (!points_.empty() && points_.back().calls == calls_made) {
+    points_.back().best_cost = clamped;
+    return;
+  }
+  BATI_CHECK(points_.empty() || calls_made > points_.back().calls);
+  points_.push_back(Point{calls_made, clamped});
+}
+
+void ImprovementCurve::MarkRound(int round, int64_t calls_made) {
+  rounds_.push_back(RoundMark{round, calls_made, best_cost()});
+}
+
+double ImprovementCurve::best_cost() const {
+  return points_.empty() ? base_cost_ : points_.back().best_cost;
+}
+
+double ImprovementCurve::ImprovementPercent() const {
+  if (base_cost_ <= 0.0) return 0.0;
+  return (1.0 - best_cost() / base_cost_) * 100.0;
+}
+
+double ImprovementCurve::CostAt(int64_t calls) const {
+  // Points are strictly increasing in x; find the last point at or before
+  // `calls`.
+  double cost = base_cost_;
+  for (const Point& p : points_) {
+    if (p.calls > calls) break;
+    cost = p.best_cost;
+  }
+  return cost;
+}
+
+double ImprovementCurve::GainSince(int64_t calls) const {
+  if (base_cost_ <= 0.0) return 0.0;
+  const double then = CostAt(calls);
+  const double now = best_cost();
+  return (then - now) / base_cost_ * 100.0;
+}
+
+}  // namespace bati

@@ -1,0 +1,70 @@
+#ifndef BATI_BUDGET_IMPROVEMENT_CURVE_H_
+#define BATI_BUDGET_IMPROVEMENT_CURVE_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace bati {
+
+/// Best-derived-workload-cost-so-far as a function of budget spent: the
+/// improvement curve the early-stopping checker extrapolates and the curve
+/// Esc-style tools plot. The x-axis is *charged* what-if calls — cache hits
+/// and governor skips spend no budget and therefore never advance x; a
+/// cheaper cost observed at an already-recorded x tightens that point in
+/// place. The recorded cost is monotone non-increasing by construction.
+///
+/// Round marks record tuner-declared round boundaries, so spend can be
+/// attributed per round as well as per call.
+class ImprovementCurve {
+ public:
+  struct Point {
+    int64_t calls = 0;      // budget spent when this cost was reached
+    double best_cost = 0.0; // best workload cost known at that spend
+  };
+  struct RoundMark {
+    int round = 0;          // 1-based tuner round
+    int64_t calls = 0;      // budget spent when the round began
+    double best_cost = 0.0;
+  };
+
+  /// `base_cost` = the workload cost with no budget spent (sum of base
+  /// costs), the curve's y value at x = 0.
+  explicit ImprovementCurve(double base_cost);
+
+  /// Records that after `calls_made` charged calls the best known workload
+  /// cost is `best_cost`. Non-monotone inputs are clamped: the curve never
+  /// rises. `calls_made` must be >= the last observed x.
+  void Observe(int64_t calls_made, double best_cost);
+
+  /// Records a round boundary at the current best cost.
+  void MarkRound(int round, int64_t calls_made);
+
+  double base_cost() const { return base_cost_; }
+
+  /// Best workload cost observed so far (base cost when nothing observed).
+  double best_cost() const;
+
+  /// Percentage improvement of best_cost() over base_cost(), in [0, 100].
+  double ImprovementPercent() const;
+
+  /// Best workload cost the curve had reached after `calls` charged calls
+  /// (base cost before the first observation).
+  double CostAt(int64_t calls) const;
+
+  /// Improvement gained, in percentage points, between spend level `calls`
+  /// and now: ImprovementPercent(now) - ImprovementPercent(at `calls`).
+  /// Always >= 0.
+  double GainSince(int64_t calls) const;
+
+  const std::vector<Point>& points() const { return points_; }
+  const std::vector<RoundMark>& rounds() const { return rounds_; }
+
+ private:
+  double base_cost_;
+  std::vector<Point> points_;
+  std::vector<RoundMark> rounds_;
+};
+
+}  // namespace bati
+
+#endif  // BATI_BUDGET_IMPROVEMENT_CURVE_H_

@@ -1,0 +1,20 @@
+#include "budget/reallocator.h"
+
+#include <algorithm>
+
+namespace bati {
+
+BudgetReallocator::BudgetReallocator(ReallocatorOptions options,
+                                     int64_t budget)
+    : options_(options), budget_(budget) {}
+
+bool BudgetReallocator::ShouldSkip(const CellQuote& quote) const {
+  const double gap = std::max(0.0, quote.derived_upper - quote.cost_lower);
+  const double threshold =
+      std::max(options_.skip_abs_threshold,
+               options_.skip_rel_threshold * quote.base_cost);
+  // Strict comparison: gap >= 0 always, so zero thresholds never skip.
+  return gap < threshold;
+}
+
+}  // namespace bati

@@ -41,6 +41,11 @@ bool StartsWith(std::string_view s, std::string_view prefix) {
   return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
 }
 
+bool EndsWith(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
 std::vector<std::string> Split(std::string_view s, char delimiter) {
   std::vector<std::string> out;
   size_t start = 0;

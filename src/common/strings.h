@@ -23,6 +23,9 @@ bool EqualsIgnoreCase(std::string_view a, std::string_view b);
 /// True if `s` starts with `prefix`.
 bool StartsWith(std::string_view s, std::string_view prefix);
 
+/// True if `s` ends with `suffix`.
+bool EndsWith(std::string_view s, std::string_view suffix);
+
 /// Splits on a single-character delimiter; keeps empty fields.
 std::vector<std::string> Split(std::string_view s, char delimiter);
 

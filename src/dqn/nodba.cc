@@ -55,6 +55,7 @@ TuningResult NoDbaTuner::Tune(CostService& service) {
   int round = 0;
   int zero_call_rounds = 0;
   while (service.HasBudget()) {
+    service.BeginRound();
     int64_t calls_before = service.calls_made();
     double epsilon =
         options_.epsilon_start +

@@ -123,7 +123,8 @@ RunOutcome RunOnce(const WorkloadBundle& bundle, const RunSpec& spec) {
   ctx.constraints.max_storage_bytes = spec.max_storage_bytes;
 
   CostService service(bundle.optimizer.get(), &bundle.workload,
-                      &bundle.candidates.indexes, spec.budget);
+                      &bundle.candidates.indexes, spec.budget,
+                      spec.governor);
   std::unique_ptr<Tuner> tuner = MakeTuner(spec.algorithm, ctx, spec.seed);
   TuningResult result = tuner->Tune(service);
 
@@ -140,6 +141,10 @@ RunOutcome RunOnce(const WorkloadBundle& bundle, const RunSpec& spec) {
     outcome.trace = *trace;
   }
   outcome.engine = service.EngineStats();
+  outcome.governor_skipped = outcome.engine.governor_skipped_calls;
+  outcome.governor_banked = outcome.engine.governor_banked_calls;
+  outcome.governor_reallocated = outcome.engine.governor_reallocated_calls;
+  outcome.governor_stop_round = outcome.engine.governor_stop_round;
   return outcome;
 }
 

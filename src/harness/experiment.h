@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "budget/governor.h"
 #include "optimizer/what_if.h"
 #include "tuner/tuner.h"
 #include "whatif/cost_engine_stats.h"
@@ -39,6 +40,9 @@ struct RunSpec {
   int max_indexes = 10;
   double max_storage_bytes = 0.0;
   uint64_t seed = 1;
+  /// Budget-governor configuration (src/budget/); disabled by default, in
+  /// which case the run is bit-identical to the pre-governor harness.
+  BudgetGovernorOptions governor;
 };
 
 /// One tuning run's measured outcome.
@@ -61,6 +65,13 @@ struct RunOutcome {
   /// Cost-engine observability counters for the run (cache hits, derived
   /// and delta lookups, posting-list pruning, batched cells, wall time).
   CostEngineStats engine;
+  /// Governor decisions, mirrored from `engine` for convenience: what-if
+  /// calls skipped with the saving banked or reallocated, and where early
+  /// stopping fired (-1 = never). All zero / -1 on ungoverned runs.
+  int64_t governor_skipped = 0;
+  int64_t governor_banked = 0;
+  int64_t governor_reallocated = 0;
+  int governor_stop_round = -1;
 };
 
 /// Executes one tuning run against a bundle.

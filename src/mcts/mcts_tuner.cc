@@ -116,7 +116,8 @@ void MctsTuner::ComputePriors(CostService& service) {
     total_pairs += static_cast<int64_t>(queues[static_cast<size_t>(q)].size());
   }
 
-  // B' = min(B/2, P) (Section 6.1.2).
+  // B' = min(B/2, P) (Section 6.1.2). The whole prior phase is one round.
+  service.BeginRound();
   int64_t prior_budget = std::min(service.budget() / 2, total_pairs);
 
   // Round-robin QuerySelection over queries with work left.
@@ -401,6 +402,7 @@ TuningResult MctsTuner::Tune(CostService& service) {
   // to guarantee termination.
   int free_episodes = 0;
   while (service.HasBudget() && free_episodes < 1000) {
+    service.BeginRound();  // one episode = one round
     int64_t calls_before = service.calls_made();
     if (!RunEpisode(service)) break;
     if (service.calls_made() == calls_before) {

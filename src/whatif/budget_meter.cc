@@ -11,7 +11,7 @@ BudgetMeter::BudgetMeter(int64_t budget) : budget_(budget) {
 bool BudgetMeter::TryCharge(int query_id, const Config& config) {
   if (!HasBudget()) return false;
   ++calls_made_;
-  layout_.push_back(LayoutEntry{query_id, config});
+  layout_.push_back(LayoutEntry{query_id, config, round_});
   return true;
 }
 

@@ -18,6 +18,11 @@ using Config = DynamicBitset;
 struct LayoutEntry {
   int query_id = -1;
   Config config;
+  /// Tuner round this call was charged in: 0 before the first BeginRound()
+  /// declaration, then the 1-based round counter. Lets spend be attributed
+  /// per round (the budget governor's reallocation unit); runs that never
+  /// declare rounds simply leave every entry at 0.
+  int round = 0;
 };
 
 /// The counting layer of the cost engine: owns the what-if call budget B,
@@ -44,6 +49,14 @@ class BudgetMeter {
   /// Records a WhatIfCost() request served from cache (free).
   void RecordCacheHit() { ++cache_hits_; }
 
+  /// Declares the start of the next tuner round; subsequent charges carry
+  /// the new round tag. Returns the new 1-based round number.
+  int BeginRound() { return ++round_; }
+
+  /// The round tag charges are currently stamped with (0 before the first
+  /// BeginRound()).
+  int current_round() const { return round_; }
+
   /// The layout trace: every counted what-if call in issue order.
   const std::vector<LayoutEntry>& layout() const { return layout_; }
 
@@ -51,6 +64,7 @@ class BudgetMeter {
   int64_t budget_;
   int64_t calls_made_ = 0;
   int64_t cache_hits_ = 0;
+  int round_ = 0;
   std::vector<LayoutEntry> layout_;
 };
 

@@ -5,7 +5,7 @@
 namespace bati {
 
 std::string CostEngineStats::ToString() const {
-  char buf[512];
+  char buf[640];
   std::snprintf(
       buf, sizeof(buf),
       "what-if calls=%lld (cache hits=%lld, batched=%lld), derived "
@@ -21,18 +21,37 @@ std::string CostEngineStats::ToString() const {
       static_cast<long long>(index_scanned_entries),
       static_cast<long long>(index_pruned_entries), executor_wall_seconds,
       simulated_whatif_seconds);
-  return buf;
+  std::string out = buf;
+  if (governor_skipped_calls > 0 || governor_stop_round >= 0) {
+    std::snprintf(buf, sizeof(buf),
+                  ", governor: skipped=%lld (banked=%lld, realloc=%lld)",
+                  static_cast<long long>(governor_skipped_calls),
+                  static_cast<long long>(governor_banked_calls),
+                  static_cast<long long>(governor_reallocated_calls));
+    out += buf;
+    if (governor_stop_round >= 0) {
+      std::snprintf(buf, sizeof(buf), ", stopped at round %d (call %lld)",
+                    governor_stop_round,
+                    static_cast<long long>(governor_stop_calls));
+      out += buf;
+    }
+  }
+  return out;
 }
 
 std::string CostEngineStats::ToJson() const {
-  char buf[512];
+  char buf[768];
   std::snprintf(
       buf, sizeof(buf),
       "{\"what_if_calls\":%lld,\"cache_hits\":%lld,\"batched_cells\":%lld,"
       "\"derived_lookups\":%lld,\"delta_lookups\":%lld,"
       "\"index_entries\":%lld,\"index_scanned_entries\":%lld,"
-      "\"index_pruned_entries\":%lld,\"executor_wall_seconds\":%.6f,"
-      "\"simulated_whatif_seconds\":%.3f}",
+      "\"index_pruned_entries\":%lld,\"lower_bound_lookups\":%lld,"
+      "\"executor_wall_seconds\":%.6f,"
+      "\"simulated_whatif_seconds\":%.3f,"
+      "\"governor_skipped_calls\":%lld,\"governor_banked_calls\":%lld,"
+      "\"governor_reallocated_calls\":%lld,\"governor_stop_round\":%d,"
+      "\"governor_stop_calls\":%lld}",
       static_cast<long long>(what_if_calls),
       static_cast<long long>(cache_hits),
       static_cast<long long>(batched_cells),
@@ -40,8 +59,13 @@ std::string CostEngineStats::ToJson() const {
       static_cast<long long>(delta_lookups),
       static_cast<long long>(index_entries),
       static_cast<long long>(index_scanned_entries),
-      static_cast<long long>(index_pruned_entries), executor_wall_seconds,
-      simulated_whatif_seconds);
+      static_cast<long long>(index_pruned_entries),
+      static_cast<long long>(lower_bound_lookups), executor_wall_seconds,
+      simulated_whatif_seconds,
+      static_cast<long long>(governor_skipped_calls),
+      static_cast<long long>(governor_banked_calls),
+      static_cast<long long>(governor_reallocated_calls),
+      governor_stop_round, static_cast<long long>(governor_stop_calls));
   return buf;
 }
 

@@ -30,15 +30,34 @@ struct CostEngineStats {
   int64_t index_pruned_entries = 0;
   /// Entries actually examined by subset-minimum lookups.
   int64_t index_scanned_entries = 0;
+  /// Cost lower-bound lookups (superset-max / additive probes issued on
+  /// behalf of the budget governor).
+  int64_t lower_bound_lookups = 0;
   /// Real wall-clock seconds spent inside the executor (optimizer calls,
   /// including the parallel CostMany() path).
   double executor_wall_seconds = 0.0;
   /// Simulated server-side what-if seconds (paper Figure 2 accounting).
   double simulated_whatif_seconds = 0.0;
 
-  /// One-line human-readable rendering, e.g. for CLI output.
+  // ---- Budget-governor decisions (all zero / -1 when ungoverned). ----
+  /// What-if calls the governor skipped (budget units banked at the time).
+  int64_t governor_skipped_calls = 0;
+  /// Banked units still unspent at the end of the run.
+  int64_t governor_banked_calls = 0;
+  /// Banked units re-spent on calls an ungoverned FCFS run could not have
+  /// afforded (skipped == banked + reallocated).
+  int64_t governor_reallocated_calls = 0;
+  /// Tuner round at which early stopping fired; -1 when it never did.
+  int governor_stop_round = -1;
+  /// Charged calls at the moment early stopping fired; -1 when it never
+  /// did.
+  int64_t governor_stop_calls = -1;
+
+  /// One-line human-readable rendering, e.g. for CLI output. Governor
+  /// counters are appended only when the governor intervened.
   std::string ToString() const;
-  /// Machine-readable JSON object with one field per counter.
+  /// Machine-readable JSON object with one field per counter (governor
+  /// fields always present, so the schema is stable).
   std::string ToJson() const;
 };
 

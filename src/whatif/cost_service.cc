@@ -1,5 +1,7 @@
 #include "whatif/cost_service.h"
 
+#include <algorithm>
+
 #include "common/macros.h"
 
 namespace bati {
@@ -7,6 +9,13 @@ namespace bati {
 CostService::CostService(const WhatIfOptimizer* optimizer,
                          const Workload* workload,
                          const std::vector<Index>* candidates, int64_t budget)
+    : CostService(optimizer, workload, candidates, budget,
+                  BudgetGovernorOptions{}) {}
+
+CostService::CostService(const WhatIfOptimizer* optimizer,
+                         const Workload* workload,
+                         const std::vector<Index>* candidates, int64_t budget,
+                         const BudgetGovernorOptions& governor)
     : optimizer_(optimizer),
       workload_(workload),
       candidates_(candidates),
@@ -28,6 +37,52 @@ CostService::CostService(const WhatIfOptimizer* optimizer,
                          no_indexes);
     base_workload_cost_ += base_costs_[static_cast<size_t>(q)];
   }
+  floor_costs_ = base_costs_;
+  floor_workload_cost_ = base_workload_cost_;
+  if (governor.enabled) {
+    governor_ = std::make_unique<BudgetGovernor>(governor, budget,
+                                                 base_workload_cost_);
+  }
+}
+
+int CostService::BeginRound() {
+  const int round = meter_.BeginRound();
+  if (governor_ != nullptr) {
+    governor_->OnRound(round, meter_.calls_made(), meter_.remaining(),
+                       floor_workload_cost_);
+  }
+  return round;
+}
+
+CellQuote CostService::MakeQuote(int query_id, const Config& config) const {
+  CellQuote quote;
+  quote.query_id = query_id;
+  quote.base_cost = BaseCost(query_id);
+  quote.calls_made = meter_.calls_made();
+  quote.remaining_budget = meter_.remaining();
+  if (!governor_->WantsCostBounds()) {
+    // Early-stop-only governor: OnCell never consults the bracket, so the
+    // bound probes would be pure overhead.
+    quote.derived_upper = quote.base_cost;
+    quote.cost_lower = 0.0;
+    return quote;
+  }
+  quote.derived_upper = index_.SubsetMin(query_id, config, quote.base_cost);
+  const double lb =
+      std::max(index_.SupersetMaxLowerBound(query_id, config),
+               index_.AdditiveLowerBound(query_id, config, quote.base_cost));
+  // Clamp: the additive bound is heuristic and must never invert the
+  // bracket (a negative gap would make zero-threshold skipping fire).
+  quote.cost_lower = std::min(std::max(lb, 0.0), quote.derived_upper);
+  return quote;
+}
+
+void CostService::NoteEvaluated(int query_id, double cost) {
+  double& floor = floor_costs_[static_cast<size_t>(query_id)];
+  if (cost < floor) {
+    floor_workload_cost_ -= floor - cost;
+    floor = cost;
+  }
 }
 
 double CostService::BaseCost(int query_id) const {
@@ -42,10 +97,25 @@ std::optional<double> CostService::WhatIfCost(int query_id,
     meter_.RecordCacheHit();
     return *cached;
   }
+  if (governor_ != nullptr) {
+    if (governor_->ShouldStop()) return std::nullopt;
+    CellQuote quote = MakeQuote(query_id, config);
+    if (governor_->OnCell(quote) == CellDecision::kSkip) {
+      return quote.derived_upper;  // free: the budget unit is banked
+    }
+    if (!meter_.TryCharge(query_id, config)) return std::nullopt;
+    const std::vector<size_t> positions = config.ToIndices();
+    double cost = executor_.EvaluateCell(query_id, positions);
+    index_.Add(query_id, config, positions, cost);
+    NoteEvaluated(query_id, cost);
+    governor_->OnCharged(quote, cost, floor_workload_cost_);
+    return cost;
+  }
   if (!meter_.TryCharge(query_id, config)) return std::nullopt;
   const std::vector<size_t> positions = config.ToIndices();
   double cost = executor_.EvaluateCell(query_id, positions);
   index_.Add(query_id, config, positions, cost);
+  NoteEvaluated(query_id, cost);
   return cost;
 }
 
@@ -59,9 +129,12 @@ std::vector<std::optional<double>> CostService::WhatIfCostMany(
     return out;
   }
   // Charge sequentially in input order — exactly the cells a WhatIfCost()
-  // loop would buy — and collect the uncached, affordable ones.
+  // loop would buy — and collect the uncached, affordable ones. Governed
+  // runs consult the governor per cell before charging; skip decisions
+  // quote the cache as of batch entry (see header).
   std::vector<WhatIfExecutor::CellRef> to_run;
   std::vector<size_t> run_slots;  // out[] slot of each cell in to_run
+  std::vector<CellQuote> run_quotes;  // governed runs: quote per to_run cell
   // (duplicate slot, first-occurrence slot): a repeated query later in the
   // batch is a cache hit in loop semantics.
   std::vector<std::pair<size_t, size_t>> duplicates;
@@ -85,6 +158,19 @@ std::vector<std::optional<double>> CostService::WhatIfCostMany(
       duplicates.emplace_back(i, run_slots[first]);
       continue;
     }
+    if (governor_ != nullptr) {
+      if (governor_->ShouldStop()) continue;  // nullopt: stopped
+      CellQuote quote = MakeQuote(q, config);
+      if (governor_->OnCell(quote) == CellDecision::kSkip) {
+        out[i] = quote.derived_upper;
+        continue;
+      }
+      if (!meter_.TryCharge(q, config)) continue;  // nullopt: exhausted
+      to_run.push_back(WhatIfExecutor::CellRef{q, &config});
+      run_slots.push_back(i);
+      run_quotes.push_back(quote);
+      continue;
+    }
     if (!meter_.TryCharge(q, config)) continue;  // nullopt: exhausted
     to_run.push_back(WhatIfExecutor::CellRef{q, &config});
     run_slots.push_back(i);
@@ -94,6 +180,10 @@ std::vector<std::optional<double>> CostService::WhatIfCostMany(
     std::vector<double> costs = executor_.EvaluateCells(to_run);
     for (size_t j = 0; j < to_run.size(); ++j) {
       index_.Add(to_run[j].query_id, config, positions, costs[j]);
+      NoteEvaluated(to_run[j].query_id, costs[j]);
+      if (governor_ != nullptr) {
+        governor_->OnCharged(run_quotes[j], costs[j], floor_workload_cost_);
+      }
       out[run_slots[j]] = costs[j];
     }
   }
@@ -175,6 +265,14 @@ CostEngineStats CostService::EngineStats() const {
   stats.executor_wall_seconds = executor_.wall_seconds();
   stats.simulated_whatif_seconds = executor_.simulated_seconds();
   index_.AccumulateStats(&stats);
+  if (governor_ != nullptr) {
+    const GovernorStats g = governor_->stats();
+    stats.governor_skipped_calls = g.skipped_calls;
+    stats.governor_banked_calls = g.banked_calls;
+    stats.governor_reallocated_calls = g.reallocated_calls;
+    stats.governor_stop_round = g.stop_round;
+    stats.governor_stop_calls = g.stop_calls;
+  }
   return stats;
 }
 

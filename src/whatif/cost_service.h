@@ -2,9 +2,11 @@
 #define BATI_WHATIF_COST_SERVICE_H_
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <vector>
 
+#include "budget/governor.h"
 #include "common/bitset.h"
 #include "optimizer/what_if.h"
 #include "storage/index.h"
@@ -26,7 +28,13 @@ namespace bati {
 ///  * WhatIfExecutor — optimizer invocation, materialization, simulated
 ///    latency, and the batched (thread-pooled) CostMany() path;
 ///  * DerivedCostIndex — the what-if cache plus posting lists answering
-///    Equation-1 subset minima incrementally.
+///    Equation-1 subset minima incrementally;
+///  * BudgetGovernor (optional, src/budget/) — a policy layer between the
+///    tuners and the meter that may skip provably-bounded what-if calls
+///    (answering with the derived cost, for free) and halt tuning early
+///    once the projected remaining improvement is negligible. Disabled by
+///    default; an ungoverned run is bit-identical to the pre-governor
+///    engine.
 ///
 /// The classic entry points:
 ///
@@ -56,13 +64,41 @@ class CostService {
   CostService(const WhatIfOptimizer* optimizer, const Workload* workload,
               const std::vector<Index>* candidates, int64_t budget);
 
+  /// As above, with a budget governor (src/budget/) between the tuner and
+  /// the meter. With `governor.enabled == false` this is exactly the plain
+  /// constructor; with it enabled, uncached cells are quoted to the
+  /// governor before charging (it may skip them, answering with the
+  /// derived cost for free) and HasBudget() additionally turns false once
+  /// the governor's early-stopping checker fires — which every tuner
+  /// already handles as ordinary budget exhaustion.
+  CostService(const WhatIfOptimizer* optimizer, const Workload* workload,
+              const std::vector<Index>* candidates, int64_t budget,
+              const BudgetGovernorOptions& governor);
+
   int num_queries() const { return workload_->num_queries(); }
   int num_candidates() const { return static_cast<int>(candidates_->size()); }
   int64_t budget() const { return meter_.budget(); }
   int64_t calls_made() const { return meter_.calls_made(); }
   int64_t remaining_budget() const { return meter_.remaining(); }
-  bool HasBudget() const { return meter_.HasBudget(); }
+  bool HasBudget() const { return meter_.HasBudget() && !GovernorStopped(); }
   int64_t cache_hits() const { return meter_.cache_hits(); }
+
+  /// Declares the start of the next tuner round (greedy iteration, MCTS
+  /// episode, bandit/DQN round, DTA slice, relaxation step). Subsequent
+  /// charged calls carry the new round tag in the layout trace, and the
+  /// governor — when present — updates its improvement curve and evaluates
+  /// early stopping at exactly these boundaries. Returns the 1-based round
+  /// number. Behaviour-neutral for ungoverned runs.
+  int BeginRound();
+
+  /// True once the governor's early-stopping checker has fired (always
+  /// false for ungoverned runs).
+  bool GovernorStopped() const {
+    return governor_ != nullptr && governor_->ShouldStop();
+  }
+
+  /// The governor, when one was configured; nullptr otherwise.
+  const BudgetGovernor* governor() const { return governor_.get(); }
 
   /// An empty configuration over the candidate universe.
   Config EmptyConfig() const { return Config(candidates_->size()); }
@@ -80,15 +116,21 @@ class CostService {
 
   /// Counted what-if call for one (query, configuration) cell. Returns the
   /// cached cost for free if this cell was already evaluated; otherwise
-  /// spends one budget unit. Returns nullopt iff the budget is exhausted and
-  /// the cell is unknown.
+  /// spends one budget unit. Returns nullopt iff the cell is unknown and
+  /// the budget is exhausted (or the governor has stopped the run). A
+  /// governed call the governor decides to skip returns the derived cost
+  /// d(q, C) without charging — exactly the value the caller would fall
+  /// back to on nullopt.
   std::optional<double> WhatIfCost(int query_id, const Config& config);
 
   /// Counted what-if calls for one configuration across many queries — the
   /// batched equivalent of calling WhatIfCost(query_ids[i], config) in
   /// order. Budget is charged sequentially in input order (a hard cap, same
   /// cells succeed/fail as the loop); uncached cells are evaluated
-  /// concurrently by the executor. Results are identical to the loop.
+  /// concurrently by the executor. Results are identical to the loop, with
+  /// one governed-run caveat: skip decisions quote the cache as of batch
+  /// entry (a sequential loop would see cells cached earlier in the same
+  /// batch). Decisions stay deterministic either way.
   std::vector<std::optional<double>> WhatIfCostMany(
       const std::vector<int>& query_ids, const Config& config);
 
@@ -150,14 +192,27 @@ class CostService {
   CostEngineStats EngineStats() const;
 
  private:
+  /// Builds the governor's quote for one uncached cell: derived upper
+  /// bound, clamped cost lower bound, and budget state.
+  CellQuote MakeQuote(int query_id, const Config& config) const;
+
+  /// Folds a freshly evaluated cell into the per-query optimistic floor
+  /// (the governor's improvement-curve y axis).
+  void NoteEvaluated(int query_id, double cost);
+
   const WhatIfOptimizer* optimizer_;
   const Workload* workload_;
   const std::vector<Index>* candidates_;
   BudgetMeter meter_;
   WhatIfExecutor executor_;
   DerivedCostIndex index_;
+  std::unique_ptr<BudgetGovernor> governor_;
   std::vector<double> base_costs_;
   double base_workload_cost_ = 0.0;
+  /// Per-query minimum over cached cells (base cost before any), and its
+  /// workload sum: the best workload cost the cache currently supports.
+  std::vector<double> floor_costs_;
+  double floor_workload_cost_ = 0.0;
 };
 
 }  // namespace bati

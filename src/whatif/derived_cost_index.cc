@@ -127,6 +127,44 @@ double DerivedCostIndex::SingletonMin(int query_id, const Config& config,
   return best;
 }
 
+double DerivedCostIndex::SupersetMaxLowerBound(int query_id,
+                                               const Config& config,
+                                               double floor) const {
+  lower_bound_lookups_.fetch_add(1, std::memory_order_relaxed);
+  const QueryIndex& qi = at(query_id);
+  const size_t members = config.count();
+  int64_t scanned = 0;
+  double bound = floor;
+  // Cost-descending: the first superset found carries the maximum cost.
+  for (auto it = qi.by_cost.rbegin(); it != qi.by_cost.rend(); ++it) {
+    const Entry& e = qi.entries[static_cast<size_t>(*it)];
+    ++scanned;
+    if (e.config.count() < members) continue;  // cannot contain config
+    if (config.IsSubsetOf(e.config)) {
+      bound = std::max(bound, e.cost);
+      break;
+    }
+  }
+  scanned_entries_.fetch_add(scanned, std::memory_order_relaxed);
+  pruned_entries_.fetch_add(
+      static_cast<int64_t>(qi.by_cost.size()) - scanned,
+      std::memory_order_relaxed);
+  return bound;
+}
+
+double DerivedCostIndex::AdditiveLowerBound(int query_id, const Config& config,
+                                            double base, double floor) const {
+  lower_bound_lookups_.fetch_add(1, std::memory_order_relaxed);
+  const QueryIndex& qi = at(query_id);
+  double bound = base;
+  for (size_t pos : config.ToIndices()) {
+    const double c = qi.singleton[pos];
+    if (std::isnan(c)) return floor;  // unknown member: no usable bound
+    bound -= std::max(0.0, base - c);
+  }
+  return std::max(bound, floor);
+}
+
 int64_t DerivedCostIndex::entry_count(int query_id) const {
   return static_cast<int64_t>(at(query_id).entries.size());
 }
@@ -139,6 +177,8 @@ void DerivedCostIndex::AccumulateStats(CostEngineStats* stats) const {
       scanned_entries_.load(std::memory_order_relaxed);
   stats->index_pruned_entries +=
       pruned_entries_.load(std::memory_order_relaxed);
+  stats->lower_bound_lookups +=
+      lower_bound_lookups_.load(std::memory_order_relaxed);
 }
 
 }  // namespace bati

@@ -69,6 +69,24 @@ class DerivedCostIndex {
   /// singleton costs; `base` = c(q, {}).
   double SingletonMin(int query_id, const Config& config, double base) const;
 
+  /// Lower bound on c(q, C) from cached *supersets*: by cost monotonicity
+  /// (adding indexes never raises a query's cost) every cached S ⊇ C has
+  /// c(q, S) <= c(q, C), so the maximum such cost bounds c(q, C) from
+  /// below. Returns `floor` when no superset is cached. Scans entries in
+  /// cost-descending order, so the first superset found is the maximum.
+  double SupersetMaxLowerBound(int query_id, const Config& config,
+                               double floor = 0.0) const;
+
+  /// Heuristic lower bound on c(q, C) assuming per-index improvements are
+  /// subadditive: base - sum over z in C of max(0, base - c(q, {z})).
+  /// Requires every member's singleton cost to be known (returns `floor`
+  /// otherwise — an unevaluated member could contribute arbitrarily much).
+  /// Exact for independent scans; index interactions that make combined
+  /// improvements superadditive can violate it, which is why the budget
+  /// governor clamps lower bounds to the derived upper bound.
+  double AdditiveLowerBound(int query_id, const Config& config, double base,
+                            double floor = 0.0) const;
+
   /// Number of cached cells for one query / overall.
   int64_t entry_count(int query_id) const;
   int64_t total_entries() const { return total_entries_; }
@@ -110,6 +128,7 @@ class DerivedCostIndex {
   mutable std::atomic<int64_t> delta_lookups_{0};
   mutable std::atomic<int64_t> scanned_entries_{0};
   mutable std::atomic<int64_t> pruned_entries_{0};
+  mutable std::atomic<int64_t> lower_bound_lookups_{0};
 };
 
 }  // namespace bati

@@ -8,7 +8,7 @@ namespace bati {
 std::string LayoutToCsv(const CostService& service,
                         const Workload& workload) {
   std::string out =
-      "call,query_id,query_name,config_size,config,what_if_cost\n";
+      "call,query_id,query_name,config_size,config,what_if_cost,round\n";
   char buf[64];
   for (size_t i = 0; i < service.layout().size(); ++i) {
     const LayoutEntry& e = service.layout()[i];
@@ -26,6 +26,7 @@ std::string LayoutToCsv(const CostService& service,
     auto cost = service.CachedCost(e.query_id, e.config);
     std::snprintf(buf, sizeof(buf), "%.6g", cost.value_or(-1.0));
     out += buf;
+    out += "," + std::to_string(e.round);
     out += "\n";
   }
   return out;

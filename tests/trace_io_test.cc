@@ -19,6 +19,7 @@ TEST(TraceIo, CsvHasHeaderAndOneRowPerCall) {
   Config a = service.EmptyConfig();
   a.set(0);
   service.WhatIfCost(0, a);
+  service.BeginRound();
   service.WhatIfCost(1, a.With(1));
 
   std::string csv = LayoutToCsv(service, bundle.workload);
@@ -26,9 +27,12 @@ TEST(TraceIo, CsvHasHeaderAndOneRowPerCall) {
   // header + 2 rows + trailing empty
   ASSERT_EQ(lines.size(), 4u);
   EXPECT_EQ(lines[0],
-            "call,query_id,query_name,config_size,config,what_if_cost");
+            "call,query_id,query_name,config_size,config,what_if_cost,round");
   EXPECT_TRUE(StartsWith(lines[1], "1,0,Q1,1,0,"));
   EXPECT_TRUE(StartsWith(lines[2], "2,1,Q2,2,0;1,"));
+  // The first call pre-dates any round; the second carries round 1.
+  EXPECT_TRUE(EndsWith(lines[1], ",0"));
+  EXPECT_TRUE(EndsWith(lines[2], ",1"));
 }
 
 TEST(TraceIo, CsvCostsMatchCache) {

@@ -17,6 +17,7 @@ int main(int argc, char** argv) {
   std::string workload = "tpch";
   std::string out_prefix = "workload";
   bool engine_stats = false;
+  bool governor = false;
   for (int i = 1; i < argc; ++i) {
     std::string flag = argv[i];
     if (flag == "--workload" && i + 1 < argc) {
@@ -25,12 +26,17 @@ int main(int argc, char** argv) {
       out_prefix = argv[++i];
     } else if (flag == "--engine-stats") {
       engine_stats = true;
+    } else if (flag == "--governor") {
+      governor = true;
     } else {
       std::fprintf(stderr,
-                   "usage: %s --workload NAME [--out PREFIX] [--engine-stats]\n"
+                   "usage: %s --workload NAME [--out PREFIX] [--engine-stats]"
+                   " [--governor]\n"
                    "writes PREFIX.schema.sql and PREFIX.queries.sql;\n"
                    "--engine-stats instead runs a small greedy tuning probe\n"
-                   "and prints the cost-engine counters as JSON\n",
+                   "and prints the cost-engine counters as JSON;\n"
+                   "--governor runs the probe with the budget governor\n"
+                   "enabled, so skip/stop decisions appear in the stats\n",
                    argv[0]);
       return 2;
     }
@@ -40,7 +46,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "unknown workload: %s\n", workload.c_str());
     return 1;
   }
-  if (engine_stats) {
+  if (engine_stats || governor) {
     // Small deterministic greedy probe: enough activity to exercise the
     // cache, the batched executor, and the derived-cost index.
     RunSpec spec;
@@ -48,6 +54,7 @@ int main(int argc, char** argv) {
     spec.algorithm = "vanilla-greedy";
     spec.budget = 200;
     spec.max_indexes = 5;
+    if (governor) spec.governor = BudgetGovernorOptions::Enabled();
     RunOutcome outcome = RunOnce(bundle, spec);
     std::printf("{\"workload\":\"%s\",\"engine_stats\":%s}\n",
                 workload.c_str(), outcome.engine.ToJson().c_str());

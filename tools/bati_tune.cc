@@ -36,6 +36,12 @@ struct Args {
   bool show_layout = false;
   std::string layout_csv;  // write the layout trace to this CSV file
   bool json = false;       // print a machine-readable result line
+  // Budget governor (src/budget/): off unless one of these is given.
+  bool early_stop = false;      // Esc-style early stopping
+  bool realloc_budget = false;  // Wii-style what-if skipping
+  double skip_threshold = -1.0;  // relative skip threshold (default 0.01)
+  double stop_threshold = -1.0;  // absolute stop threshold, pct pts (0.1)
+  int64_t stop_window = 0;       // trailing window in calls (0 = auto)
 };
 
 void Usage(const char* argv0) {
@@ -56,7 +62,16 @@ void Usage(const char* argv0) {
       "  --layout            dump the budget-allocation layout trace\n"
       "  --layout-csv PATH   write the layout trace as CSV\n"
       "  --json              print a machine-readable result line\n"
-      "  --verbose           per-query improvement details\n",
+      "  --verbose           per-query improvement details\n"
+      "  --early-stop        governor: stop early when the projected\n"
+      "                      remaining improvement is negligible\n"
+      "  --realloc-budget    governor: skip what-if calls whose improvement\n"
+      "                      is provably bounded, banking the budget\n"
+      "  --skip-threshold X  relative skip threshold (default 0.01)\n"
+      "  --stop-threshold X  absolute stop threshold in improvement\n"
+      "                      percentage points (default 0.1)\n"
+      "  --stop-window N     early-stop trailing window in calls (default:\n"
+      "                      max(16, budget/20))\n",
       argv0);
 }
 
@@ -110,6 +125,22 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->layout_csv = v;
     } else if (flag == "--json") {
       args->json = true;
+    } else if (flag == "--early-stop") {
+      args->early_stop = true;
+    } else if (flag == "--realloc-budget") {
+      args->realloc_budget = true;
+    } else if (flag == "--skip-threshold") {
+      const char* v = next();
+      if (!v) return false;
+      args->skip_threshold = std::atof(v);
+    } else if (flag == "--stop-threshold") {
+      const char* v = next();
+      if (!v) return false;
+      args->stop_threshold = std::atof(v);
+    } else if (flag == "--stop-window") {
+      const char* v = next();
+      if (!v) return false;
+      args->stop_window = std::atoll(v);
     } else if (flag == "--verbose") {
       args->verbose = true;
     } else if (flag == "--help" || flag == "-h") {
@@ -190,8 +221,22 @@ int main(int argc, char** argv) {
   ctx.constraints.max_indexes = args.k;
   ctx.constraints.max_storage_bytes = args.storage_gb * 1e9;
 
+  BudgetGovernorOptions governor;
+  if (args.early_stop || args.realloc_budget) {
+    governor.enabled = true;
+    governor.early_stop = args.early_stop;
+    governor.skip_what_if = args.realloc_budget;
+    if (args.skip_threshold >= 0.0) {
+      governor.realloc.skip_rel_threshold = args.skip_threshold;
+    }
+    if (args.stop_threshold >= 0.0) {
+      governor.stop.abs_threshold_pct = args.stop_threshold;
+    }
+    if (args.stop_window > 0) governor.stop.window_calls = args.stop_window;
+  }
+
   CostService service(bundle.optimizer.get(), &bundle.workload,
-                      &bundle.candidates.indexes, budget);
+                      &bundle.candidates.indexes, budget, governor);
   auto tuner = MakeTuner(args.algorithm, ctx, args.seed);
   std::printf("tuning %s (%d queries, %d candidates) with %s, budget=%lld, "
               "K=%d%s\n\n",
@@ -222,6 +267,25 @@ int main(int argc, char** argv) {
               service.SimulatedWhatIfSeconds() / 60.0);
   std::printf("cost engine:               %s\n",
               service.EngineStats().ToString().c_str());
+  if (const BudgetGovernor* gov = service.governor()) {
+    GovernorStats gs = gov->stats();
+    std::printf("budget governor:           skipped=%lld calls (banked=%lld, "
+                "reallocated=%lld)\n",
+                static_cast<long long>(gs.skipped_calls),
+                static_cast<long long>(gs.banked_calls),
+                static_cast<long long>(gs.reallocated_calls));
+    if (gs.stop_round >= 0) {
+      std::printf("                           stopped early at round %d "
+                  "(call %lld of %lld)\n",
+                  gs.stop_round, static_cast<long long>(gs.stop_calls),
+                  static_cast<long long>(budget));
+    }
+    if (gs.remaining_improvement_ub_pct >= 0.0) {
+      std::printf("                           remaining improvement bound: "
+                  "%.4f%% pts\n",
+                  gs.remaining_improvement_ub_pct);
+    }
+  }
 
   if (args.verbose) {
     std::printf("\nper-query improvement:\n");

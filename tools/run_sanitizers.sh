@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Builds and runs the full ctest suite under sanitizers:
+#
+#   tools/run_sanitizers.sh            # ASan+UBSan, then TSan
+#   tools/run_sanitizers.sh address    # ASan+UBSan only
+#   tools/run_sanitizers.sh thread     # TSan only
+#
+# Each sanitizer gets its own build tree (build-asan/, build-tsan/) so the
+# regular build/ directory is untouched. Exits non-zero on the first
+# sanitizer failure.
+
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+jobs="$(nproc 2>/dev/null || echo 4)"
+mode="${1:-all}"
+
+run_one() {
+  local sanitize="$1" dir="$2"
+  echo "==> ${sanitize}: configuring ${dir}"
+  cmake -B "${repo_root}/${dir}" -S "${repo_root}" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DBATI_SANITIZE="${sanitize}" >/dev/null
+  echo "==> ${sanitize}: building"
+  cmake --build "${repo_root}/${dir}" -j "${jobs}" >/dev/null
+  echo "==> ${sanitize}: running ctest"
+  (cd "${repo_root}/${dir}" && ctest --output-on-failure -j "${jobs}")
+}
+
+case "${mode}" in
+  address) run_one address build-asan ;;
+  thread) run_one thread build-tsan ;;
+  all)
+    run_one address build-asan
+    run_one thread build-tsan
+    ;;
+  *)
+    echo "usage: $0 [address|thread|all]" >&2
+    exit 2
+    ;;
+esac
+
+echo "==> sanitizers clean"
