@@ -1,0 +1,44 @@
+#include "common/file_util.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#define BATI_HAVE_FSYNC 1
+#endif
+
+namespace bati {
+
+Status AtomicWriteFile(const std::string& path, const std::string& contents) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::NotFound("cannot open file for write: " + tmp + " (" +
+                            std::strerror(errno) + ")");
+  }
+  bool ok = contents.empty() ||
+            std::fwrite(contents.data(), 1, contents.size(), f) ==
+                contents.size();
+  ok = std::fflush(f) == 0 && ok;
+#ifdef BATI_HAVE_FSYNC
+  // Make the rename durable: without the fsync a crash shortly after the
+  // rename could surface an empty (not merely stale) file on some
+  // filesystems.
+  ok = fsync(fileno(f)) == 0 && ok;
+#endif
+  ok = std::fclose(f) == 0 && ok;
+  if (!ok) {
+    std::remove(tmp.c_str());
+    return Status::Internal("write failed: " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::Internal("rename failed: " + tmp + " -> " + path + " (" +
+                            std::strerror(errno) + ")");
+  }
+  return Status::Ok();
+}
+
+}  // namespace bati

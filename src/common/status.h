@@ -18,6 +18,11 @@ enum class StatusCode {
   kFailedPrecondition,
   kUnimplemented,
   kInternal,
+  /// A transient failure (e.g. an injected what-if fault); retrying the
+  /// same operation may succeed.
+  kUnavailable,
+  /// The operation exceeded its (simulated-clock) deadline.
+  kDeadlineExceeded,
 };
 
 /// Lightweight status object (RocksDB/Abseil idiom). The library does not
@@ -48,6 +53,12 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,0 +1,79 @@
+#include "faults/fault_injector.h"
+
+#include <cstdio>
+
+#include "common/macros.h"
+
+namespace bati {
+
+namespace {
+
+/// SplitMix64 finalizer: a strong 64-bit mixer, the same construction the
+/// library's Rng uses for seeding.
+uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+double ToUnit(uint64_t h) {
+  // 53 high bits -> [0, 1), the standard double construction.
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+std::string FaultOptions::ToIdentityString() const {
+  if (!enabled) return "faults=off";
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "faults=seed:%llu,transient:%g,sticky:%g,spike:%g,factor:%g",
+                static_cast<unsigned long long>(seed), transient_rate,
+                sticky_rate, spike_rate, spike_factor);
+  return buf;
+}
+
+FaultInjector::FaultInjector(const FaultOptions& options)
+    : options_(options) {
+  BATI_CHECK(options_.enabled);
+  BATI_CHECK(options_.transient_rate >= 0.0 && options_.transient_rate <= 1.0);
+  BATI_CHECK(options_.sticky_rate >= 0.0 && options_.sticky_rate <= 1.0);
+  BATI_CHECK(options_.spike_rate >= 0.0 && options_.spike_rate <= 1.0);
+  BATI_CHECK(options_.spike_factor >= 1.0);
+}
+
+double FaultInjector::Draw(uint64_t salt, int query_id, uint64_t config_hash,
+                           int attempt) const {
+  uint64_t h = Mix(options_.seed ^ salt);
+  h = Mix(h ^ static_cast<uint64_t>(query_id));
+  h = Mix(h ^ config_hash);
+  h = Mix(h ^ static_cast<uint64_t>(attempt));
+  return ToUnit(h);
+}
+
+FaultDecision FaultInjector::Decide(int query_id, uint64_t config_hash,
+                                    int attempt) const {
+  BATI_CHECK(attempt >= 1);
+  FaultDecision d;
+  // Sticky failure is a property of the cell, not the attempt.
+  if (options_.sticky_rate > 0.0 &&
+      Draw(/*salt=*/0x571c4fULL, query_id, config_hash, /*attempt=*/0) <
+          options_.sticky_rate) {
+    d.kind = FaultKind::kSticky;
+    return d;
+  }
+  if (options_.spike_rate > 0.0 &&
+      Draw(/*salt=*/0x1a7e2c5ULL, query_id, config_hash, attempt) <
+          options_.spike_rate) {
+    d.latency_multiplier = options_.spike_factor;
+  }
+  if (options_.transient_rate > 0.0 &&
+      Draw(/*salt=*/0x7a2b51e47ULL, query_id, config_hash, attempt) <
+          options_.transient_rate) {
+    d.kind = FaultKind::kTransient;
+  }
+  return d;
+}
+
+}  // namespace bati

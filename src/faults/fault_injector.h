@@ -1,0 +1,88 @@
+#ifndef BATI_FAULTS_FAULT_INJECTOR_H_
+#define BATI_FAULTS_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <string>
+
+namespace bati {
+
+/// Configuration of the what-if fault model. All rates are probabilities in
+/// [0, 1]; with `enabled == false` (the default) the injector is never
+/// constructed and the cost engine is bit-identical to the fault-free
+/// engine.
+///
+/// The model mirrors how a real DBMS what-if API misbehaves:
+///  * transient errors — an individual call fails (connection drop,
+///    throttling); an immediate retry may succeed;
+///  * latency spikes — a call takes `spike_factor` times its usual
+///    simulated latency, which trips the executor's per-call timeout when
+///    one is configured;
+///  * sticky cells — a (query, configuration) pair that fails on every
+///    attempt (a plan the hypothetical-index interface cannot cost), so
+///    retrying is futile and the engine must degrade to the derived cost.
+struct FaultOptions {
+  /// Master switch; everything below is ignored when false.
+  bool enabled = false;
+  /// Seed of the fault schedule. The schedule is a pure function of
+  /// (seed, query, configuration, attempt): deterministic, independent of
+  /// evaluation order and thread interleaving, and exactly reproducible
+  /// across checkpoint/resume.
+  uint64_t seed = 1;
+  /// Per-attempt probability of a transient error.
+  double transient_rate = 0.0;
+  /// Per-cell probability that the cell fails on every attempt.
+  double sticky_rate = 0.0;
+  /// Per-attempt probability of a latency spike.
+  double spike_rate = 0.0;
+  /// Simulated-latency multiplier during a spike.
+  double spike_factor = 20.0;
+  /// Named crash point "round-N": the engine writes its checkpoint at the
+  /// BeginRound(N) boundary and then terminates the process (exit code 42),
+  /// simulating a crash for kill-and-resume testing. 0 disables.
+  int crash_at_round = 0;
+
+  /// One-line rendering of the fault model, stamped into run identities.
+  std::string ToIdentityString() const;
+};
+
+/// What the injector decided for one evaluation attempt.
+enum class FaultKind {
+  kNone,       // the attempt may proceed (possibly with spiked latency)
+  kTransient,  // the attempt fails; a retry may succeed
+  kSticky,     // the cell fails on every attempt
+};
+
+struct FaultDecision {
+  FaultKind kind = FaultKind::kNone;
+  /// Simulated-latency multiplier for this attempt (>= 1).
+  double latency_multiplier = 1.0;
+};
+
+/// Deterministic, seeded fault source wrapping the what-if optimizer. The
+/// injector is stateless: Decide() is a pure function of its arguments and
+/// the seed, so concurrent workers need no synchronization, batched and
+/// sequential evaluation see the identical fault schedule, and a resumed
+/// run replays the exact faults of the original. Fault *counters* live with
+/// the executor (which observes outcomes), not here.
+class FaultInjector {
+ public:
+  explicit FaultInjector(const FaultOptions& options);
+
+  const FaultOptions& options() const { return options_; }
+
+  /// The fault decision for attempt `attempt` (1-based) of evaluating cell
+  /// (query_id, config), where `config_hash` is Config::Hash() of the
+  /// configuration. Pure and thread-safe.
+  FaultDecision Decide(int query_id, uint64_t config_hash, int attempt) const;
+
+ private:
+  /// Uniform [0, 1) draw from the per-cell stream salted by `salt`.
+  double Draw(uint64_t salt, int query_id, uint64_t config_hash,
+              int attempt) const;
+
+  FaultOptions options_;
+};
+
+}  // namespace bati
+
+#endif  // BATI_FAULTS_FAULT_INJECTOR_H_

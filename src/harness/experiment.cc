@@ -115,6 +115,23 @@ std::unique_ptr<Tuner> MakeTuner(const std::string& algorithm,
   return nullptr;
 }
 
+std::string RunIdentity(const RunSpec& spec) {
+  char buf[256];
+  std::snprintf(
+      buf, sizeof(buf),
+      "workload=%s,algorithm=%s,budget=%lld,k=%d,storage=%g,seed=%llu,"
+      "governor=%d/%d/%d",
+      spec.workload.c_str(), spec.algorithm.c_str(),
+      static_cast<long long>(spec.budget), spec.max_indexes,
+      spec.max_storage_bytes, static_cast<unsigned long long>(spec.seed),
+      spec.governor.enabled ? 1 : 0, spec.governor.skip_what_if ? 1 : 0,
+      spec.governor.early_stop ? 1 : 0);
+  std::string id = buf;
+  id += "," + spec.faults.ToIdentityString();
+  id += "," + spec.retry.ToIdentityString();
+  return id;
+}
+
 RunOutcome RunOnce(const WorkloadBundle& bundle, const RunSpec& spec) {
   TuningContext ctx;
   ctx.workload = &bundle.workload;
@@ -122,9 +139,22 @@ RunOutcome RunOnce(const WorkloadBundle& bundle, const RunSpec& spec) {
   ctx.constraints.max_indexes = spec.max_indexes;
   ctx.constraints.max_storage_bytes = spec.max_storage_bytes;
 
+  CostEngineOptions engine_options;
+  engine_options.governor = spec.governor;
+  engine_options.faults = spec.faults;
+  engine_options.retry = spec.retry;
+  engine_options.checkpoint_path = spec.checkpoint_path;
+  engine_options.run_identity = RunIdentity(spec);
   CostService service(bundle.optimizer.get(), &bundle.workload,
                       &bundle.candidates.indexes, spec.budget,
-                      spec.governor);
+                      engine_options);
+  if (!spec.resume_path.empty()) {
+    const Status st = service.ResumeFromFile(spec.resume_path);
+    if (!st.ok()) {
+      std::fprintf(stderr, "resume failed: %s\n", st.ToString().c_str());
+    }
+    BATI_CHECK(st.ok() && "resume from checkpoint failed");
+  }
   std::unique_ptr<Tuner> tuner = MakeTuner(spec.algorithm, ctx, spec.seed);
   TuningResult result = tuner->Tune(service);
 
@@ -145,6 +175,7 @@ RunOutcome RunOnce(const WorkloadBundle& bundle, const RunSpec& spec) {
   outcome.governor_banked = outcome.engine.governor_banked_calls;
   outcome.governor_reallocated = outcome.engine.governor_reallocated_calls;
   outcome.governor_stop_round = outcome.engine.governor_stop_round;
+  outcome.degraded_cells = outcome.engine.degraded_cells;
   return outcome;
 }
 

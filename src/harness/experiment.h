@@ -6,9 +6,12 @@
 #include <vector>
 
 #include "budget/governor.h"
+#include "common/status.h"
+#include "faults/fault_injector.h"
 #include "optimizer/what_if.h"
 #include "tuner/tuner.h"
 #include "whatif/cost_engine_stats.h"
+#include "whatif/whatif_executor.h"
 #include "workload/generators.h"
 
 namespace bati {
@@ -43,7 +46,24 @@ struct RunSpec {
   /// Budget-governor configuration (src/budget/); disabled by default, in
   /// which case the run is bit-identical to the pre-governor harness.
   BudgetGovernorOptions governor;
+  /// Injected what-if fault model (src/faults/); off by default, in which
+  /// case the run is bit-identical to the fault-free harness.
+  FaultOptions faults;
+  /// Retry/backoff policy around faulted what-if calls.
+  RetryPolicy retry;
+  /// When non-empty, the engine writes a crash-consistent checkpoint here
+  /// at every round boundary.
+  std::string checkpoint_path;
+  /// When non-empty, the run resumes from this checkpoint file (the tuner
+  /// replays deterministically from its seed; the engine answers the
+  /// journaled prefix instead of re-invoking the optimizer).
+  std::string resume_path;
 };
+
+/// The canonical identity string for a spec — everything that must match
+/// for a checkpoint to be resumable: workload, algorithm, constraints,
+/// seed, governor switches, fault model, and retry policy.
+std::string RunIdentity(const RunSpec& spec);
 
 /// One tuning run's measured outcome.
 struct RunOutcome {
@@ -72,6 +92,9 @@ struct RunOutcome {
   int64_t governor_banked = 0;
   int64_t governor_reallocated = 0;
   int governor_stop_round = -1;
+  /// Cells answered with the derived cost after exhausting their retries,
+  /// mirrored from `engine`. Zero when fault injection is off.
+  int64_t degraded_cells = 0;
 };
 
 /// Executes one tuning run against a bundle.

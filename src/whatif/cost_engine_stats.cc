@@ -22,6 +22,18 @@ std::string CostEngineStats::ToString() const {
       static_cast<long long>(index_pruned_entries), executor_wall_seconds,
       simulated_whatif_seconds);
   std::string out = buf;
+  if (degraded_cells > 0 || fault_transient_errors > 0 ||
+      fault_sticky_failures > 0 || fault_timeouts > 0 || retry_attempts > 0) {
+    std::snprintf(buf, sizeof(buf),
+                  ", faults: degraded=%lld, transient=%lld, sticky=%lld, "
+                  "timeout=%lld, retries=%lld",
+                  static_cast<long long>(degraded_cells),
+                  static_cast<long long>(fault_transient_errors),
+                  static_cast<long long>(fault_sticky_failures),
+                  static_cast<long long>(fault_timeouts),
+                  static_cast<long long>(retry_attempts));
+    out += buf;
+  }
   if (governor_skipped_calls > 0 || governor_stop_round >= 0) {
     std::snprintf(buf, sizeof(buf),
                   ", governor: skipped=%lld (banked=%lld, realloc=%lld)",
@@ -40,7 +52,7 @@ std::string CostEngineStats::ToString() const {
 }
 
 std::string CostEngineStats::ToJson() const {
-  char buf[768];
+  char buf[1024];
   std::snprintf(
       buf, sizeof(buf),
       "{\"what_if_calls\":%lld,\"cache_hits\":%lld,\"batched_cells\":%lld,"
@@ -49,6 +61,9 @@ std::string CostEngineStats::ToJson() const {
       "\"index_pruned_entries\":%lld,\"lower_bound_lookups\":%lld,"
       "\"executor_wall_seconds\":%.6f,"
       "\"simulated_whatif_seconds\":%.3f,"
+      "\"degraded_cells\":%lld,\"fault_transient_errors\":%lld,"
+      "\"fault_sticky_failures\":%lld,\"fault_timeouts\":%lld,"
+      "\"retry_attempts\":%lld,"
       "\"governor_skipped_calls\":%lld,\"governor_banked_calls\":%lld,"
       "\"governor_reallocated_calls\":%lld,\"governor_stop_round\":%d,"
       "\"governor_stop_calls\":%lld}",
@@ -61,7 +76,11 @@ std::string CostEngineStats::ToJson() const {
       static_cast<long long>(index_scanned_entries),
       static_cast<long long>(index_pruned_entries),
       static_cast<long long>(lower_bound_lookups), executor_wall_seconds,
-      simulated_whatif_seconds,
+      simulated_whatif_seconds, static_cast<long long>(degraded_cells),
+      static_cast<long long>(fault_transient_errors),
+      static_cast<long long>(fault_sticky_failures),
+      static_cast<long long>(fault_timeouts),
+      static_cast<long long>(retry_attempts),
       static_cast<long long>(governor_skipped_calls),
       static_cast<long long>(governor_banked_calls),
       static_cast<long long>(governor_reallocated_calls),

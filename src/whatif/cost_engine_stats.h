@@ -39,6 +39,17 @@ struct CostEngineStats {
   /// Simulated server-side what-if seconds (paper Figure 2 accounting).
   double simulated_whatif_seconds = 0.0;
 
+  // ---- Fault tolerance (all zero when fault injection is off). ----
+  /// Cells that exhausted their retries and were answered with the derived
+  /// cost d(q, C) instead of a what-if evaluation (never charged).
+  int64_t degraded_cells = 0;
+  /// Failed what-if attempts by kind, as observed by the retry loop.
+  int64_t fault_transient_errors = 0;
+  int64_t fault_sticky_failures = 0;
+  int64_t fault_timeouts = 0;
+  /// Retries issued (every attempt after a cell's first).
+  int64_t retry_attempts = 0;
+
   // ---- Budget-governor decisions (all zero / -1 when ungoverned). ----
   /// What-if calls the governor skipped (budget units banked at the time).
   int64_t governor_skipped_calls = 0;
@@ -53,8 +64,8 @@ struct CostEngineStats {
   /// did.
   int64_t governor_stop_calls = -1;
 
-  /// One-line human-readable rendering, e.g. for CLI output. Governor
-  /// counters are appended only when the governor intervened.
+  /// One-line human-readable rendering, e.g. for CLI output. Governor and
+  /// fault counters are appended only when they are nonzero.
   std::string ToString() const;
   /// Machine-readable JSON object with one field per counter (governor
   /// fields always present, so the schema is stable).

@@ -4,19 +4,50 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "budget/governor.h"
 #include "common/bitset.h"
+#include "common/status.h"
+#include "faults/fault_injector.h"
 #include "optimizer/what_if.h"
 #include "storage/index.h"
 #include "whatif/budget_meter.h"
+#include "whatif/checkpoint.h"
 #include "whatif/cost_engine_stats.h"
 #include "whatif/derived_cost_index.h"
 #include "whatif/whatif_executor.h"
 #include "workload/query.h"
 
 namespace bati {
+
+/// Everything configurable about the cost engine beyond its required
+/// collaborators. All defaults off: a CostEngineOptions{}-constructed
+/// service is bit-identical to the pre-fault-tolerance engine.
+struct CostEngineOptions {
+  /// Budget governor (skipping / early stopping), src/budget/.
+  BudgetGovernorOptions governor;
+  /// Injected what-if failures, src/faults/. With `faults.enabled` the
+  /// engine evaluates every uncached cell through the executor's
+  /// retry/backoff loop, charges the budget only on success, and answers a
+  /// cell that exhausted its retries with the derived cost d(q, C) — the
+  /// same degradation a governor skip uses — so tuners run unmodified.
+  FaultOptions faults;
+  /// Retry/backoff parameters; consulted only when faults are enabled.
+  RetryPolicy retry;
+  /// When non-empty, the engine writes a crash-consistent checkpoint to
+  /// this path at every BeginRound() boundary (write-temp-then-rename).
+  std::string checkpoint_path;
+  /// When true, the engine additionally keeps every round checkpoint
+  /// serialized in memory (captured_checkpoints()) — the property tests'
+  /// way of visiting all crash points without touching the filesystem.
+  bool capture_checkpoints = false;
+  /// Free-form identity of the run (workload, algorithm, seed, budget,
+  /// fault and retry options...). Stamped into checkpoints and verified on
+  /// resume, so a checkpoint cannot silently resume a different run.
+  std::string run_identity;
+};
 
 /// Budget-metered access to the what-if optimizer, with caching and cost
 /// derivation (paper Section 3.1). All tuners consume costs exclusively
@@ -74,6 +105,13 @@ class CostService {
   CostService(const WhatIfOptimizer* optimizer, const Workload* workload,
               const std::vector<Index>* candidates, int64_t budget,
               const BudgetGovernorOptions& governor);
+
+  /// Full-options constructor: governor, fault injection, retry policy, and
+  /// checkpointing. With default options this is exactly the plain
+  /// constructor.
+  CostService(const WhatIfOptimizer* optimizer, const Workload* workload,
+              const std::vector<Index>* candidates, int64_t budget,
+              const CostEngineOptions& options);
 
   int num_queries() const { return workload_->num_queries(); }
   int num_candidates() const { return static_cast<int>(candidates_->size()); }
@@ -191,6 +229,47 @@ class CostService {
   /// Snapshot of the engine's observability counters across all layers.
   CostEngineStats EngineStats() const;
 
+  // ---- Fault tolerance and checkpoint/resume. ----
+
+  /// True when fault injection is armed (options.faults.enabled).
+  bool FaultsEnabled() const { return injector_ != nullptr; }
+
+  /// Cells that exhausted their retries and were answered with the derived
+  /// cost instead (never charged).
+  int64_t degraded_cells() const { return degraded_cells_; }
+
+  /// Arms resume from a parsed checkpoint. Must be called on a fresh
+  /// service (no calls made, no rounds declared) constructed with the same
+  /// shape, budget, and run identity the checkpoint records — the caller
+  /// then re-runs the tuner from its seed, and the engine answers the
+  /// checkpoint's journaled attempts in order instead of invoking the
+  /// optimizer, rebuilding cache/meter/governor state exactly as the
+  /// original run did. When BeginRound() reaches the checkpointed round the
+  /// engine verifies the replayed counters against the recorded ones and
+  /// goes live; the continued run is bit-identical to an uninterrupted one.
+  Status ResumeFromCheckpoint(const EngineCheckpoint& ckpt);
+
+  /// Loads `path` and arms resume from it.
+  Status ResumeFromFile(const std::string& path);
+
+  /// True while journaled attempts remain to be replayed.
+  bool replaying() const { return replay_pos_ < replay_end_; }
+
+  /// Snapshot of the engine as a checkpoint (requires checkpointing to be
+  /// enabled via checkpoint_path or capture_checkpoints, which arm the
+  /// event journal).
+  EngineCheckpoint MakeCheckpoint() const;
+
+  /// Serialized per-round checkpoints (capture_checkpoints only), index i
+  /// holding the checkpoint taken at BeginRound() number i + 1.
+  const std::vector<std::string>& captured_checkpoints() const {
+    return captured_checkpoints_;
+  }
+
+  /// First error encountered while writing checkpoint files (writing is
+  /// best-effort: a failed write warns and the run continues).
+  const Status& checkpoint_status() const { return checkpoint_status_; }
+
  private:
   /// Builds the governor's quote for one uncached cell: derived upper
   /// bound, clamped cost lower bound, and budget state.
@@ -199,6 +278,34 @@ class CostService {
   /// Folds a freshly evaluated cell into the per-query optimistic floor
   /// (the governor's improvement-curve y axis).
   void NoteEvaluated(int query_id, double cost);
+
+  /// Appends an attempt to the event journal (journaling runs only).
+  void RecordEvent(bool charged, int query_id,
+                   const std::vector<size_t>& positions, double cost,
+                   double sim_seconds);
+
+  /// Pops the next journaled attempt during replay, checking it matches the
+  /// requested cell (any mismatch means the replayed tuner diverged from
+  /// the original run — a corrupted checkpoint or a different binary) and
+  /// crediting its simulated seconds to the executor.
+  CheckpointEvent PopReplayEvent(int query_id,
+                                 const std::vector<size_t>& positions);
+
+  /// Answers one cell with the derived cost after retries were exhausted.
+  double DegradeCell(int query_id, const Config& config);
+
+  /// The fault-injected WhatIfCostMany() body: classify without charging,
+  /// evaluate-then-commit in budget-sized chunks, resolve duplicates last.
+  void WhatIfCostManyFaulted(const std::vector<int>& query_ids,
+                             const Config& config,
+                             std::vector<std::optional<double>>* out);
+
+  /// Checks the replayed engine state against the checkpoint header when
+  /// BeginRound() reaches the checkpointed round.
+  void VerifyResumeState() const;
+
+  /// Captures and persists a checkpoint at a BeginRound() boundary.
+  void MaybeWriteCheckpoint();
 
   const WhatIfOptimizer* optimizer_;
   const Workload* workload_;
@@ -213,6 +320,27 @@ class CostService {
   /// workload sum: the best workload cost the cache currently supports.
   std::vector<double> floor_costs_;
   double floor_workload_cost_ = 0.0;
+
+  // ---- Fault tolerance and checkpoint/resume state. ----
+  CostEngineOptions options_;
+  std::unique_ptr<FaultInjector> injector_;
+  int64_t degraded_cells_ = 0;
+  /// Journaling is armed whenever checkpoints can be taken; during replay
+  /// the journal holds the checkpoint's events and grows again after the
+  /// flip to live execution.
+  bool journal_enabled_ = false;
+  std::vector<CheckpointEvent> journal_;
+  /// Replay cursor over journal_[replay_pos_, replay_end_); empty range
+  /// means live execution.
+  size_t replay_pos_ = 0;
+  size_t replay_end_ = 0;
+  /// The checkpoint header being resumed from (events cleared), kept for
+  /// the flip-to-live verification at BeginRound(resume round).
+  EngineCheckpoint resume_header_;
+  bool resumed_ = false;
+  bool pending_resume_verify_ = false;
+  Status checkpoint_status_;
+  std::vector<std::string> captured_checkpoints_;
 };
 
 }  // namespace bati

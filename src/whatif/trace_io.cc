@@ -1,7 +1,8 @@
 #include "whatif/trace_io.h"
 
 #include <cstdio>
-#include <fstream>
+
+#include "common/file_util.h"
 
 namespace bati {
 
@@ -34,11 +35,9 @@ std::string LayoutToCsv(const CostService& service,
 
 Status WriteLayoutCsv(const CostService& service, const Workload& workload,
                       const std::string& path) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) return Status::NotFound("cannot open file for write: " + path);
-  out << LayoutToCsv(service, workload);
-  if (!out) return Status::Internal("write failed: " + path);
-  return Status::Ok();
+  // Shares the checkpoint writer's write-temp-then-rename helper: an
+  // exported trace is either the old file or the complete new one.
+  return AtomicWriteFile(path, LayoutToCsv(service, workload));
 }
 
 std::string ResultToJson(const CostService& service,

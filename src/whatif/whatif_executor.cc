@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 
 #include "common/macros.h"
 
@@ -16,6 +17,21 @@ double NowSeconds() {
 }
 
 }  // namespace
+
+double RetryPolicy::BackoffSeconds(int attempt) const {
+  double backoff = initial_backoff_seconds;
+  for (int i = 1; i < attempt; ++i) backoff *= backoff_multiplier;
+  return std::min(backoff, max_backoff_seconds);
+}
+
+std::string RetryPolicy::ToIdentityString() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "retry=attempts:%d,backoff:%g*%g<=%g,timeout:%g",
+                max_attempts, initial_backoff_seconds, backoff_multiplier,
+                max_backoff_seconds, call_timeout_seconds);
+  return buf;
+}
 
 WhatIfExecutor::WhatIfExecutor(const WhatIfOptimizer* optimizer,
                                const Workload* workload,
@@ -33,6 +49,16 @@ WhatIfExecutor::~WhatIfExecutor() {
   }
   work_cv_.notify_all();
   for (std::thread& t : workers_) t.join();
+}
+
+void WhatIfExecutor::ConfigureFaults(const FaultInjector* injector,
+                                     const RetryPolicy& policy) {
+  BATI_CHECK(policy.max_attempts >= 1);
+  BATI_CHECK(policy.initial_backoff_seconds >= 0.0);
+  BATI_CHECK(policy.backoff_multiplier >= 1.0);
+  BATI_CHECK(policy.call_timeout_seconds >= 0.0);
+  injector_ = injector;
+  retry_ = policy;
 }
 
 std::vector<Index> WhatIfExecutor::Materialize(const Config& config) const {
@@ -66,6 +92,7 @@ std::shared_ptr<WhatIfExecutor::Job> WhatIfExecutor::BuildJob(
     if (idx == seen.size()) {
       seen.push_back(cell.config);
       job->materialized.push_back(Materialize(*cell.config));
+      job->config_hashes.push_back(cell.config->Hash());
     }
     job->cells.push_back(Job::Cell{cell.query_id, idx});
   }
@@ -77,6 +104,51 @@ double WhatIfExecutor::CellCost(const Job& job, size_t i) const {
   const Query& query =
       workload_->queries[static_cast<size_t>(cell.query_id)];
   return optimizer_->Cost(query, job.materialized[cell.config_idx]);
+}
+
+CellOutcome WhatIfExecutor::RunCellWithRetry(
+    int query_id, const std::vector<Index>& materialized,
+    uint64_t config_hash) const {
+  const Query& query = workload_->queries[static_cast<size_t>(query_id)];
+  const double base_latency = optimizer_->EstimateCallSeconds(query);
+  CellOutcome out;
+  if (injector_ == nullptr) {
+    // No fault model configured: a single attempt that always succeeds.
+    out.status = Status::Ok();
+    out.cost = optimizer_->Cost(query, materialized);
+    out.sim_seconds = base_latency;
+    out.attempts = 1;
+    return out;
+  }
+  for (int attempt = 1; attempt <= retry_.max_attempts; ++attempt) {
+    out.attempts = attempt;
+    const FaultDecision d = injector_->Decide(query_id, config_hash, attempt);
+    const double latency = base_latency * d.latency_multiplier;
+    const bool timed_out = retry_.call_timeout_seconds > 0.0 &&
+                           latency > retry_.call_timeout_seconds;
+    if (timed_out) {
+      out.sim_seconds += retry_.call_timeout_seconds;
+      out.status = Status::DeadlineExceeded("what-if call timed out");
+      ++out.timeout_faults;
+    } else if (d.kind == FaultKind::kTransient) {
+      out.sim_seconds += latency;
+      out.status = Status::Unavailable("transient what-if fault");
+      ++out.transient_faults;
+    } else if (d.kind == FaultKind::kSticky) {
+      out.sim_seconds += latency;
+      out.status = Status::Unavailable("sticky what-if fault");
+      ++out.sticky_faults;
+    } else {
+      out.sim_seconds += latency;
+      out.status = Status::Ok();
+      out.cost = optimizer_->Cost(query, materialized);
+      return out;
+    }
+    if (attempt < retry_.max_attempts) {
+      out.sim_seconds += retry_.BackoffSeconds(attempt);
+    }
+  }
+  return out;
 }
 
 double WhatIfExecutor::EvaluateCell(int query_id,
@@ -94,25 +166,36 @@ double WhatIfExecutor::EvaluateCell(int query_id,
   return cost;
 }
 
+void WhatIfExecutor::RunJob(const std::shared_ptr<Job>& job) {
+  if (job->cells.size() >= kParallelThreshold) {
+    EnsurePool();
+    std::unique_lock<std::mutex> lock(mu_);
+    job_ = job;
+    ++job_generation_;
+    work_cv_.notify_all();
+    done_cv_.wait(lock, [&] { return job->done == job->cells.size(); });
+    job_.reset();
+  } else {
+    for (size_t i = 0; i < job->cells.size(); ++i) {
+      if (job->with_retry) {
+        job->outcomes[i] =
+            RunCellWithRetry(job->cells[i].query_id,
+                             job->materialized[job->cells[i].config_idx],
+                             job->config_hashes[job->cells[i].config_idx]);
+      } else {
+        job->results[i] = CellCost(*job, i);
+      }
+    }
+  }
+}
+
 std::vector<double> WhatIfExecutor::EvaluateCells(
     const std::vector<CellRef>& cells) {
   const double start = NowSeconds();
   std::vector<double> out(cells.size(), 0.0);
   if (!cells.empty()) {
     std::shared_ptr<Job> job = BuildJob(cells);
-    if (cells.size() >= kParallelThreshold) {
-      EnsurePool();
-      std::unique_lock<std::mutex> lock(mu_);
-      job_ = job;
-      ++job_generation_;
-      work_cv_.notify_all();
-      done_cv_.wait(lock, [&] { return job->done == job->cells.size(); });
-      job_.reset();
-    } else {
-      for (size_t i = 0; i < cells.size(); ++i) {
-        job->results[i] = CellCost(*job, i);
-      }
-    }
+    RunJob(job);
     out = std::move(job->results);
   }
   // Simulated latency is summed in input order so batched accounting is
@@ -121,6 +204,48 @@ std::vector<double> WhatIfExecutor::EvaluateCells(
     simulated_seconds_ += optimizer_->EstimateCallSeconds(
         workload_->queries[static_cast<size_t>(cell.query_id)]);
   }
+  batched_cells_ += static_cast<int64_t>(cells.size());
+  wall_seconds_ += NowSeconds() - start;
+  return out;
+}
+
+void WhatIfExecutor::AccountOutcome(const CellOutcome& outcome) {
+  simulated_seconds_ += outcome.sim_seconds;
+  transient_faults_ += outcome.transient_faults;
+  sticky_faults_ += outcome.sticky_faults;
+  timeout_faults_ += outcome.timeout_faults;
+  retry_attempts_ += outcome.attempts > 0 ? outcome.attempts - 1 : 0;
+}
+
+CellOutcome WhatIfExecutor::EvaluateCellWithRetry(
+    int query_id, const std::vector<size_t>& positions,
+    uint64_t config_hash) {
+  const double start = NowSeconds();
+  std::vector<Index> materialized;
+  materialized.reserve(positions.size());
+  for (size_t pos : positions) {
+    materialized.push_back((*candidates_)[pos]);
+  }
+  CellOutcome out = RunCellWithRetry(query_id, materialized, config_hash);
+  AccountOutcome(out);
+  wall_seconds_ += NowSeconds() - start;
+  return out;
+}
+
+std::vector<CellOutcome> WhatIfExecutor::EvaluateCellsWithRetry(
+    const std::vector<CellRef>& cells) {
+  const double start = NowSeconds();
+  std::vector<CellOutcome> out(cells.size());
+  if (!cells.empty()) {
+    std::shared_ptr<Job> job = BuildJob(cells);
+    job->with_retry = true;
+    job->outcomes.assign(cells.size(), CellOutcome{});
+    RunJob(job);
+    out = std::move(job->outcomes);
+  }
+  // All accounting in input order: per-cell outcomes are pure, so the
+  // totals are bit-identical to the sequential loop.
+  for (const CellOutcome& outcome : out) AccountOutcome(outcome);
   batched_cells_ += static_cast<int64_t>(cells.size());
   wall_seconds_ += NowSeconds() - start;
   return out;
@@ -157,7 +282,14 @@ void WhatIfExecutor::WorkerLoop() {
     while (true) {
       size_t i = job->next.fetch_add(1, std::memory_order_relaxed);
       if (i >= job->cells.size()) break;
-      job->results[i] = CellCost(*job, i);
+      if (job->with_retry) {
+        job->outcomes[i] =
+            RunCellWithRetry(job->cells[i].query_id,
+                             job->materialized[job->cells[i].config_idx],
+                             job->config_hashes[job->cells[i].config_idx]);
+      } else {
+        job->results[i] = CellCost(*job, i);
+      }
       ++done_here;
     }
     if (done_here > 0) {

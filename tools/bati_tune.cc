@@ -8,6 +8,7 @@
 // Prints the recommendation as CREATE INDEX statements plus the measured
 // improvement, what-if call usage, and (optionally) the layout trace.
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -29,7 +30,7 @@ struct Args {
   std::string algorithm = "mcts";
   int64_t budget = 1000;
   double minutes = 0.0;  // when > 0, derives the budget from time
-  int k = 10;
+  int64_t k = 10;
   double storage_gb = 0.0;
   uint64_t seed = 1;
   bool verbose = false;
@@ -42,7 +43,66 @@ struct Args {
   double skip_threshold = -1.0;  // relative skip threshold (default 0.01)
   double stop_threshold = -1.0;  // absolute stop threshold, pct pts (0.1)
   int64_t stop_window = 0;       // trailing window in calls (0 = auto)
+  // Fault injection (src/faults/): off unless a rate is given.
+  double fault_rate = 0.0;      // transient error rate per attempt
+  double fault_sticky = 0.0;    // sticky per-cell failure rate
+  double fault_spike = 0.0;     // latency-spike rate per attempt
+  double fault_spike_factor = 20.0;
+  uint64_t fault_seed = 1;
+  int64_t retry_attempts = 4;
+  double retry_timeout = 8.0;   // simulated seconds; 0 disables
+  // Checkpoint/resume and the named crash points.
+  std::string checkpoint;       // write a checkpoint at each round boundary
+  std::string resume;           // resume from this checkpoint file
+  int64_t crash_at_round = 0;   // simulate a crash at BeginRound(N)
 };
+
+/// Strict numeric flag parsing: the whole token must parse, no silent
+/// atoll-style truncation to 0. Prints a clear error and fails otherwise.
+bool ParseInt64Flag(const char* flag, const char* v, int64_t* out) {
+  errno = 0;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(v, &end, 10);
+  if (*v == '\0' || errno != 0 || end == nullptr || *end != '\0') {
+    std::fprintf(stderr, "invalid integer for %s: '%s'\n", flag, v);
+    return false;
+  }
+  *out = parsed;
+  return true;
+}
+
+bool ParseUint64Flag(const char* flag, const char* v, uint64_t* out) {
+  int64_t parsed = 0;
+  if (!ParseInt64Flag(flag, v, &parsed) || parsed < 0) {
+    if (parsed < 0) {
+      std::fprintf(stderr, "%s must be non-negative, got '%s'\n", flag, v);
+    }
+    return false;
+  }
+  *out = static_cast<uint64_t>(parsed);
+  return true;
+}
+
+bool ParseDoubleFlag(const char* flag, const char* v, double* out) {
+  errno = 0;
+  char* end = nullptr;
+  const double parsed = std::strtod(v, &end);
+  if (*v == '\0' || errno != 0 || end == nullptr || *end != '\0') {
+    std::fprintf(stderr, "invalid number for %s: '%s'\n", flag, v);
+    return false;
+  }
+  *out = parsed;
+  return true;
+}
+
+bool ParseRateFlag(const char* flag, const char* v, double* out) {
+  if (!ParseDoubleFlag(flag, v, out)) return false;
+  if (*out < 0.0 || *out > 1.0) {
+    std::fprintf(stderr, "%s must be in [0, 1], got '%s'\n", flag, v);
+    return false;
+  }
+  return true;
+}
 
 void Usage(const char* argv0) {
   std::fprintf(
@@ -71,7 +131,22 @@ void Usage(const char* argv0) {
       "  --stop-threshold X  absolute stop threshold in improvement\n"
       "                      percentage points (default 0.1)\n"
       "  --stop-window N     early-stop trailing window in calls (default:\n"
-      "                      max(16, budget/20))\n",
+      "                      max(16, budget/20))\n"
+      "  --fault-rate X      injected transient what-if failure rate [0,1]\n"
+      "  --fault-sticky X    injected sticky per-cell failure rate [0,1]\n"
+      "  --fault-spike X     injected latency-spike rate [0,1]\n"
+      "  --fault-spike-factor F  latency multiplier during a spike (>= 1)\n"
+      "  --fault-seed S      seed of the deterministic fault schedule\n"
+      "  --retry-attempts N  attempts per what-if call under faults "
+      "(default 4)\n"
+      "  --retry-timeout T   per-attempt timeout in simulated seconds\n"
+      "                      (default 8, 0 disables)\n"
+      "  --checkpoint PATH   write a crash-consistent checkpoint at every\n"
+      "                      round boundary\n"
+      "  --resume PATH       resume a killed run from its checkpoint (same\n"
+      "                      flags otherwise; continues bit-identically)\n"
+      "  --crash-at-round N  simulate a crash at round N after writing the\n"
+      "                      checkpoint (exit code 42; for testing)\n",
       argv0);
 }
 
@@ -79,68 +154,140 @@ bool ParseArgs(int argc, char** argv, Args* args) {
   for (int i = 1; i < argc; ++i) {
     std::string flag = argv[i];
     auto next = [&]() -> const char* {
-      return (i + 1 < argc) ? argv[++i] : nullptr;
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", flag.c_str());
+        return nullptr;
+      }
+      return argv[++i];
     };
-    if (flag == "--workload") {
+    // String-valued flags.
+    std::string* str_target = nullptr;
+    if (flag == "--workload") str_target = &args->workload;
+    else if (flag == "--schema-file") str_target = &args->schema_file;
+    else if (flag == "--sql-file") str_target = &args->sql_file;
+    else if (flag == "--algorithm") str_target = &args->algorithm;
+    else if (flag == "--layout-csv") str_target = &args->layout_csv;
+    else if (flag == "--checkpoint") str_target = &args->checkpoint;
+    else if (flag == "--resume") str_target = &args->resume;
+    if (str_target != nullptr) {
       const char* v = next();
       if (!v) return false;
-      args->workload = v;
-    } else if (flag == "--schema-file") {
+      *str_target = v;
+      continue;
+    }
+    // Numeric flags, strictly parsed: a malformed value is an error, not a
+    // silent zero.
+    if (flag == "--budget") {
       const char* v = next();
-      if (!v) return false;
-      args->schema_file = v;
-    } else if (flag == "--sql-file") {
-      const char* v = next();
-      if (!v) return false;
-      args->sql_file = v;
-    } else if (flag == "--algorithm") {
-      const char* v = next();
-      if (!v) return false;
-      args->algorithm = v;
-    } else if (flag == "--budget") {
-      const char* v = next();
-      if (!v) return false;
-      args->budget = std::atoll(v);
+      if (!v || !ParseInt64Flag("--budget", v, &args->budget)) return false;
+      if (args->budget < 0) {
+        std::fprintf(stderr, "--budget must be non-negative, got %s\n", v);
+        return false;
+      }
     } else if (flag == "--minutes") {
       const char* v = next();
-      if (!v) return false;
-      args->minutes = std::atof(v);
+      if (!v || !ParseDoubleFlag("--minutes", v, &args->minutes)) return false;
     } else if (flag == "--k") {
       const char* v = next();
-      if (!v) return false;
-      args->k = std::atoi(v);
+      if (!v || !ParseInt64Flag("--k", v, &args->k)) return false;
+      if (args->k < 1) {
+        std::fprintf(stderr, "--k must be at least 1, got %s\n", v);
+        return false;
+      }
     } else if (flag == "--storage-gb") {
       const char* v = next();
-      if (!v) return false;
-      args->storage_gb = std::atof(v);
+      if (!v || !ParseDoubleFlag("--storage-gb", v, &args->storage_gb)) {
+        return false;
+      }
     } else if (flag == "--seed") {
       const char* v = next();
-      if (!v) return false;
-      args->seed = static_cast<uint64_t>(std::atoll(v));
+      if (!v || !ParseUint64Flag("--seed", v, &args->seed)) return false;
+    } else if (flag == "--skip-threshold") {
+      const char* v = next();
+      if (!v || !ParseDoubleFlag("--skip-threshold", v,
+                                 &args->skip_threshold)) {
+        return false;
+      }
+    } else if (flag == "--stop-threshold") {
+      const char* v = next();
+      if (!v || !ParseDoubleFlag("--stop-threshold", v,
+                                 &args->stop_threshold)) {
+        return false;
+      }
+    } else if (flag == "--stop-window") {
+      const char* v = next();
+      if (!v || !ParseInt64Flag("--stop-window", v, &args->stop_window)) {
+        return false;
+      }
+    } else if (flag == "--fault-rate") {
+      const char* v = next();
+      if (!v || !ParseRateFlag("--fault-rate", v, &args->fault_rate)) {
+        return false;
+      }
+    } else if (flag == "--fault-sticky") {
+      const char* v = next();
+      if (!v || !ParseRateFlag("--fault-sticky", v, &args->fault_sticky)) {
+        return false;
+      }
+    } else if (flag == "--fault-spike") {
+      const char* v = next();
+      if (!v || !ParseRateFlag("--fault-spike", v, &args->fault_spike)) {
+        return false;
+      }
+    } else if (flag == "--fault-spike-factor") {
+      const char* v = next();
+      if (!v || !ParseDoubleFlag("--fault-spike-factor", v,
+                                 &args->fault_spike_factor)) {
+        return false;
+      }
+      if (args->fault_spike_factor < 1.0) {
+        std::fprintf(stderr,
+                     "--fault-spike-factor must be >= 1, got %s\n", v);
+        return false;
+      }
+    } else if (flag == "--fault-seed") {
+      const char* v = next();
+      if (!v || !ParseUint64Flag("--fault-seed", v, &args->fault_seed)) {
+        return false;
+      }
+    } else if (flag == "--retry-attempts") {
+      const char* v = next();
+      if (!v || !ParseInt64Flag("--retry-attempts", v,
+                                &args->retry_attempts)) {
+        return false;
+      }
+      if (args->retry_attempts < 1) {
+        std::fprintf(stderr, "--retry-attempts must be >= 1, got %s\n", v);
+        return false;
+      }
+    } else if (flag == "--retry-timeout") {
+      const char* v = next();
+      if (!v || !ParseDoubleFlag("--retry-timeout", v,
+                                 &args->retry_timeout)) {
+        return false;
+      }
+      if (args->retry_timeout < 0.0) {
+        std::fprintf(stderr, "--retry-timeout must be >= 0, got %s\n", v);
+        return false;
+      }
+    } else if (flag == "--crash-at-round") {
+      const char* v = next();
+      if (!v || !ParseInt64Flag("--crash-at-round", v,
+                                &args->crash_at_round)) {
+        return false;
+      }
+      if (args->crash_at_round < 0) {
+        std::fprintf(stderr, "--crash-at-round must be >= 0, got %s\n", v);
+        return false;
+      }
     } else if (flag == "--layout") {
       args->show_layout = true;
-    } else if (flag == "--layout-csv") {
-      const char* v = next();
-      if (!v) return false;
-      args->layout_csv = v;
     } else if (flag == "--json") {
       args->json = true;
     } else if (flag == "--early-stop") {
       args->early_stop = true;
     } else if (flag == "--realloc-budget") {
       args->realloc_budget = true;
-    } else if (flag == "--skip-threshold") {
-      const char* v = next();
-      if (!v) return false;
-      args->skip_threshold = std::atof(v);
-    } else if (flag == "--stop-threshold") {
-      const char* v = next();
-      if (!v) return false;
-      args->stop_threshold = std::atof(v);
-    } else if (flag == "--stop-window") {
-      const char* v = next();
-      if (!v) return false;
-      args->stop_window = std::atoll(v);
     } else if (flag == "--verbose") {
       args->verbose = true;
     } else if (flag == "--help" || flag == "-h") {
@@ -218,7 +365,7 @@ int main(int argc, char** argv) {
   TuningContext ctx;
   ctx.workload = &bundle.workload;
   ctx.candidates = &bundle.candidates;
-  ctx.constraints.max_indexes = args.k;
+  ctx.constraints.max_indexes = static_cast<int>(args.k);
   ctx.constraints.max_storage_bytes = args.storage_gb * 1e9;
 
   BudgetGovernorOptions governor;
@@ -235,14 +382,56 @@ int main(int argc, char** argv) {
     if (args.stop_window > 0) governor.stop.window_calls = args.stop_window;
   }
 
+  CostEngineOptions engine_options;
+  engine_options.governor = governor;
+  engine_options.faults.enabled = args.fault_rate > 0.0 ||
+                                  args.fault_sticky > 0.0 ||
+                                  args.fault_spike > 0.0;
+  engine_options.faults.seed = args.fault_seed;
+  engine_options.faults.transient_rate = args.fault_rate;
+  engine_options.faults.sticky_rate = args.fault_sticky;
+  engine_options.faults.spike_rate = args.fault_spike;
+  engine_options.faults.spike_factor = args.fault_spike_factor;
+  engine_options.faults.crash_at_round = static_cast<int>(args.crash_at_round);
+  engine_options.retry.max_attempts = static_cast<int>(args.retry_attempts);
+  engine_options.retry.call_timeout_seconds = args.retry_timeout;
+  engine_options.checkpoint_path = args.checkpoint;
+  if (args.crash_at_round > 0 && args.checkpoint.empty()) {
+    std::fprintf(stderr, "--crash-at-round requires --checkpoint\n");
+    return 2;
+  }
+  {
+    // Identity must match the harness's so CLI runs and harness runs can
+    // share checkpoints; a resume with different flags is rejected.
+    RunSpec ident_spec;
+    ident_spec.workload = args.workload;
+    ident_spec.algorithm = args.algorithm;
+    ident_spec.budget = budget;
+    ident_spec.max_indexes = static_cast<int>(args.k);
+    ident_spec.max_storage_bytes = args.storage_gb * 1e9;
+    ident_spec.seed = args.seed;
+    ident_spec.governor = governor;
+    ident_spec.faults = engine_options.faults;
+    ident_spec.retry = engine_options.retry;
+    engine_options.run_identity = RunIdentity(ident_spec);
+  }
+
   CostService service(bundle.optimizer.get(), &bundle.workload,
-                      &bundle.candidates.indexes, budget, governor);
+                      &bundle.candidates.indexes, budget, engine_options);
+  if (!args.resume.empty()) {
+    bati::Status st = service.ResumeFromFile(args.resume);
+    if (!st.ok()) {
+      std::fprintf(stderr, "resume failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("resuming from %s\n", args.resume.c_str());
+  }
   auto tuner = MakeTuner(args.algorithm, ctx, args.seed);
   std::printf("tuning %s (%d queries, %d candidates) with %s, budget=%lld, "
               "K=%d%s\n\n",
               args.workload.c_str(), bundle.workload.num_queries(),
               bundle.candidates.size(), tuner->name().c_str(),
-              static_cast<long long>(budget), args.k,
+              static_cast<long long>(budget), static_cast<int>(args.k),
               args.storage_gb > 0 ? " (+storage constraint)" : "");
   TuningResult result = tuner->Tune(service);
 
@@ -267,6 +456,20 @@ int main(int argc, char** argv) {
               service.SimulatedWhatIfSeconds() / 60.0);
   std::printf("cost engine:               %s\n",
               service.EngineStats().ToString().c_str());
+  if (service.FaultsEnabled()) {
+    const CostEngineStats es = service.EngineStats();
+    std::printf("fault tolerance:           degraded=%lld cells, "
+                "transient=%lld, sticky=%lld, timeout=%lld, retries=%lld\n",
+                static_cast<long long>(es.degraded_cells),
+                static_cast<long long>(es.fault_transient_errors),
+                static_cast<long long>(es.fault_sticky_failures),
+                static_cast<long long>(es.fault_timeouts),
+                static_cast<long long>(es.retry_attempts));
+  }
+  if (!args.checkpoint.empty() && !service.checkpoint_status().ok()) {
+    std::fprintf(stderr, "warning: checkpoint writes failed: %s\n",
+                 service.checkpoint_status().ToString().c_str());
+  }
   if (const BudgetGovernor* gov = service.governor()) {
     GovernorStats gs = gov->stats();
     std::printf("budget governor:           skipped=%lld calls (banked=%lld, "
