@@ -36,7 +36,9 @@ TuningResult DbaBanditsTuner::Tune(CostService& service) {
   // Ridge model state: V = lambda * I + sum x x^T, bvec = sum r x.
   std::vector<std::vector<double>> v(kNumFeatures,
                                      std::vector<double>(kNumFeatures, 0.0));
-  for (int i = 0; i < kNumFeatures; ++i) v[static_cast<size_t>(i)][static_cast<size_t>(i)] = options_.ridge_lambda;
+  for (int i = 0; i < kNumFeatures; ++i) {
+    v[static_cast<size_t>(i)][static_cast<size_t>(i)] = options_.ridge_lambda;
+  }
   std::vector<double> bvec(kNumFeatures, 0.0);
 
   Config best = service.EmptyConfig();
@@ -44,7 +46,7 @@ TuningResult DbaBanditsTuner::Tune(CostService& service) {
 
   int zero_call_rounds = 0;
   while (service.HasBudget()) {
-    service.BeginRound();
+    service.BeginRound("bandit.round");
     int64_t calls_before = service.calls_made();
     std::vector<double> theta = SolveLinear(v, bvec);
 

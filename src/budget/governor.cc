@@ -12,6 +12,7 @@ BudgetGovernor::BudgetGovernor(const BudgetGovernorOptions& options,
 CellDecision BudgetGovernor::OnCell(const CellQuote& quote) {
   if (options_.skip_what_if && reallocator_.ShouldSkip(quote)) {
     reallocator_.OnSkip();
+    if (obs_skips_ != nullptr) obs_skips_->Increment();
     return CellDecision::kSkip;
   }
   return CellDecision::kCharge;
@@ -31,11 +32,28 @@ void BudgetGovernor::OnRound(int round, int64_t calls_made,
   curve_.Observe(calls_made, best_workload_cost);
   curve_.MarkRound(round, calls_made);
   if (stopped_ || !options_.early_stop) return;
+  if (obs_stop_evals_ != nullptr) obs_stop_evals_->Increment();
   if (stop_checker_.ShouldStop(curve_, calls_made, remaining_budget)) {
     stopped_ = true;
     stop_round_ = round;
     stop_calls_ = calls_made;
   }
+  if (obs_remaining_ub_pct_ != nullptr) {
+    obs_remaining_ub_pct_->Set(stop_checker_.last_upper_bound_pct());
+  }
+}
+
+void BudgetGovernor::SetObservability(MetricsRegistry* metrics) {
+  if (metrics == nullptr) {
+    obs_skips_ = nullptr;
+    obs_stop_evals_ = nullptr;
+    obs_remaining_ub_pct_ = nullptr;
+    return;
+  }
+  obs_skips_ = metrics->GetCounter("governor.skipped_calls");
+  obs_stop_evals_ = metrics->GetCounter("governor.stop_evaluations");
+  obs_remaining_ub_pct_ =
+      metrics->GetGauge("governor.remaining_improvement_ub_pct");
 }
 
 GovernorStats BudgetGovernor::stats() const {

@@ -8,6 +8,7 @@
 #include "budget/early_stop.h"
 #include "budget/improvement_curve.h"
 #include "budget/reallocator.h"
+#include "obs/metrics.h"
 
 namespace bati {
 
@@ -93,6 +94,11 @@ class BudgetGovernor : public BudgetPolicy {
   /// hand over cheap quotes (budget state only) and save the bound probes.
   bool WantsCostBounds() const { return options_.skip_what_if; }
 
+  /// Wires decision counters and the remaining-improvement gauge (null
+  /// unwires). Pure observation: decisions are unchanged, and governed runs
+  /// stay bit-identical with or without a registry.
+  void SetObservability(MetricsRegistry* metrics);
+
  private:
   BudgetGovernorOptions options_;
   ImprovementCurve curve_;
@@ -101,6 +107,10 @@ class BudgetGovernor : public BudgetPolicy {
   bool stopped_ = false;
   int stop_round_ = -1;
   int64_t stop_calls_ = -1;
+  // Observability instruments (null when not wired).
+  Counter* obs_skips_ = nullptr;
+  Counter* obs_stop_evals_ = nullptr;
+  Gauge* obs_remaining_ub_pct_ = nullptr;
 };
 
 }  // namespace bati

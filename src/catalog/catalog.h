@@ -61,8 +61,12 @@ class Table {
   int AddColumn(Column column);
 
   int num_columns() const { return static_cast<int>(columns_.size()); }
-  const Column& column(int id) const { return columns_.at(static_cast<size_t>(id)); }
-  Column& mutable_column(int id) { return columns_.at(static_cast<size_t>(id)); }
+  const Column& column(int id) const {
+    return columns_.at(static_cast<size_t>(id));
+  }
+  Column& mutable_column(int id) {
+    return columns_.at(static_cast<size_t>(id));
+  }
   const std::vector<Column>& columns() const { return columns_; }
 
   /// Ordinal of the named column, or -1.
@@ -105,7 +109,9 @@ class Database {
   StatusOr<int> AddTable(Table table);
 
   int num_tables() const { return static_cast<int>(tables_.size()); }
-  const Table& table(int id) const { return tables_.at(static_cast<size_t>(id)); }
+  const Table& table(int id) const {
+    return tables_.at(static_cast<size_t>(id));
+  }
   Table& mutable_table(int id) { return tables_.at(static_cast<size_t>(id)); }
 
   /// Table id by name, or -1.

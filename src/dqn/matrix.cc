@@ -5,7 +5,8 @@
 namespace bati {
 
 void Matrix::RandomInit(Rng& rng, size_t fan_in) {
-  double stddev = std::sqrt(2.0 / static_cast<double>(fan_in == 0 ? 1 : fan_in));
+  double stddev =
+      std::sqrt(2.0 / static_cast<double>(fan_in == 0 ? 1 : fan_in));
   for (double& v : data_) v = rng.Normal(0.0, stddev);
 }
 

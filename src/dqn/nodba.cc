@@ -55,7 +55,7 @@ TuningResult NoDbaTuner::Tune(CostService& service) {
   int round = 0;
   int zero_call_rounds = 0;
   while (service.HasBudget()) {
-    service.BeginRound();
+    service.BeginRound("dqn.round");
     int64_t calls_before = service.calls_made();
     double epsilon =
         options_.epsilon_start +
@@ -147,7 +147,8 @@ TuningResult NoDbaTuner::Tune(CostService& service) {
           double best_next = 0.0;
           for (int a = 0; a < n; ++a) {
             if (sample[i]->next_state.test(static_cast<size_t>(a))) continue;
-            best_next = std::max(best_next, next_q.at(i, static_cast<size_t>(a)));
+            best_next =
+                std::max(best_next, next_q.at(i, static_cast<size_t>(a)));
           }
           y += options_.gamma * best_next;
         }

@@ -30,7 +30,7 @@ TuningResult DtaTuner::Tune(CostService& service) {
 
   size_t cursor = 0;
   while (cursor < queue.size() && service.HasBudget()) {
-    service.BeginRound();  // one time slice = one round
+    service.BeginRound("dta.slice");  // one time slice = one round
     // ---- One time slice: consume the next batch of queries. ----
     int64_t slice_budget = std::max<int64_t>(
         1, static_cast<int64_t>(

@@ -145,6 +145,20 @@ RunOutcome RunOnce(const WorkloadBundle& bundle, const RunSpec& spec) {
   engine_options.retry = spec.retry;
   engine_options.checkpoint_path = spec.checkpoint_path;
   engine_options.run_identity = RunIdentity(spec);
+  // Observability sinks live on this frame and outlive the service; when
+  // the spec asks for neither, the engine runs fully unobserved.
+  std::unique_ptr<MetricsRegistry> registry;
+  if (spec.collect_metrics) {
+    registry = std::make_unique<MetricsRegistry>();
+    engine_options.metrics = registry.get();
+  }
+  std::unique_ptr<Tracer> tracer;
+  if (!spec.trace_path.empty() || spec.trace_buffer > 0) {
+    tracer = std::make_unique<Tracer>(spec.trace_buffer == 0
+                                          ? Tracer::kDefaultCapacity
+                                          : spec.trace_buffer);
+    engine_options.tracer = tracer.get();
+  }
   CostService service(bundle.optimizer.get(), &bundle.workload,
                       &bundle.candidates.indexes, spec.budget,
                       engine_options);
@@ -157,6 +171,7 @@ RunOutcome RunOnce(const WorkloadBundle& bundle, const RunSpec& spec) {
   }
   std::unique_ptr<Tuner> tuner = MakeTuner(spec.algorithm, ctx, spec.seed);
   TuningResult result = tuner->Tune(service);
+  service.FinishObservability();
 
   RunOutcome outcome;
   outcome.true_improvement = service.TrueImprovement(result.best_config);
@@ -176,6 +191,21 @@ RunOutcome RunOnce(const WorkloadBundle& bundle, const RunSpec& spec) {
   outcome.governor_reallocated = outcome.engine.governor_reallocated_calls;
   outcome.governor_stop_round = outcome.engine.governor_stop_round;
   outcome.degraded_cells = outcome.engine.degraded_cells;
+  if (registry != nullptr) {
+    outcome.has_metrics = true;
+    outcome.metrics = registry->Snapshot();
+  }
+  if (tracer != nullptr) {
+    outcome.trace_events = tracer->size();
+    outcome.trace_dropped = tracer->dropped();
+    if (!spec.trace_path.empty()) {
+      const Status st = tracer->WriteChromeJson(spec.trace_path);
+      if (!st.ok()) {
+        std::fprintf(stderr, "trace write failed: %s\n",
+                     st.ToString().c_str());
+      }
+    }
+  }
   return outcome;
 }
 

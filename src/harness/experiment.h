@@ -8,6 +8,8 @@
 #include "budget/governor.h"
 #include "common/status.h"
 #include "faults/fault_injector.h"
+#include "obs/metrics.h"
+#include "obs/tracer.h"
 #include "optimizer/what_if.h"
 #include "tuner/tuner.h"
 #include "whatif/cost_engine_stats.h"
@@ -58,6 +60,17 @@ struct RunSpec {
   /// replays deterministically from its seed; the engine answers the
   /// journaled prefix instead of re-invoking the optimizer).
   std::string resume_path;
+  /// When true, the run records engine metrics (histograms, counters) and
+  /// the outcome carries a MetricsSnapshot. Off by default: an unobserved
+  /// run is bit-identical to the pre-observability harness.
+  bool collect_metrics = false;
+  /// When non-empty, the run records a structured trace and writes it here
+  /// as Chrome trace_event JSON (Perfetto-loadable).
+  std::string trace_path;
+  /// Trace ring-buffer capacity in events; 0 means Tracer::kDefaultCapacity.
+  /// Setting this non-zero enables tracing even without a trace_path (the
+  /// trace is then only reachable programmatically).
+  size_t trace_buffer = 0;
 };
 
 /// The canonical identity string for a spec — everything that must match
@@ -95,6 +108,13 @@ struct RunOutcome {
   /// Cells answered with the derived cost after exhausting their retries,
   /// mirrored from `engine`. Zero when fault injection is off.
   int64_t degraded_cells = 0;
+  /// Metrics snapshot of the run; populated iff spec.collect_metrics.
+  bool has_metrics = false;
+  MetricsSnapshot metrics;
+  /// Events retained/dropped by the trace ring; meaningful only when the
+  /// spec enabled tracing.
+  size_t trace_events = 0;
+  uint64_t trace_dropped = 0;
 };
 
 /// Executes one tuning run against a bundle.

@@ -104,12 +104,12 @@ void MctsTuner::ComputePriors(CostService& service) {
         ctx_.candidates->per_query[static_cast<size_t>(q)];
     std::sort(queues[static_cast<size_t>(q)].begin(),
               queues[static_cast<size_t>(q)].end(), [&](int a, int b) {
-                double ra = db.table(ctx_.candidates->indexes[static_cast<size_t>(a)]
-                                         .table_id)
-                                .row_count();
-                double rb = db.table(ctx_.candidates->indexes[static_cast<size_t>(b)]
-                                         .table_id)
-                                .row_count();
+                const Index& ia =
+                    ctx_.candidates->indexes[static_cast<size_t>(a)];
+                double ra = db.table(ia.table_id).row_count();
+                const Index& ib =
+                    ctx_.candidates->indexes[static_cast<size_t>(b)];
+                double rb = db.table(ib.table_id).row_count();
                 if (ra != rb) return ra > rb;
                 return a < b;
               });
@@ -117,7 +117,7 @@ void MctsTuner::ComputePriors(CostService& service) {
   }
 
   // B' = min(B/2, P) (Section 6.1.2). The whole prior phase is one round.
-  service.BeginRound();
+  service.BeginRound("mcts.prior");
   int64_t prior_budget = std::min(service.budget() / 2, total_pairs);
 
   // Round-robin QuerySelection over queries with work left.
@@ -402,7 +402,7 @@ TuningResult MctsTuner::Tune(CostService& service) {
   // to guarantee termination.
   int free_episodes = 0;
   while (service.HasBudget() && free_episodes < 1000) {
-    service.BeginRound();  // one episode = one round
+    service.BeginRound("mcts.episode");  // one episode = one round
     int64_t calls_before = service.calls_made();
     if (!RunEpisode(service)) break;
     if (service.calls_made() == calls_before) {

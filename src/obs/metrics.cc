@@ -1,0 +1,266 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+
+#include "common/macros.h"
+
+namespace bati {
+
+namespace {
+
+/// Relaxed compare-exchange loops for doubles: std::atomic<double> has no
+/// fetch_add/fetch_min members we can rely on across toolchains.
+void AtomicAdd(std::atomic<double>* a, double v) {
+  double cur = a->load(std::memory_order_relaxed);
+  while (!a->compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMin(std::atomic<double>* a, double v) {
+  double cur = a->load(std::memory_order_relaxed);
+  while (v < cur &&
+         !a->compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMax(std::atomic<double>* a, double v) {
+  double cur = a->load(std::memory_order_relaxed);
+  while (v > cur &&
+         !a->compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void AppendDouble(std::string* out, double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  *out += buf;
+}
+
+}  // namespace
+
+std::vector<double> ExponentialBuckets(double start, double factor,
+                                       int count) {
+  BATI_CHECK(start > 0.0);
+  BATI_CHECK(factor > 1.0);
+  BATI_CHECK(count >= 1);
+  std::vector<double> bounds;
+  bounds.reserve(static_cast<size_t>(count));
+  double b = start;
+  for (int i = 0; i < count; ++i) {
+    bounds.push_back(b);
+    b *= factor;
+  }
+  return bounds;
+}
+
+LatencyHistogram::LatencyHistogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)),
+      min_(std::numeric_limits<double>::infinity()),
+      max_(-std::numeric_limits<double>::infinity()) {
+  BATI_CHECK(!bounds_.empty());
+  for (size_t i = 1; i < bounds_.size(); ++i) {
+    BATI_CHECK(bounds_[i] > bounds_[i - 1] &&
+               "histogram bounds must be strictly increasing");
+  }
+  buckets_ = std::make_unique<std::atomic<int64_t>[]>(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+void LatencyHistogram::Record(double value) {
+  // First bucket whose upper bound contains the value; everything above the
+  // last bound goes to the overflow bucket.
+  const size_t bucket = static_cast<size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin());
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  AtomicAdd(&sum_, value);
+  AtomicMin(&min_, value);
+  AtomicMax(&max_, value);
+}
+
+double LatencyHistogram::PercentileLocked(const std::vector<int64_t>& counts,
+                                          int64_t total, double q, double lo,
+                                          double hi) const {
+  // Rank of the q-quantile observation (1-based), then linear interpolation
+  // across the owning bucket, clamped to the observed range.
+  const double rank = q * static_cast<double>(total);
+  int64_t cumulative = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    const double before = static_cast<double>(cumulative);
+    cumulative += counts[i];
+    if (static_cast<double>(cumulative) >= rank) {
+      const double bucket_lo = i == 0 ? 0.0 : bounds_[i - 1];
+      const double bucket_hi = i < bounds_.size() ? bounds_[i] : hi;
+      const double fraction =
+          (rank - before) / static_cast<double>(counts[i]);
+      const double v = bucket_lo + (bucket_hi - bucket_lo) * fraction;
+      return std::min(std::max(v, lo), hi);
+    }
+  }
+  return hi;
+}
+
+LatencyHistogram::Snapshot LatencyHistogram::Snap() const {
+  Snapshot snap;
+  std::vector<int64_t> counts(bounds_.size() + 1);
+  // Relaxed loads: a snapshot taken concurrently with recording is a valid
+  // set of nearby values (each counter individually consistent), which is
+  // all observability needs.
+  int64_t total = 0;
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+    total += counts[i];
+  }
+  snap.count = total;
+  if (total == 0) return snap;
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  snap.min = min_.load(std::memory_order_relaxed);
+  snap.max = max_.load(std::memory_order_relaxed);
+  snap.mean = snap.sum / static_cast<double>(total);
+  snap.p50 = PercentileLocked(counts, total, 0.50, snap.min, snap.max);
+  snap.p95 = PercentileLocked(counts, total, 0.95, snap.min, snap.max);
+  snap.p99 = PercentileLocked(counts, total, 0.99, snap.min, snap.max);
+  return snap;
+}
+
+const MetricsSnapshot::HistogramRow* MetricsSnapshot::FindHistogram(
+    const std::string& name) const {
+  for (const HistogramRow& row : histograms) {
+    if (row.name == name) return &row;
+  }
+  return nullptr;
+}
+
+int64_t MetricsSnapshot::CounterValue(const std::string& name,
+                                      int64_t fallback) const {
+  for (const CounterRow& row : counters) {
+    if (row.name == name) return row.value;
+  }
+  return fallback;
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const CounterRow& row : counters) {
+    if (!first) out += ",";
+    out += "\"" + row.name + "\":" + std::to_string(row.value);
+    first = false;
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const GaugeRow& row : gauges) {
+    if (!first) out += ",";
+    out += "\"" + row.name + "\":";
+    AppendDouble(&out, row.value);
+    first = false;
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const HistogramRow& row : histograms) {
+    if (!first) out += ",";
+    out += "\"" + row.name + "\":{";
+    out += "\"count\":" + std::to_string(row.stats.count);
+    out += ",\"sum\":";
+    AppendDouble(&out, row.stats.sum);
+    out += ",\"min\":";
+    AppendDouble(&out, row.stats.min);
+    out += ",\"max\":";
+    AppendDouble(&out, row.stats.max);
+    out += ",\"mean\":";
+    AppendDouble(&out, row.stats.mean);
+    out += ",\"p50\":";
+    AppendDouble(&out, row.stats.p50);
+    out += ",\"p95\":";
+    AppendDouble(&out, row.stats.p95);
+    out += ",\"p99\":";
+    AppendDouble(&out, row.stats.p99);
+    out += "}";
+    first = false;
+  }
+  out += "}}";
+  return out;
+}
+
+std::string MetricsSnapshot::ToText() const {
+  std::string out;
+  char buf[256];
+  if (!counters.empty() || !gauges.empty()) {
+    out += "counters:\n";
+    for (const CounterRow& row : counters) {
+      std::snprintf(buf, sizeof(buf), "  %-34s %lld\n", row.name.c_str(),
+                    static_cast<long long>(row.value));
+      out += buf;
+    }
+    for (const GaugeRow& row : gauges) {
+      std::snprintf(buf, sizeof(buf), "  %-34s %.6g\n", row.name.c_str(),
+                    row.value);
+      out += buf;
+    }
+  }
+  if (!histograms.empty()) {
+    out += "histograms:\n";
+    std::snprintf(buf, sizeof(buf), "  %-34s %10s %10s %10s %10s %10s %10s\n",
+                  "name", "count", "mean", "p50", "p95", "p99", "max");
+    out += buf;
+    for (const HistogramRow& row : histograms) {
+      const LatencyHistogram::Snapshot& s = row.stats;
+      std::snprintf(buf, sizeof(buf),
+                    "  %-34s %10lld %10.4g %10.4g %10.4g %10.4g %10.4g\n",
+                    row.name.c_str(), static_cast<long long>(s.count), s.mean,
+                    s.p50, s.p95, s.p99, s.max);
+      out += buf;
+    }
+  }
+  return out;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Counter>& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Gauge>& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+LatencyHistogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                                std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<LatencyHistogram>& slot = histograms_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<LatencyHistogram>(std::move(bounds));
+  }
+  return slot.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    snap.counters.push_back({name, counter->value()});
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges.push_back({name, gauge->value()});
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, hist] : histograms_) {
+    snap.histograms.push_back({name, hist->Snap()});
+  }
+  return snap;
+}
+
+}  // namespace bati

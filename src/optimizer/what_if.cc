@@ -132,7 +132,9 @@ PlanExplanation WhatIfOptimizer::Explain(
       add_use(j.left_scan, j.left_column);
       add_use(j.right_scan, j.right_column);
     }
-    for (const BoundColumnUse& u : query.projections) add_use(u.scan_id, u.column);
+    for (const BoundColumnUse& u : query.projections) {
+      add_use(u.scan_id, u.column);
+    }
     for (const BoundColumnUse& u : query.group_by) add_use(u.scan_id, u.column);
     for (const BoundColumnUse& u : query.order_by) add_use(u.scan_id, u.column);
     for (int s = 0; s < n_scans; ++s) {

@@ -65,7 +65,7 @@ Config GreedyEnumerate(const TuningContext& ctx, CostService& service,
   std::vector<int> remaining = allowed;
   while (!remaining.empty() &&
          static_cast<int>(best.count()) < ctx.constraints.max_indexes) {
-    service.BeginRound();
+    service.BeginRound("greedy.argmax_sweep");
     // Per-round derived baseline d(q, best) for the incremental argmax:
     // cells cached during the round are supersets of `best` (they are the
     // candidate extensions themselves), so the baseline stays exact.

@@ -68,7 +68,7 @@ TuningResult RelaxationTuner::Tune(CostService& service) {
     best_cost_for_query[static_cast<size_t>(q)] = service.BaseCost(q);
   }
   // Round-robin (q, candidate) evaluation, like Algorithm 4's schedule.
-  service.BeginRound();
+  service.BeginRound("relaxation.seed");
   std::vector<size_t> cursor(static_cast<size_t>(m), 0);
   int q = 0;
   int exhausted_queries = 0;
@@ -127,7 +127,7 @@ TuningResult RelaxationTuner::Tune(CostService& service) {
   const int max_steps = static_cast<int>(current.count()) + 4;
   while (!current.empty() && relax_steps < max_steps &&
          (!Feasible(ctx_, db, current) || relax_steps == 0)) {
-    service.BeginRound();
+    service.BeginRound("relaxation.step");
     ++relax_steps;
     double best_penalty_cost = std::numeric_limits<double>::infinity();
     Config best_next = current;

@@ -137,7 +137,8 @@ StatusOr<EngineCheckpoint> ParseCheckpoint(const std::string& text) {
   };
 
   std::vector<std::string> toks;
-  if (!next_tokens("shape", 2, &toks) || !ParseInt(toks[1], &ckpt.num_queries) ||
+  if (!next_tokens("shape", 2, &toks) ||
+      !ParseInt(toks[1], &ckpt.num_queries) ||
       !ParseInt(toks[2], &ckpt.num_candidates) || ckpt.num_queries <= 0 ||
       ckpt.num_candidates <= 0) {
     return Malformed("bad shape line");

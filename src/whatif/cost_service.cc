@@ -1,12 +1,23 @@
 #include "whatif/cost_service.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 
 #include "common/macros.h"
 
 namespace bati {
+
+namespace {
+
+double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
 
 CostService::CostService(const WhatIfOptimizer* optimizer,
                          const Workload* workload,
@@ -64,13 +75,43 @@ CostService::CostService(const WhatIfOptimizer* optimizer,
   }
   journal_enabled_ =
       !options_.checkpoint_path.empty() || options_.capture_checkpoints;
+  metrics_ = options_.metrics;
+  tracer_ = options_.tracer;
+  if (metrics_ != nullptr || tracer_ != nullptr) {
+    executor_.SetObservability(metrics_, tracer_);
+    index_.SetObservability(metrics_);
+    if (governor_ != nullptr) governor_->SetObservability(metrics_);
+  }
+  if (metrics_ != nullptr) {
+    obs_rounds_ = metrics_->GetCounter("tuner.rounds");
+    obs_round_wall_us_ = metrics_->GetHistogram(
+        "tuner.round_wall_us", ExponentialBuckets(1.0, 2.0, 32));
+    obs_round_sim_s_ = metrics_->GetHistogram(
+        "tuner.round_sim_s", ExponentialBuckets(1e-3, 2.0, 28));
+    obs_checkpoint_wall_us_ = metrics_->GetHistogram(
+        "checkpoint.write_wall_us", ExponentialBuckets(1.0, 2.0, 28));
+  }
 }
 
-int CostService::BeginRound() {
+int CostService::BeginRound() { return BeginRound(nullptr); }
+
+int CostService::BeginRound(const char* phase) {
   const int round = meter_.BeginRound();
+  if (metrics_ != nullptr || tracer_ != nullptr) {
+    ObserveRoundBoundary(phase, round);
+  }
   if (governor_ != nullptr) {
     governor_->OnRound(round, meter_.calls_made(), meter_.remaining(),
                        floor_workload_cost_);
+    if (tracer_ != nullptr && governor_->ShouldStop() && !stop_traced_) {
+      stop_traced_ = true;
+      const GovernorStats g = governor_->stats();
+      tracer_->Instant(
+          "governor.stop", "governor", executor_.simulated_seconds(),
+          {{"round", static_cast<double>(g.stop_round)},
+           {"calls", static_cast<double>(g.stop_calls)},
+           {"remaining_ub_pct", g.remaining_improvement_ub_pct}});
+    }
   }
   if (pending_resume_verify_ && !replaying()) {
     // Resume flips to live execution at the checkpointed round boundary:
@@ -81,6 +122,13 @@ int CostService::BeginRound() {
     if (round == resume_header_.round) {
       VerifyResumeState();
       pending_resume_verify_ = false;
+      if (tracer_ != nullptr) {
+        tracer_->Instant(
+            "checkpoint.replay_complete", "checkpoint",
+            executor_.simulated_seconds(),
+            {{"round", static_cast<double>(round)},
+             {"events", static_cast<double>(replay_pos_)}});
+      }
     }
   }
   if (journal_enabled_ && !replaying() && !pending_resume_verify_) {
@@ -163,6 +211,12 @@ CheckpointEvent CostService::PopReplayEvent(
 
 double CostService::DegradeCell(int query_id, const Config& config) {
   ++degraded_cells_;
+  if (tracer_ != nullptr) {
+    tracer_->Instant("whatif.degraded", "fault",
+                     executor_.simulated_seconds(),
+                     {{"query", static_cast<double>(query_id)},
+                      {"config_size", static_cast<double>(config.count())}});
+  }
   return index_.SubsetMin(query_id, config, BaseCost(query_id));
 }
 
@@ -183,6 +237,7 @@ std::optional<double> CostService::WhatIfCost(int query_id,
     if (governor_->ShouldStop()) return std::nullopt;
     quote = MakeQuote(query_id, config);
     if (governor_->OnCell(quote) == CellDecision::kSkip) {
+      if (tracer_ != nullptr) TraceGovernorSkip(quote);
       return quote.derived_upper;  // free: the budget unit is banked
     }
   }
@@ -292,6 +347,7 @@ std::vector<std::optional<double>> CostService::WhatIfCostMany(
       if (governor_->ShouldStop()) continue;  // nullopt: stopped
       CellQuote quote = MakeQuote(q, config);
       if (governor_->OnCell(quote) == CellDecision::kSkip) {
+        if (tracer_ != nullptr) TraceGovernorSkip(quote);
         out[i] = quote.derived_upper;
         continue;
       }
@@ -383,6 +439,7 @@ void CostService::WhatIfCostManyFaulted(
       if (governor_->ShouldStop()) continue;  // nullopt: stopped
       cell.quote = MakeQuote(q, config);
       if (governor_->OnCell(cell.quote) == CellDecision::kSkip) {
+        if (tracer_ != nullptr) TraceGovernorSkip(cell.quote);
         out[i] = cell.quote.derived_upper;
         continue;
       }
@@ -566,6 +623,7 @@ void CostService::VerifyResumeState() const {
 }
 
 void CostService::MaybeWriteCheckpoint() {
+  const double start = NowSeconds();
   const EngineCheckpoint ckpt = MakeCheckpoint();
   if (options_.capture_checkpoints) {
     captured_checkpoints_.push_back(SerializeCheckpoint(ckpt));
@@ -577,6 +635,18 @@ void CostService::MaybeWriteCheckpoint() {
                    st.ToString().c_str());
       if (checkpoint_status_.ok()) checkpoint_status_ = st;
     }
+  }
+  const double wall_us = (NowSeconds() - start) * 1e6;
+  if (obs_checkpoint_wall_us_ != nullptr) {
+    obs_checkpoint_wall_us_->Record(wall_us);
+  }
+  if (tracer_ != nullptr) {
+    tracer_->Complete("checkpoint.write", "checkpoint",
+                      tracer_->NowUs() - wall_us, wall_us,
+                      executor_.simulated_seconds(), 0.0,
+                      {{"round", static_cast<double>(ckpt.round)},
+                       {"events", static_cast<double>(ckpt.events.size())},
+                       {"calls", static_cast<double>(ckpt.calls_made)}});
   }
 }
 
@@ -644,6 +714,87 @@ double CostService::TrueWorkloadCost(const Config& config) const {
 double CostService::TrueImprovement(const Config& config) const {
   if (base_workload_cost_ <= 0.0) return 0.0;
   return (1.0 - TrueWorkloadCost(config) / base_workload_cost_) * 100.0;
+}
+
+void CostService::ObserveRoundBoundary(const char* phase, int round) {
+  CloseRoundSpan();
+  if (obs_rounds_ != nullptr) obs_rounds_->Increment();
+  // Episode-per-round tuners (MCTS, bandits) reach thousands of rounds; the
+  // round span's clock reads and tracer mutex are too expensive to pay on
+  // all of them. The first kRoundFullDetail rounds are always spanned —
+  // covering the greedy family's entire run — and beyond that one round in
+  // (kRoundSampleMask + 1) is, deterministically by round number.
+  if (round > kRoundFullDetail &&
+      (static_cast<unsigned>(round) & kRoundSampleMask) != 0) {
+    return;
+  }
+  round_phase_ = phase == nullptr ? "round" : phase;
+  round_number_ = round;
+  round_wall_start_s_ = NowSeconds();
+  round_sim_start_s_ = executor_.simulated_seconds();
+}
+
+void CostService::CloseRoundSpan() {
+  if (round_phase_ == nullptr) return;
+  const double wall_us = (NowSeconds() - round_wall_start_s_) * 1e6;
+  const double sim = executor_.simulated_seconds() - round_sim_start_s_;
+  if (obs_round_wall_us_ != nullptr) obs_round_wall_us_->Record(wall_us);
+  if (obs_round_sim_s_ != nullptr) obs_round_sim_s_->Record(sim);
+  if (tracer_ != nullptr) {
+    tracer_->Complete(round_phase_, "tuner", tracer_->NowUs() - wall_us,
+                      wall_us, round_sim_start_s_, sim,
+                      {{"round", static_cast<double>(round_number_)}});
+  }
+  round_phase_ = nullptr;
+}
+
+void CostService::TraceGovernorSkip(const CellQuote& quote) {
+  tracer_->Instant("governor.skip", "governor",
+                   executor_.simulated_seconds(),
+                   {{"query", static_cast<double>(quote.query_id)},
+                    {"derived_upper", quote.derived_upper},
+                    {"cost_lower", quote.cost_lower},
+                    {"remaining", static_cast<double>(
+                                      quote.remaining_budget)}});
+}
+
+void CostService::FinishObservability() {
+  if (metrics_ == nullptr && tracer_ == nullptr) return;
+  CloseRoundSpan();
+  if (metrics_ == nullptr) return;
+  // Synchronize the engine's cross-layer counters into the registry once,
+  // at the end of the run, instead of paying per-call registry traffic on
+  // hot paths that already count through EngineStats().
+  const CostEngineStats s = EngineStats();
+  auto sync = [this](const char* name, int64_t v) {
+    Counter* c = metrics_->GetCounter(name);
+    c->Add(v - c->value());
+  };
+  sync("engine.whatif_calls", s.what_if_calls);
+  sync("engine.cache_hits", s.cache_hits);
+  sync("engine.batched_cells", s.batched_cells);
+  sync("engine.degraded_cells", s.degraded_cells);
+  sync("engine.fault_transient_errors", s.fault_transient_errors);
+  sync("engine.fault_sticky_failures", s.fault_sticky_failures);
+  sync("engine.fault_timeouts", s.fault_timeouts);
+  sync("engine.retry_attempts", s.retry_attempts);
+  sync("index.derived_lookups", s.derived_lookups);
+  sync("index.delta_lookups", s.delta_lookups);
+  sync("index.entries", s.index_entries);
+  sync("index.scanned_entries", s.index_scanned_entries);
+  sync("index.pruned_entries", s.index_pruned_entries);
+  sync("index.lower_bound_lookups", s.lower_bound_lookups);
+  sync("checkpoint.replayed_events", static_cast<int64_t>(replay_pos_));
+  metrics_->GetGauge("engine.executor_wall_seconds")
+      ->Set(s.executor_wall_seconds);
+  metrics_->GetGauge("engine.simulated_whatif_seconds")
+      ->Set(s.simulated_whatif_seconds);
+  if (governor_ != nullptr) {
+    sync("governor.banked_calls", s.governor_banked_calls);
+    sync("governor.reallocated_calls", s.governor_reallocated_calls);
+    metrics_->GetGauge("governor.stop_round")
+        ->Set(static_cast<double>(s.governor_stop_round));
+  }
 }
 
 CostEngineStats CostService::EngineStats() const {

@@ -11,6 +11,8 @@
 #include "common/bitset.h"
 #include "common/status.h"
 #include "faults/fault_injector.h"
+#include "obs/metrics.h"
+#include "obs/tracer.h"
 #include "optimizer/what_if.h"
 #include "storage/index.h"
 #include "whatif/budget_meter.h"
@@ -47,6 +49,14 @@ struct CostEngineOptions {
   /// fault and retry options...). Stamped into checkpoints and verified on
   /// resume, so a checkpoint cannot silently resume a different run.
   std::string run_identity;
+  /// Observability sinks (non-owning; must outlive the service). When wired
+  /// the engine records latency histograms, counters, and structured spans
+  /// across every layer; when null (the default) every instrumentation site
+  /// is a dead pointer guard and runs are bit-identical to an unobserved
+  /// engine — observation never feeds back into costs, clocks, or
+  /// decisions.
+  MetricsRegistry* metrics = nullptr;
+  Tracer* tracer = nullptr;
 };
 
 /// Budget-metered access to the what-if optimizer, with caching and cost
@@ -128,6 +138,19 @@ class CostService {
   /// early stopping at exactly these boundaries. Returns the 1-based round
   /// number. Behaviour-neutral for ungoverned runs.
   int BeginRound();
+
+  /// As BeginRound(), additionally labelling the round for observability:
+  /// when a tracer is wired, the span covering this round (closed at the
+  /// next boundary or at FinishObservability()) carries `phase` as its name
+  /// — e.g. "greedy.argmax_sweep", "mcts.episode". `phase` must be a string
+  /// literal. Identical to BeginRound() when nothing is wired.
+  int BeginRound(const char* phase);
+
+  /// Closes the open round span and synchronizes the engine's cross-layer
+  /// counters (EngineStats()) into the metrics registry. Idempotent; no-op
+  /// when nothing is wired. Callers snapshotting the registry or exporting
+  /// the trace should call this first.
+  void FinishObservability();
 
   /// True once the governor's early-stopping checker has fired (always
   /// false for ungoverned runs).
@@ -307,6 +330,16 @@ class CostService {
   /// Captures and persists a checkpoint at a BeginRound() boundary.
   void MaybeWriteCheckpoint();
 
+  /// Round-boundary observability: closes the previous round's span and
+  /// opens the next one under `phase` (nullptr defaults to "round").
+  void ObserveRoundBoundary(const char* phase, int round);
+
+  /// Emits the span for the currently open round, if any.
+  void CloseRoundSpan();
+
+  /// Records a governor skip decision into the trace.
+  void TraceGovernorSkip(const CellQuote& quote);
+
   const WhatIfOptimizer* optimizer_;
   const Workload* workload_;
   const std::vector<Index>* candidates_;
@@ -341,6 +374,27 @@ class CostService {
   bool pending_resume_verify_ = false;
   Status checkpoint_status_;
   std::vector<std::string> captured_checkpoints_;
+
+  // ---- Observability state (inert when metrics_/tracer_ are null). ----
+  /// Round spans/histograms are recorded for every one of the first
+  /// kRoundFullDetail rounds, then for one round in (kRoundSampleMask + 1):
+  /// greedy-family runs keep full per-round detail while episode-per-round
+  /// tuners (thousands of rounds) only pay the span cost on a sample.
+  static constexpr int kRoundFullDetail = 64;
+  static constexpr unsigned kRoundSampleMask = 7;
+  MetricsRegistry* metrics_ = nullptr;
+  Tracer* tracer_ = nullptr;
+  Counter* obs_rounds_ = nullptr;
+  LatencyHistogram* obs_round_wall_us_ = nullptr;
+  LatencyHistogram* obs_round_sim_s_ = nullptr;
+  LatencyHistogram* obs_checkpoint_wall_us_ = nullptr;
+  /// The open round span: name (nullptr when none), start stamps, number.
+  const char* round_phase_ = nullptr;
+  double round_wall_start_s_ = 0.0;
+  double round_sim_start_s_ = 0.0;
+  int round_number_ = 0;
+  /// The governor's stop transition is traced exactly once.
+  bool stop_traced_ = false;
 };
 
 }  // namespace bati

@@ -1,11 +1,22 @@
 #include "whatif/derived_cost_index.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 
 #include "common/macros.h"
 
 namespace bati {
+
+namespace {
+
+double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
 
 DerivedCostIndex::DerivedCostIndex(int num_queries, int num_candidates) {
   BATI_CHECK(num_queries >= 0 && num_candidates >= 0);
@@ -58,39 +69,53 @@ void DerivedCostIndex::Add(int query_id, const Config& config,
 
 double DerivedCostIndex::SubsetMin(int query_id, const Config& config,
                                    double base) const {
-  derived_lookups_.fetch_add(1, std::memory_order_relaxed);
+  const int64_t lookup_no =
+      derived_lookups_.fetch_add(1, std::memory_order_relaxed);
+  // Deterministic 1-in-64 sampling keyed off the lookup counter: this is
+  // the hottest path in the engine (rollout-heavy tuners issue tens of
+  // derived lookups per counted call), so both the wall clock and the
+  // histogram stay out of 63/64 of the lookups, and whether a lookup is
+  // observed never depends on prior observations.
+  const bool sampled = (lookup_no & 63) == 0;
+  const bool timed = sampled && obs_lookup_wall_us_ != nullptr;
+  const double t0 = timed ? NowSeconds() : 0.0;
   const QueryIndex& qi = at(query_id);
   const int64_t total = static_cast<int64_t>(qi.by_cost.size());
+  double best = base;
+  int64_t scanned = 0;
   // Monotone bound: if even the cheapest cached cell is a subset of C, no
   // other entry can beat it.
   if (qi.best_entry >= 0 && qi.best_cost < base &&
       qi.entries[static_cast<size_t>(qi.best_entry)].config.IsSubsetOf(
           config)) {
-    scanned_entries_.fetch_add(1, std::memory_order_relaxed);
-    pruned_entries_.fetch_add(total - 1, std::memory_order_relaxed);
-    return qi.best_cost;
-  }
-  double best = base;
-  int64_t scanned = 0;
-  for (int32_t id : qi.by_cost) {
-    const Entry& e = qi.entries[static_cast<size_t>(id)];
-    // Cost-ascending order: once entry costs reach the running best there
-    // is nothing left to gain.
-    if (e.cost >= best) break;
-    ++scanned;
-    if (e.config.IsSubsetOf(config)) {
-      best = e.cost;
-      break;  // first eligible entry in ascending order is the minimum
+    scanned = 1;
+    best = qi.best_cost;
+  } else {
+    for (int32_t id : qi.by_cost) {
+      const Entry& e = qi.entries[static_cast<size_t>(id)];
+      // Cost-ascending order: once entry costs reach the running best there
+      // is nothing left to gain.
+      if (e.cost >= best) break;
+      ++scanned;
+      if (e.config.IsSubsetOf(config)) {
+        best = e.cost;
+        break;  // first eligible entry in ascending order is the minimum
+      }
     }
   }
   scanned_entries_.fetch_add(scanned, std::memory_order_relaxed);
   pruned_entries_.fetch_add(total - scanned, std::memory_order_relaxed);
+  if (sampled && obs_scan_depth_ != nullptr) {
+    obs_scan_depth_->Record(static_cast<double>(scanned));
+  }
+  if (timed) obs_lookup_wall_us_->Record((NowSeconds() - t0) * 1e6);
   return best;
 }
 
 double DerivedCostIndex::SubsetMinWithAdd(int query_id, const Config& config,
                                           size_t pos, double current) const {
-  delta_lookups_.fetch_add(1, std::memory_order_relaxed);
+  const int64_t lookup_no =
+      delta_lookups_.fetch_add(1, std::memory_order_relaxed);
   const QueryIndex& qi = at(query_id);
   const std::vector<int32_t>& list = qi.postings[pos];
   double best = current;
@@ -107,6 +132,10 @@ double DerivedCostIndex::SubsetMinWithAdd(int query_id, const Config& config,
   scanned_entries_.fetch_add(scanned, std::memory_order_relaxed);
   pruned_entries_.fetch_add(static_cast<int64_t>(list.size()) - scanned,
                             std::memory_order_relaxed);
+  // Same 1-in-64 sampling as SubsetMin, keyed off the delta counter.
+  if (obs_delta_scan_depth_ != nullptr && (lookup_no & 63) == 0) {
+    obs_delta_scan_depth_->Record(static_cast<double>(scanned));
+  }
   return best;
 }
 
@@ -179,6 +208,21 @@ void DerivedCostIndex::AccumulateStats(CostEngineStats* stats) const {
       pruned_entries_.load(std::memory_order_relaxed);
   stats->lower_bound_lookups +=
       lower_bound_lookups_.load(std::memory_order_relaxed);
+}
+
+void DerivedCostIndex::SetObservability(MetricsRegistry* metrics) {
+  if (metrics == nullptr) {
+    obs_scan_depth_ = nullptr;
+    obs_delta_scan_depth_ = nullptr;
+    obs_lookup_wall_us_ = nullptr;
+    return;
+  }
+  obs_scan_depth_ = metrics->GetHistogram("index.scan_depth",
+                                          ExponentialBuckets(1.0, 2.0, 20));
+  obs_delta_scan_depth_ = metrics->GetHistogram(
+      "index.delta_scan_depth", ExponentialBuckets(1.0, 2.0, 20));
+  obs_lookup_wall_us_ = metrics->GetHistogram(
+      "index.lookup_wall_us", ExponentialBuckets(0.125, 2.0, 24));
 }
 
 }  // namespace bati

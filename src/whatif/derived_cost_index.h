@@ -7,6 +7,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "whatif/budget_meter.h"
 #include "whatif/cost_engine_stats.h"
 
@@ -94,6 +95,12 @@ class DerivedCostIndex {
   /// Adds this layer's counters into `stats`.
   void AccumulateStats(CostEngineStats* stats) const;
 
+  /// Wires scan-depth histograms and a deterministically sampled (1-in-64,
+  /// keyed off the lookup counter) lookup wall-latency histogram. Null
+  /// unwires. Pure observation: lookup results and the stats counters are
+  /// unaffected.
+  void SetObservability(MetricsRegistry* metrics);
+
  private:
   struct Entry {
     Config config;
@@ -129,6 +136,11 @@ class DerivedCostIndex {
   mutable std::atomic<int64_t> scanned_entries_{0};
   mutable std::atomic<int64_t> pruned_entries_{0};
   mutable std::atomic<int64_t> lower_bound_lookups_{0};
+  // Observability instruments (null when not wired); recording through them
+  // is relaxed-atomic, keeping const lookups race-free.
+  LatencyHistogram* obs_scan_depth_ = nullptr;
+  LatencyHistogram* obs_delta_scan_depth_ = nullptr;
+  LatencyHistogram* obs_lookup_wall_us_ = nullptr;
 };
 
 }  // namespace bati

@@ -43,7 +43,8 @@ Status WriteLayoutCsv(const CostService& service, const Workload& workload,
 std::string ResultToJson(const CostService& service,
                          const Workload& workload,
                          const std::string& algorithm, const Config& config,
-                         double true_improvement) {
+                         double true_improvement,
+                         const MetricsSnapshot* metrics) {
   char buf[64];
   std::string out = "{";
   out += "\"workload\":\"" + workload.name + "\",";
@@ -65,6 +66,9 @@ std::string ResultToJson(const CostService& service,
   }
   out += "],";
   out += "\"engine_stats\":" + service.EngineStats().ToJson();
+  if (metrics != nullptr) {
+    out += ",\"metrics\":" + metrics->ToJson();
+  }
   out += "}";
   return out;
 }

@@ -26,9 +26,12 @@ Status WriteLayoutCsv(const CostService& service, const Workload& workload,
 /// {"workload":..., "algorithm":..., "budget":..., "calls":...,
 ///  "improvement":..., "derived_improvement":..., "indexes":[...names...],
 ///  "engine_stats":{...CostEngineStats::ToJson()...}}.
+/// With a non-null `metrics` the object additionally carries
+/// "metrics":{...MetricsSnapshot::ToJson()...}.
 std::string ResultToJson(const CostService& service, const Workload& workload,
                          const std::string& algorithm, const Config& config,
-                         double true_improvement);
+                         double true_improvement,
+                         const MetricsSnapshot* metrics = nullptr);
 
 }  // namespace bati
 

@@ -61,6 +61,24 @@ void WhatIfExecutor::ConfigureFaults(const FaultInjector* injector,
   retry_ = policy;
 }
 
+void WhatIfExecutor::SetObservability(MetricsRegistry* metrics,
+                                      Tracer* tracer) {
+  tracer_ = tracer;
+  if (metrics == nullptr) return;
+  // Instrument pointers are resolved once here so the hot path never takes
+  // the registry mutex; recording is relaxed-atomic only.
+  obs_cell_wall_us_ = metrics->GetHistogram(
+      "whatif.cell_wall_us", ExponentialBuckets(0.25, 2.0, 32));
+  obs_cell_sim_s_ = metrics->GetHistogram("whatif.cell_sim_s",
+                                          ExponentialBuckets(1e-3, 2.0, 28));
+  obs_batch_cells_ = metrics->GetHistogram("whatif.batch_cells",
+                                           ExponentialBuckets(1.0, 2.0, 16));
+  obs_batch_wall_us_ = metrics->GetHistogram(
+      "whatif.batch_wall_us", ExponentialBuckets(1.0, 2.0, 32));
+  obs_retry_attempts_ = metrics->GetHistogram(
+      "whatif.retry_attempts", ExponentialBuckets(1.0, 2.0, 8));
+}
+
 std::vector<Index> WhatIfExecutor::Materialize(const Config& config) const {
   BATI_CHECK(config.universe_size() == candidates_->size());
   std::vector<Index> out;
@@ -104,6 +122,17 @@ double WhatIfExecutor::CellCost(const Job& job, size_t i) const {
   const Query& query =
       workload_->queries[static_cast<size_t>(cell.query_id)];
   return optimizer_->Cost(query, job.materialized[cell.config_idx]);
+}
+
+double WhatIfExecutor::ObservedCellCost(const Job& job, size_t i) const {
+  if (obs_cell_wall_us_ == nullptr) return CellCost(job, i);
+  const uint64_t ticket =
+      obs_ticket_.fetch_add(1, std::memory_order_relaxed);
+  if ((ticket & kObsSampleMask) != 0) return CellCost(job, i);
+  const double t0 = NowSeconds();
+  const double cost = CellCost(job, i);
+  obs_cell_wall_us_->Record((NowSeconds() - t0) * 1e6);
+  return cost;
 }
 
 CellOutcome WhatIfExecutor::RunCellWithRetry(
@@ -160,9 +189,28 @@ double WhatIfExecutor::EvaluateCell(int query_id,
     materialized.push_back((*candidates_)[pos]);
   }
   const Query& query = workload_->queries[static_cast<size_t>(query_id)];
+  const double sim_start = simulated_seconds_;
   double cost = optimizer_->Cost(query, materialized);
-  simulated_seconds_ += optimizer_->EstimateCallSeconds(query);
-  wall_seconds_ += NowSeconds() - start;
+  const double sim = optimizer_->EstimateCallSeconds(query);
+  simulated_seconds_ += sim;
+  const double wall = NowSeconds() - start;
+  wall_seconds_ += wall;
+  if (obs_cell_sim_s_ != nullptr || obs_cell_wall_us_ != nullptr ||
+      tracer_ != nullptr) {
+    const uint64_t ticket =
+        obs_ticket_.fetch_add(1, std::memory_order_relaxed);
+    if ((ticket & kObsSampleMask) == 0) {
+      if (obs_cell_sim_s_ != nullptr) obs_cell_sim_s_->Record(sim);
+      if (obs_cell_wall_us_ != nullptr) obs_cell_wall_us_->Record(wall * 1e6);
+      if (tracer_ != nullptr) {
+        const double wall_us = wall * 1e6;
+        tracer_->Complete("whatif.call", "whatif", tracer_->NowUs() - wall_us,
+                          wall_us, sim_start, sim,
+                          {{"query", static_cast<double>(query_id)},
+                           {"indexes", static_cast<double>(positions.size())}});
+      }
+    }
+  }
   return cost;
 }
 
@@ -183,7 +231,7 @@ void WhatIfExecutor::RunJob(const std::shared_ptr<Job>& job) {
                              job->materialized[job->cells[i].config_idx],
                              job->config_hashes[job->cells[i].config_idx]);
       } else {
-        job->results[i] = CellCost(*job, i);
+        job->results[i] = ObservedCellCost(*job, i);
       }
     }
   }
@@ -192,6 +240,7 @@ void WhatIfExecutor::RunJob(const std::shared_ptr<Job>& job) {
 std::vector<double> WhatIfExecutor::EvaluateCells(
     const std::vector<CellRef>& cells) {
   const double start = NowSeconds();
+  const double sim_start = simulated_seconds_;
   std::vector<double> out(cells.size(), 0.0);
   if (!cells.empty()) {
     std::shared_ptr<Job> job = BuildJob(cells);
@@ -200,13 +249,34 @@ std::vector<double> WhatIfExecutor::EvaluateCells(
   }
   // Simulated latency is summed in input order so batched accounting is
   // bit-identical to the sequential path.
-  for (const CellRef& cell : cells) {
-    simulated_seconds_ += optimizer_->EstimateCallSeconds(
-        workload_->queries[static_cast<size_t>(cell.query_id)]);
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const double sim = optimizer_->EstimateCallSeconds(
+        workload_->queries[static_cast<size_t>(cells[i].query_id)]);
+    simulated_seconds_ += sim;
+    if (obs_cell_sim_s_ != nullptr && (i & kObsSampleMask) == 0) {
+      obs_cell_sim_s_->Record(sim);
+    }
   }
   batched_cells_ += static_cast<int64_t>(cells.size());
-  wall_seconds_ += NowSeconds() - start;
+  const double wall = NowSeconds() - start;
+  wall_seconds_ += wall;
+  ObserveBatch("whatif.batch", cells.size(), wall, sim_start);
   return out;
+}
+
+void WhatIfExecutor::ObserveBatch(const char* name, size_t cells, double wall,
+                                  double sim_start) {
+  if (obs_batch_cells_ != nullptr) {
+    obs_batch_cells_->Record(static_cast<double>(cells));
+  }
+  if (obs_batch_wall_us_ != nullptr) obs_batch_wall_us_->Record(wall * 1e6);
+  if (tracer_ != nullptr) {
+    const double wall_us = wall * 1e6;
+    tracer_->Complete(name, "whatif", tracer_->NowUs() - wall_us, wall_us,
+                      sim_start, simulated_seconds_ - sim_start,
+                      {{"cells", static_cast<double>(cells)},
+                       {"pooled", cells >= kParallelThreshold ? 1.0 : 0.0}});
+  }
 }
 
 void WhatIfExecutor::AccountOutcome(const CellOutcome& outcome) {
@@ -215,6 +285,20 @@ void WhatIfExecutor::AccountOutcome(const CellOutcome& outcome) {
   sticky_faults_ += outcome.sticky_faults;
   timeout_faults_ += outcome.timeout_faults;
   retry_attempts_ += outcome.attempts > 0 ? outcome.attempts - 1 : 0;
+  if (obs_cell_sim_s_ != nullptr) obs_cell_sim_s_->Record(outcome.sim_seconds);
+  if (obs_retry_attempts_ != nullptr) {
+    obs_retry_attempts_->Record(static_cast<double>(outcome.attempts));
+  }
+  if (tracer_ != nullptr &&
+      (outcome.attempts > 1 || !outcome.status.ok())) {
+    tracer_->Instant(
+        outcome.status.ok() ? "whatif.retry" : "whatif.cell_failed", "fault",
+        simulated_seconds_,
+        {{"attempts", static_cast<double>(outcome.attempts)},
+         {"transient", static_cast<double>(outcome.transient_faults)},
+         {"sticky", static_cast<double>(outcome.sticky_faults)},
+         {"timeouts", static_cast<double>(outcome.timeout_faults)}});
+  }
 }
 
 CellOutcome WhatIfExecutor::EvaluateCellWithRetry(
@@ -235,6 +319,7 @@ CellOutcome WhatIfExecutor::EvaluateCellWithRetry(
 std::vector<CellOutcome> WhatIfExecutor::EvaluateCellsWithRetry(
     const std::vector<CellRef>& cells) {
   const double start = NowSeconds();
+  const double sim_start = simulated_seconds_;
   std::vector<CellOutcome> out(cells.size());
   if (!cells.empty()) {
     std::shared_ptr<Job> job = BuildJob(cells);
@@ -247,7 +332,9 @@ std::vector<CellOutcome> WhatIfExecutor::EvaluateCellsWithRetry(
   // totals are bit-identical to the sequential loop.
   for (const CellOutcome& outcome : out) AccountOutcome(outcome);
   batched_cells_ += static_cast<int64_t>(cells.size());
-  wall_seconds_ += NowSeconds() - start;
+  const double wall = NowSeconds() - start;
+  wall_seconds_ += wall;
+  ObserveBatch("whatif.batch_retry", cells.size(), wall, sim_start);
   return out;
 }
 
@@ -288,7 +375,7 @@ void WhatIfExecutor::WorkerLoop() {
                              job->materialized[job->cells[i].config_idx],
                              job->config_hashes[job->cells[i].config_idx]);
       } else {
-        job->results[i] = CellCost(*job, i);
+        job->results[i] = ObservedCellCost(*job, i);
       }
       ++done_here;
     }

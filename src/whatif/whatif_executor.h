@@ -11,6 +11,8 @@
 
 #include "common/status.h"
 #include "faults/fault_injector.h"
+#include "obs/metrics.h"
+#include "obs/tracer.h"
 #include "optimizer/what_if.h"
 #include "whatif/budget_meter.h"
 
@@ -97,6 +99,14 @@ class WhatIfExecutor {
   void ConfigureFaults(const FaultInjector* injector,
                        const RetryPolicy& policy);
 
+  /// Wires the executor's observability instruments (either argument may be
+  /// null; both must outlive the executor). Evaluations then record per-cell
+  /// and per-batch latency histograms and span/retry trace events — pure
+  /// observation behind null-pointer guards, so an unwired executor runs the
+  /// exact pre-observability code. Must be called before the first
+  /// evaluation, like ConfigureFaults().
+  void SetObservability(MetricsRegistry* metrics, Tracer* tracer);
+
   /// Materializes a configuration into concrete index definitions.
   std::vector<Index> Materialize(const Config& config) const;
 
@@ -171,6 +181,14 @@ class WhatIfExecutor {
   /// Minimum batch size that engages the thread pool.
   static constexpr size_t kParallelThreshold = 16;
 
+  /// Per-cell wall timings and per-call trace spans are recorded for one
+  /// cell in every (kObsSampleMask + 1): the clock reads and the tracer's
+  /// mutex would otherwise dominate the micro-second simulated what-if call
+  /// itself. Sampling is by an observation-only ticket counter, so it can
+  /// never feed back into the run. Simulated-clock histograms and batch- and
+  /// round-level spans are not sampled — they stay complete.
+  static constexpr uint64_t kObsSampleMask = 15;
+
  private:
   // One batch, self-contained. Workers hold the job through a shared_ptr,
   // so a worker that stalls between observing a job and claiming a ticket
@@ -196,6 +214,9 @@ class WhatIfExecutor {
 
   std::shared_ptr<Job> BuildJob(const std::vector<CellRef>& cells) const;
   double CellCost(const Job& job, size_t i) const;
+  /// CellCost plus the per-cell wall-latency histogram when one is wired
+  /// (worker threads record through relaxed atomics, so this is pool-safe).
+  double ObservedCellCost(const Job& job, size_t i) const;
   /// The retry loop for one cell: a pure function of the cell and the fault
   /// schedule (plus the stateless optimizer), safe to run on any worker.
   CellOutcome RunCellWithRetry(int query_id,
@@ -205,6 +226,10 @@ class WhatIfExecutor {
   /// Merges one outcome's counters into the executor totals (coordinator
   /// thread only, input order).
   void AccountOutcome(const CellOutcome& outcome);
+  /// Batch-level observability (coordinator thread only): size/latency
+  /// histograms plus a Complete span covering the whole batch.
+  void ObserveBatch(const char* name, size_t cells, double wall,
+                    double sim_start);
   void EnsurePool();
   void WorkerLoop();
 
@@ -213,6 +238,17 @@ class WhatIfExecutor {
   const std::vector<Index>* candidates_;
   const FaultInjector* injector_ = nullptr;
   RetryPolicy retry_;
+  // Observability instruments; all null (and every guard dead) until
+  // SetObservability() wires them.
+  Tracer* tracer_ = nullptr;
+  LatencyHistogram* obs_cell_wall_us_ = nullptr;
+  LatencyHistogram* obs_cell_sim_s_ = nullptr;
+  LatencyHistogram* obs_batch_cells_ = nullptr;
+  LatencyHistogram* obs_batch_wall_us_ = nullptr;
+  LatencyHistogram* obs_retry_attempts_ = nullptr;
+  /// Sampling ticket for per-cell wall timings/spans; mutable because cell
+  /// evaluation is const on the worker path. Never read by engine logic.
+  mutable std::atomic<uint64_t> obs_ticket_{0};
   double simulated_seconds_ = 0.0;
   double wall_seconds_ = 0.0;
   int64_t batched_cells_ = 0;

@@ -17,7 +17,9 @@ using schema_util::StrCol;
 /// row counts from the published dataset (~9.2 GB with all columns).
 std::shared_ptr<Database> MakeImdbDatabase(double scale) {
   auto db = std::make_shared<Database>("imdb");
-  auto add = [&db](Table t) { BATI_CHECK_OK(db->AddTable(std::move(t)).status()); };
+  auto add = [&db](Table t) {
+    BATI_CHECK_OK(db->AddTable(std::move(t)).status());
+  };
   const double s = scale;
 
   {
@@ -200,6 +202,7 @@ std::shared_ptr<Database> MakeImdbDatabase(double scale) {
 /// queries: star/chain joins around `title` with filters on dimension-like
 /// tables; aggregates are MIN() as in JOB.
 std::vector<std::string> JobQueries() {
+  // clang-format off: SQL literals read best unwrapped.
   return {
       // 1
       "SELECT MIN(mc.note), MIN(t.title), MIN(t.production_year) "
@@ -457,6 +460,7 @@ std::vector<std::string> JobQueries() {
       "AND t.id = mi_idx.movie_id AND it.id = mi_idx.info_type_id "
       "AND t.id = mc.movie_id AND cn.id = mc.company_id",
   };
+  // clang-format on
 }
 
 }  // namespace

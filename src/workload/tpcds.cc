@@ -20,7 +20,9 @@ std::shared_ptr<Database> MakeTpcdsDatabase(double scale) {
   auto db = std::make_shared<Database>("tpcds");
   const double sf = 10.0 * scale;  // paper uses sf=10
 
-  auto add = [&db](Table t) { BATI_CHECK_OK(db->AddTable(std::move(t)).status()); };
+  auto add = [&db](Table t) {
+    BATI_CHECK_OK(db->AddTable(std::move(t)).status());
+  };
 
   // ---- Dimension tables ----
   {
@@ -767,7 +769,8 @@ Workload MakeTpcds(const WorkloadOptions& options) {
   for (int variant = 0; variant < 3; ++variant) {
     for (size_t f = 0; f < fams.size(); ++f) {
       std::vector<std::string> variants = FamilyVariants(f);
-      sqls.push_back(AssembleSql(fams[f], variants[static_cast<size_t>(variant)]));
+      sqls.push_back(
+          AssembleSql(fams[f], variants[static_cast<size_t>(variant)]));
       names.push_back("q" + std::to_string(qnum++));
     }
   }

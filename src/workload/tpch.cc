@@ -127,6 +127,7 @@ std::shared_ptr<Database> MakeTpchDatabase(double scale) {
 /// (conjunctive predicates, equi-joins; subqueries flattened into joins).
 /// Dates appear as day numbers in [0, 2525).
 std::vector<std::string> TpchQueries() {
+  // clang-format off: SQL literals read best unwrapped.
   return {
       // q1: pricing summary report
       "SELECT l_returnflag, l_linestatus, SUM(l_quantity), SUM(l_extendedprice), AVG(l_discount), COUNT(*) "
@@ -237,6 +238,7 @@ std::vector<std::string> TpchQueries() {
       "SELECT c_phone, COUNT(*), SUM(c_acctbal) FROM customer "
       "WHERE c_acctbal > 0 AND c_phone LIKE '13%' GROUP BY c_phone",
   };
+  // clang-format on
 }
 
 }  // namespace

@@ -202,7 +202,8 @@ TEST(WhatIfCostMany, RespectsBudgetCapMidBatch) {
   Config c = RandomConfig(rng, static_cast<size_t>(n), 3);
   std::vector<int> queries = AllQueries(f.batched);
   ASSERT_GT(queries.size(), 5u);
-  std::vector<std::optional<double>> batch = f.batched.WhatIfCostMany(queries, c);
+  std::vector<std::optional<double>> batch =
+      f.batched.WhatIfCostMany(queries, c);
   // Exactly the first five cells were bought, in input order.
   for (size_t i = 0; i < queries.size(); ++i) {
     EXPECT_EQ(batch[i].has_value(), i < 5u);
@@ -224,7 +225,8 @@ TEST(WhatIfCostMany, DuplicateQueriesAreCacheHits) {
   Config c(static_cast<size_t>(f.batched.num_candidates()));
   c.set(0);
   std::vector<int> queries = {0, 1, 0, 2, 1, 0};
-  std::vector<std::optional<double>> batch = f.batched.WhatIfCostMany(queries, c);
+  std::vector<std::optional<double>> batch =
+      f.batched.WhatIfCostMany(queries, c);
   ASSERT_TRUE(batch[0].has_value());
   EXPECT_EQ(*batch[0], *batch[2]);
   EXPECT_EQ(*batch[0], *batch[5]);

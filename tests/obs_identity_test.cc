@@ -1,0 +1,106 @@
+// Property test for the observability layer's core invariant: attaching a
+// MetricsRegistry and a Tracer must not perturb a run. Every algorithm is
+// executed observed and unobserved with the same seed; the budget-allocation
+// layout (the full what-if call trace) must match byte for byte.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "harness/experiment.h"
+#include "obs/metrics.h"
+#include "obs/tracer.h"
+#include "whatif/cost_service.h"
+#include "whatif/trace_io.h"
+
+namespace bati {
+namespace {
+
+constexpr uint64_t kSeed = 7;
+constexpr int64_t kBudget = 60;
+
+struct RunArtifacts {
+  std::string layout_csv;
+  double derived_improvement = 0.0;
+  int64_t calls_made = 0;
+  std::string config;
+};
+
+RunArtifacts RunWithObservability(const WorkloadBundle& bundle,
+                                  const std::string& algorithm,
+                                  bool observed, MetricsRegistry* registry,
+                                  Tracer* tracer) {
+  TuningContext ctx;
+  ctx.workload = &bundle.workload;
+  ctx.candidates = &bundle.candidates;
+  ctx.constraints.max_indexes = 5;
+
+  CostEngineOptions options;
+  if (observed) {
+    options.metrics = registry;
+    options.tracer = tracer;
+  }
+  CostService service(bundle.optimizer.get(), &bundle.workload,
+                      &bundle.candidates.indexes, kBudget, options);
+  std::unique_ptr<Tuner> tuner = MakeTuner(algorithm, ctx, kSeed);
+  TuningResult result = tuner->Tune(service);
+  service.FinishObservability();
+
+  RunArtifacts artifacts;
+  artifacts.layout_csv = LayoutToCsv(service, bundle.workload);
+  artifacts.derived_improvement = result.derived_improvement;
+  artifacts.calls_made = service.calls_made();
+  artifacts.config = result.best_config.ToString();
+  return artifacts;
+}
+
+class ObsIdentityTest : public testing::TestWithParam<const char*> {};
+
+TEST_P(ObsIdentityTest, ObservedRunIsBitIdentical) {
+  const std::string algorithm = GetParam();
+  const WorkloadBundle& bundle = LoadBundle("toy");
+
+  RunArtifacts off = RunWithObservability(bundle, algorithm,
+                                          /*observed=*/false, nullptr,
+                                          nullptr);
+  MetricsRegistry registry;
+  Tracer tracer;
+  RunArtifacts on = RunWithObservability(bundle, algorithm,
+                                         /*observed=*/true, &registry,
+                                         &tracer);
+
+  // The layout CSV is the run's full decision record: every counted call in
+  // order, with config, cost, and round tags. Byte equality here means the
+  // instrumentation changed nothing the engine or the tuner could see.
+  EXPECT_EQ(off.layout_csv, on.layout_csv);
+  EXPECT_DOUBLE_EQ(off.derived_improvement, on.derived_improvement);
+  EXPECT_EQ(off.calls_made, on.calls_made);
+  EXPECT_EQ(off.config, on.config);
+
+  // And the observed run actually observed something.
+  MetricsSnapshot snap = registry.Snapshot();
+  EXPECT_EQ(snap.CounterValue("engine.whatif_calls"), on.calls_made);
+  EXPECT_GT(snap.CounterValue("tuner.rounds"), 0);
+  size_t num_events = 0;
+  ASSERT_TRUE(
+      Tracer::ValidateChromeJson(tracer.ToChromeJson(), &num_events).ok());
+  EXPECT_GT(num_events, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgorithms, ObsIdentityTest,
+                         testing::Values("vanilla-greedy", "two-phase-greedy",
+                                         "autoadmin-greedy", "dba-bandits",
+                                         "no-dba", "dta", "relaxation",
+                                         "mcts"),
+                         [](const testing::TestParamInfo<const char*>& info) {
+                           std::string name = info.param;
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace bati

@@ -195,10 +195,14 @@ TEST(WhatIfOptimizer, CallSecondsScaleWithComplexity) {
   // More scans => more time.
   const Query& small = *std::min_element(
       tpcds.queries.begin(), tpcds.queries.end(),
-      [](const Query& a, const Query& b) { return a.num_scans() < b.num_scans(); });
+      [](const Query& a, const Query& b) {
+        return a.num_scans() < b.num_scans();
+      });
   const Query& big = *std::max_element(
       tpcds.queries.begin(), tpcds.queries.end(),
-      [](const Query& a, const Query& b) { return a.num_scans() < b.num_scans(); });
+      [](const Query& a, const Query& b) {
+        return a.num_scans() < b.num_scans();
+      });
   EXPECT_LT(opt.EstimateCallSeconds(small), opt.EstimateCallSeconds(big));
 }
 

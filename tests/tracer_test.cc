@@ -1,0 +1,134 @@
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/tracer.h"
+
+namespace bati {
+namespace {
+
+TEST(Tracer, RecordsSpansAndInstants) {
+  Tracer tracer(64);
+  tracer.Complete("round", "tuner", /*wall_start_us=*/10.0,
+                  /*wall_dur_us=*/5.0, /*sim_start_s=*/0.0, /*sim_dur_s=*/1.5,
+                  {{"round", 1.0}});
+  tracer.Instant("stop", "governor", /*sim_ts_s=*/1.5, {{"calls", 42.0}});
+  ASSERT_EQ(tracer.size(), 2u);
+  EXPECT_EQ(tracer.dropped(), 0u);
+  std::vector<TraceEvent> events = tracer.Events();
+  EXPECT_STREQ(events[0].name, "round");
+  EXPECT_EQ(events[0].phase, 'X');
+  EXPECT_DOUBLE_EQ(events[0].wall_ts_us, 10.0);
+  EXPECT_DOUBLE_EQ(events[0].wall_dur_us, 5.0);
+  EXPECT_DOUBLE_EQ(events[0].sim_dur_s, 1.5);
+  ASSERT_EQ(events[0].num_args, 1);
+  EXPECT_STREQ(events[0].args[0].key, "round");
+  EXPECT_DOUBLE_EQ(events[0].args[0].value, 1.0);
+  EXPECT_STREQ(events[1].name, "stop");
+  EXPECT_EQ(events[1].phase, 'i');
+  EXPECT_DOUBLE_EQ(events[1].sim_ts_s, 1.5);
+}
+
+TEST(Tracer, RingOverflowKeepsNewestAndCountsDropped) {
+  Tracer tracer(8);
+  for (int i = 0; i < 20; ++i) {
+    tracer.Instant("e", "test", static_cast<double>(i), {{"i", double(i)}});
+  }
+  EXPECT_EQ(tracer.size(), 8u);
+  EXPECT_EQ(tracer.capacity(), 8u);
+  EXPECT_EQ(tracer.dropped(), 12u);
+  std::vector<TraceEvent> events = tracer.Events();
+  ASSERT_EQ(events.size(), 8u);
+  // Oldest-first: events 12..19 survive.
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_DOUBLE_EQ(events[static_cast<size_t>(i)].args[0].value,
+                     static_cast<double>(12 + i));
+  }
+}
+
+TEST(Tracer, ChromeJsonValidatesRoundTrip) {
+  Tracer tracer(32);
+  tracer.Complete("whatif.call", "whatif", 1.0, 2.0, 0.0, 0.3,
+                  {{"query", 3.0}, {"indexes", 2.0}});
+  tracer.Instant("governor.skip", "governor", 0.3);
+  tracer.Complete("round", "tuner", 0.0, 10.0, 0.0, 0.6);
+  std::string json = tracer.ToChromeJson();
+  size_t num_events = 0;
+  Status st = Tracer::ValidateChromeJson(json, &num_events);
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  EXPECT_EQ(num_events, 3u);
+  // The document shape Perfetto expects.
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"sim_dur_s\""), std::string::npos);
+}
+
+TEST(Tracer, EmptyTraceIsStillValid) {
+  Tracer tracer(4);
+  size_t num_events = 99;
+  EXPECT_TRUE(Tracer::ValidateChromeJson(tracer.ToChromeJson(), &num_events)
+                  .ok());
+  EXPECT_EQ(num_events, 0u);
+}
+
+TEST(Tracer, ValidatorRejectsMalformedDocuments) {
+  EXPECT_FALSE(Tracer::ValidateChromeJson("").ok());
+  EXPECT_FALSE(Tracer::ValidateChromeJson("not json").ok());
+  EXPECT_FALSE(Tracer::ValidateChromeJson("{}").ok());  // no traceEvents
+  EXPECT_FALSE(Tracer::ValidateChromeJson("{\"traceEvents\":7}").ok());
+  // Event missing the required "name" field.
+  EXPECT_FALSE(
+      Tracer::ValidateChromeJson(
+          "{\"traceEvents\":[{\"cat\":\"c\",\"ph\":\"i\",\"ts\":0,"
+          "\"pid\":1,\"tid\":0}]}")
+          .ok());
+  // 'X' span without "dur".
+  EXPECT_FALSE(
+      Tracer::ValidateChromeJson(
+          "{\"traceEvents\":[{\"name\":\"n\",\"cat\":\"c\",\"ph\":\"X\","
+          "\"ts\":0,\"pid\":1,\"tid\":0}]}")
+          .ok());
+  // Truncated document.
+  Tracer tracer(4);
+  tracer.Instant("e", "c", 0.0);
+  std::string json = tracer.ToChromeJson();
+  EXPECT_FALSE(
+      Tracer::ValidateChromeJson(json.substr(0, json.size() - 2)).ok());
+}
+
+TEST(Tracer, WriteChromeJsonRoundTripsThroughAFile) {
+  Tracer tracer(16);
+  tracer.Complete("round", "tuner", 0.0, 3.0, 0.0, 0.5, {{"round", 1.0}});
+  const std::string path =
+      testing::TempDir() + "/bati_tracer_test.trace.json";
+  ASSERT_TRUE(tracer.WriteChromeJson(path).ok());
+  std::string loaded;
+  {
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    char buf[1024];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) loaded.append(buf, n);
+    std::fclose(f);
+  }
+  EXPECT_EQ(loaded, tracer.ToChromeJson());
+  size_t num_events = 0;
+  EXPECT_TRUE(Tracer::ValidateChromeJson(loaded, &num_events).ok());
+  EXPECT_EQ(num_events, 1u);
+  std::remove(path.c_str());
+}
+
+TEST(Tracer, TextReportRollsUpByCategoryAndName) {
+  Tracer tracer(16);
+  tracer.Complete("whatif.call", "whatif", 0.0, 2.0, 0.0, 0.3);
+  tracer.Complete("whatif.call", "whatif", 2.0, 4.0, 0.3, 0.3);
+  std::string report = tracer.ToTextReport();
+  EXPECT_NE(report.find("whatif.call"), std::string::npos);
+  EXPECT_NE(report.find("2"), std::string::npos);  // the count column
+}
+
+}  // namespace
+}  // namespace bati

@@ -18,6 +18,7 @@ int main(int argc, char** argv) {
   std::string out_prefix = "workload";
   bool engine_stats = false;
   bool governor = false;
+  bool metrics = false;
   for (int i = 1; i < argc; ++i) {
     std::string flag = argv[i];
     if (flag == "--workload" && i + 1 < argc) {
@@ -28,15 +29,20 @@ int main(int argc, char** argv) {
       engine_stats = true;
     } else if (flag == "--governor") {
       governor = true;
+    } else if (flag == "--metrics") {
+      metrics = true;
     } else {
       std::fprintf(stderr,
                    "usage: %s --workload NAME [--out PREFIX] [--engine-stats]"
-                   " [--governor]\n"
+                   " [--governor] [--metrics]\n"
                    "writes PREFIX.schema.sql and PREFIX.queries.sql;\n"
                    "--engine-stats instead runs a small greedy tuning probe\n"
                    "and prints the cost-engine counters as JSON;\n"
                    "--governor runs the probe with the budget governor\n"
-                   "enabled, so skip/stop decisions appear in the stats\n",
+                   "enabled, so skip/stop decisions appear in the stats;\n"
+                   "--metrics runs the probe with the metrics registry\n"
+                   "attached and prints the full snapshot (histograms with\n"
+                   "percentiles) alongside the engine stats\n",
                    argv[0]);
       return 2;
     }
@@ -46,7 +52,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "unknown workload: %s\n", workload.c_str());
     return 1;
   }
-  if (engine_stats || governor) {
+  if (engine_stats || governor || metrics) {
     // Small deterministic greedy probe: enough activity to exercise the
     // cache, the batched executor, and the derived-cost index.
     RunSpec spec;
@@ -55,9 +61,15 @@ int main(int argc, char** argv) {
     spec.budget = 200;
     spec.max_indexes = 5;
     if (governor) spec.governor = BudgetGovernorOptions::Enabled();
+    spec.collect_metrics = metrics;
     RunOutcome outcome = RunOnce(bundle, spec);
-    std::printf("{\"workload\":\"%s\",\"engine_stats\":%s}\n",
-                workload.c_str(), outcome.engine.ToJson().c_str());
+    std::string line = "{\"workload\":\"" + workload + "\"";
+    line += ",\"engine_stats\":" + outcome.engine.ToJson();
+    if (outcome.has_metrics) {
+      line += ",\"metrics\":" + outcome.metrics.ToJson();
+    }
+    line += "}";
+    std::printf("%s\n", line.c_str());
     return 0;
   }
   std::string schema_path = out_prefix + ".schema.sql";

@@ -12,9 +12,13 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 
+#include "common/file_util.h"
 #include "harness/experiment.h"
+#include "obs/metrics.h"
+#include "obs/tracer.h"
 #include "mcts/mcts_tuner.h"
 #include "tuner/time_budget.h"
 #include "whatif/cost_service.h"
@@ -55,6 +59,11 @@ struct Args {
   std::string checkpoint;       // write a checkpoint at each round boundary
   std::string resume;           // resume from this checkpoint file
   int64_t crash_at_round = 0;   // simulate a crash at BeginRound(N)
+  // Observability (src/obs/): off unless one of these is given.
+  bool metrics = false;         // collect and print engine metrics
+  std::string metrics_file;     // --metrics=FILE: write the snapshot JSON
+  std::string trace_out;        // write a Chrome trace_event JSON here
+  int64_t trace_buffer = 0;     // trace ring capacity (0 = default)
 };
 
 /// Strict numeric flag parsing: the whole token must parse, no silent
@@ -112,7 +121,8 @@ void Usage(const char* argv0) {
       "  --schema-file PATH  CREATE TABLE script (see sql/ddl.h annotations)\n"
       "  --sql-file PATH     ';'-separated SELECT workload (with "
       "--schema-file)\n"
-      "  --algorithm NAME    vanilla-greedy|two-phase-greedy|autoadmin-greedy|\n"
+      "  --algorithm NAME    vanilla-greedy|two-phase-greedy|"
+      "autoadmin-greedy|\n"
       "                      dba-bandits|no-dba|dta|mcts[...] (default mcts)\n"
       "  --budget N          what-if call budget (default 1000)\n"
       "  --minutes M         derive the budget from a time budget instead\n"
@@ -146,8 +156,14 @@ void Usage(const char* argv0) {
       "  --resume PATH       resume a killed run from its checkpoint (same\n"
       "                      flags otherwise; continues bit-identically)\n"
       "  --crash-at-round N  simulate a crash at round N after writing the\n"
-      "                      checkpoint (exit code 42; for testing)\n",
-      argv0);
+      "                      checkpoint (exit code 42; for testing)\n"
+      "  --metrics[=FILE]    collect engine metrics; print the report, or\n"
+      "                      write the snapshot JSON to FILE\n"
+      "  --trace-out FILE    record a structured trace and write it as\n"
+      "                      Chrome trace_event JSON (Perfetto-loadable)\n"
+      "  --trace-buffer N    trace ring-buffer capacity in events\n"
+      "                      (default %zu; oldest events drop beyond it)\n",
+      argv0, bati::Tracer::kDefaultCapacity);
 }
 
 bool ParseArgs(int argc, char** argv, Args* args) {
@@ -278,6 +294,45 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       }
       if (args->crash_at_round < 0) {
         std::fprintf(stderr, "--crash-at-round must be >= 0, got %s\n", v);
+        return false;
+      }
+    } else if (flag == "--metrics") {
+      args->metrics = true;
+    } else if (flag.rfind("--metrics=", 0) == 0) {
+      args->metrics = true;
+      args->metrics_file = flag.substr(std::strlen("--metrics="));
+      if (args->metrics_file.empty()) {
+        std::fprintf(stderr, "missing file name in --metrics=FILE\n");
+        return false;
+      }
+    } else if (flag == "--trace-out" || flag.rfind("--trace-out=", 0) == 0) {
+      if (flag == "--trace-out") {
+        const char* v = next();
+        if (!v) return false;
+        args->trace_out = v;
+      } else {
+        args->trace_out = flag.substr(std::strlen("--trace-out="));
+      }
+      if (args->trace_out.empty()) {
+        std::fprintf(stderr, "missing file name for --trace-out\n");
+        return false;
+      }
+    } else if (flag == "--trace-buffer" ||
+               flag.rfind("--trace-buffer=", 0) == 0) {
+      const char* v;
+      std::string inline_value;
+      if (flag == "--trace-buffer") {
+        v = next();
+        if (!v) return false;
+      } else {
+        inline_value = flag.substr(std::strlen("--trace-buffer="));
+        v = inline_value.c_str();
+      }
+      if (!ParseInt64Flag("--trace-buffer", v, &args->trace_buffer)) {
+        return false;
+      }
+      if (args->trace_buffer < 1) {
+        std::fprintf(stderr, "--trace-buffer must be >= 1, got %s\n", v);
         return false;
       }
     } else if (flag == "--layout") {
@@ -416,6 +471,19 @@ int main(int argc, char** argv) {
     engine_options.run_identity = RunIdentity(ident_spec);
   }
 
+  std::unique_ptr<MetricsRegistry> registry;
+  if (args.metrics) {
+    registry = std::make_unique<MetricsRegistry>();
+    engine_options.metrics = registry.get();
+  }
+  std::unique_ptr<Tracer> tracer;
+  if (!args.trace_out.empty() || args.trace_buffer > 0) {
+    tracer = std::make_unique<Tracer>(
+        args.trace_buffer > 0 ? static_cast<size_t>(args.trace_buffer)
+                              : Tracer::kDefaultCapacity);
+    engine_options.tracer = tracer.get();
+  }
+
   CostService service(bundle.optimizer.get(), &bundle.workload,
                       &bundle.candidates.indexes, budget, engine_options);
   if (!args.resume.empty()) {
@@ -434,6 +502,7 @@ int main(int argc, char** argv) {
               static_cast<long long>(budget), static_cast<int>(args.k),
               args.storage_gb > 0 ? " (+storage constraint)" : "");
   TuningResult result = tuner->Tune(service);
+  service.FinishObservability();
 
   const Database& db = *bundle.workload.database;
   std::printf("recommendation (%zu indexes):\n", result.best_config.count());
@@ -509,11 +578,43 @@ int main(int argc, char** argv) {
     }
     std::printf("layout trace written to %s\n", args.layout_csv.c_str());
   }
+  MetricsSnapshot snapshot;
+  if (registry != nullptr) {
+    snapshot = registry->Snapshot();
+    if (!args.metrics_file.empty()) {
+      bati::Status st = AtomicWriteFile(args.metrics_file,
+                                        snapshot.ToJson() + "\n");
+      if (!st.ok()) {
+        std::fprintf(stderr, "%s\n", st.ToString().c_str());
+        return 1;
+      }
+      std::printf("metrics written to %s\n", args.metrics_file.c_str());
+    } else {
+      std::printf("\nmetrics:\n%s", snapshot.ToText().c_str());
+    }
+  }
+  if (tracer != nullptr) {
+    if (!args.trace_out.empty()) {
+      bati::Status st = tracer->WriteChromeJson(args.trace_out);
+      if (!st.ok()) {
+        std::fprintf(stderr, "%s\n", st.ToString().c_str());
+        return 1;
+      }
+      std::printf("trace written to %s (%zu events, %llu dropped)\n",
+                  args.trace_out.c_str(), tracer->size(),
+                  static_cast<unsigned long long>(tracer->dropped()));
+      if (args.verbose) std::printf("%s", tracer->ToTextReport().c_str());
+    } else {
+      // --trace-buffer without --trace-out: report inline.
+      std::printf("\n%s", tracer->ToTextReport().c_str());
+    }
+  }
   if (args.json) {
     std::printf("%s\n",
                 ResultToJson(service, bundle.workload, tuner->name(),
                              result.best_config,
-                             service.TrueImprovement(result.best_config))
+                             service.TrueImprovement(result.best_config),
+                             registry != nullptr ? &snapshot : nullptr)
                     .c_str());
   }
   if (args.show_layout) {
