@@ -1,220 +1,87 @@
 #include "harness/experiment.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
-#include <map>
+#include <thread>
 
-#include "bandit/dba_bandits.h"
-#include "common/macros.h"
 #include "common/stats.h"
-#include "dqn/nodba.h"
-#include "dta/dta_tuner.h"
-#include "mcts/mcts_tuner.h"
-#include "tuner/greedy.h"
-#include "tuner/relaxation.h"
-#include "whatif/cost_service.h"
 
 namespace bati {
 
 namespace {
 
-/// Simulated non-what-if tuning overhead: per-call bookkeeping plus a fixed
-/// setup term (parsing, candidate generation). Chosen so what-if time is
-/// 75-93% of the total, as the paper measures (Figure 2).
-constexpr double kOtherSecondsPerCall = 0.12;
-constexpr double kOtherSecondsFixed = 30.0;
+/// Session parallelism for harness sweeps: BATI_SESSION_PARALLELISM when
+/// set (values < 1 mean sequential), otherwise hardware concurrency capped
+/// at 8 — figure sweeps are memory-light but each session holds its own
+/// what-if cache, so an unbounded fan-out buys nothing.
+int SweepParallelism() {
+  const char* env = std::getenv("BATI_SESSION_PARALLELISM");
+  if (env != nullptr) {
+    const long parsed = std::strtol(env, nullptr, 10);
+    return parsed >= 1 ? static_cast<int>(parsed) : 1;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return static_cast<int>(std::clamp(hw, 1u, 8u));
+}
+
+/// Specs with file side effects must not run concurrently with siblings
+/// (checkpoints and traces would collide on their paths).
+bool SpecWritesFiles(const RunSpec& spec) {
+  return !spec.checkpoint_path.empty() || !spec.resume_path.empty() ||
+         !spec.trace_path.empty();
+}
 
 }  // namespace
 
-const WorkloadBundle& LoadBundle(const std::string& name) {
-  static std::map<std::string, std::unique_ptr<WorkloadBundle>>& cache =
-      *new std::map<std::string, std::unique_ptr<WorkloadBundle>>();
-  auto it = cache.find(name);
-  if (it != cache.end()) return *it->second;
-
-  auto bundle = std::make_unique<WorkloadBundle>();
-  bundle->workload = MakeWorkloadByName(name);
-  BATI_CHECK(bundle->workload.database != nullptr &&
-             "unknown workload name");
-  bundle->optimizer =
-      std::make_shared<WhatIfOptimizer>(bundle->workload.database);
-  bundle->candidates = GenerateCandidates(bundle->workload);
-  auto [pos, inserted] = cache.emplace(name, std::move(bundle));
-  BATI_CHECK(inserted);
-  return *pos->second;
-}
-
-std::unique_ptr<Tuner> MakeTuner(const std::string& algorithm,
-                                 TuningContext ctx, uint64_t seed) {
-  if (algorithm == "vanilla-greedy") {
-    return std::make_unique<GreedyTuner>(std::move(ctx));
-  }
-  if (algorithm == "two-phase-greedy") {
-    return std::make_unique<TwoPhaseGreedyTuner>(std::move(ctx));
-  }
-  if (algorithm == "autoadmin-greedy") {
-    return std::make_unique<AutoAdminGreedyTuner>(std::move(ctx));
-  }
-  if (algorithm == "dba-bandits") {
-    DbaBanditsOptions opt;
-    opt.seed = seed;
-    return std::make_unique<DbaBanditsTuner>(std::move(ctx), opt);
-  }
-  if (algorithm == "no-dba") {
-    NoDbaOptions opt;
-    opt.seed = seed;
-    return std::make_unique<NoDbaTuner>(std::move(ctx), opt);
-  }
-  if (algorithm == "dta") {
-    return std::make_unique<DtaTuner>(std::move(ctx));
-  }
-  if (algorithm == "relaxation") {
-    return std::make_unique<RelaxationTuner>(std::move(ctx));
-  }
-  if (algorithm.rfind("mcts", 0) == 0) {
-    MctsOptions opt;  // defaults = paper's recommended setting
-    opt.seed = seed;
-    if (algorithm.find("-uct") != std::string::npos) {
-      opt.action_policy = MctsOptions::ActionPolicy::kUct;
-    }
-    if (algorithm.find("-prior") != std::string::npos) {
-      opt.action_policy = MctsOptions::ActionPolicy::kEpsGreedyPrior;
-    }
-    if (algorithm.find("-boltz") != std::string::npos) {
-      opt.action_policy = MctsOptions::ActionPolicy::kBoltzmann;
-    }
-    if (algorithm.find("-bce") != std::string::npos) {
-      opt.extraction = MctsOptions::Extraction::kBce;
-    }
-    if (algorithm.find("-bg") != std::string::npos) {
-      opt.extraction = MctsOptions::Extraction::kBestGreedy;
-    }
-    if (algorithm.find("-hybrid") != std::string::npos) {
-      opt.extraction = MctsOptions::Extraction::kHybrid;
-    }
-    if (algorithm.find("-rave") != std::string::npos) {
-      opt.use_rave = true;
-    }
-    if (algorithm.find("-feat") != std::string::npos) {
-      opt.featurized_priors = true;
-    }
-    if (algorithm.find("-rnd") != std::string::npos) {
-      opt.rollout_policy = MctsOptions::RolloutPolicy::kRandomStep;
-    }
-    if (algorithm.find("-fix0") != std::string::npos) {
-      opt.rollout_policy = MctsOptions::RolloutPolicy::kFixedStep;
-      opt.fixed_rollout_step = 0;
-    }
-    if (algorithm.find("-fix1") != std::string::npos) {
-      opt.rollout_policy = MctsOptions::RolloutPolicy::kFixedStep;
-      opt.fixed_rollout_step = 1;
-    }
-    return std::make_unique<MctsTuner>(std::move(ctx), opt);
-  }
-  BATI_CHECK(false && "unknown algorithm name");
-  return nullptr;
-}
-
-std::string RunIdentity(const RunSpec& spec) {
-  char buf[256];
-  std::snprintf(
-      buf, sizeof(buf),
-      "workload=%s,algorithm=%s,budget=%lld,k=%d,storage=%g,seed=%llu,"
-      "governor=%d/%d/%d",
-      spec.workload.c_str(), spec.algorithm.c_str(),
-      static_cast<long long>(spec.budget), spec.max_indexes,
-      spec.max_storage_bytes, static_cast<unsigned long long>(spec.seed),
-      spec.governor.enabled ? 1 : 0, spec.governor.skip_what_if ? 1 : 0,
-      spec.governor.early_stop ? 1 : 0);
-  std::string id = buf;
-  id += "," + spec.faults.ToIdentityString();
-  id += "," + spec.retry.ToIdentityString();
-  return id;
-}
-
-RunOutcome RunOnce(const WorkloadBundle& bundle, const RunSpec& spec) {
-  TuningContext ctx;
-  ctx.workload = &bundle.workload;
-  ctx.candidates = &bundle.candidates;
-  ctx.constraints.max_indexes = spec.max_indexes;
-  ctx.constraints.max_storage_bytes = spec.max_storage_bytes;
-
-  CostEngineOptions engine_options;
-  engine_options.governor = spec.governor;
-  engine_options.faults = spec.faults;
-  engine_options.retry = spec.retry;
-  engine_options.checkpoint_path = spec.checkpoint_path;
-  engine_options.run_identity = RunIdentity(spec);
-  // Observability sinks live on this frame and outlive the service; when
-  // the spec asks for neither, the engine runs fully unobserved.
-  std::unique_ptr<MetricsRegistry> registry;
-  if (spec.collect_metrics) {
-    registry = std::make_unique<MetricsRegistry>();
-    engine_options.metrics = registry.get();
-  }
-  std::unique_ptr<Tracer> tracer;
-  if (!spec.trace_path.empty() || spec.trace_buffer > 0) {
-    tracer = std::make_unique<Tracer>(spec.trace_buffer == 0
-                                          ? Tracer::kDefaultCapacity
-                                          : spec.trace_buffer);
-    engine_options.tracer = tracer.get();
-  }
-  CostService service(bundle.optimizer.get(), &bundle.workload,
-                      &bundle.candidates.indexes, spec.budget,
-                      engine_options);
-  if (!spec.resume_path.empty()) {
-    const Status st = service.ResumeFromFile(spec.resume_path);
-    if (!st.ok()) {
-      std::fprintf(stderr, "resume failed: %s\n", st.ToString().c_str());
-    }
-    BATI_CHECK(st.ok() && "resume from checkpoint failed");
-  }
-  std::unique_ptr<Tuner> tuner = MakeTuner(spec.algorithm, ctx, spec.seed);
-  TuningResult result = tuner->Tune(service);
-  service.FinishObservability();
-
-  RunOutcome outcome;
-  outcome.true_improvement = service.TrueImprovement(result.best_config);
-  outcome.derived_improvement = result.derived_improvement;
-  outcome.calls_used = service.calls_made();
-  outcome.config_size = result.best_config.count();
-  outcome.whatif_seconds = service.SimulatedWhatIfSeconds();
-  outcome.other_seconds =
-      kOtherSecondsFixed +
-      kOtherSecondsPerCall * static_cast<double>(service.calls_made());
-  if (const std::vector<double>* trace = tuner->progress_trace()) {
-    outcome.trace = *trace;
-  }
-  outcome.engine = service.EngineStats();
-  outcome.governor_skipped = outcome.engine.governor_skipped_calls;
-  outcome.governor_banked = outcome.engine.governor_banked_calls;
-  outcome.governor_reallocated = outcome.engine.governor_reallocated_calls;
-  outcome.governor_stop_round = outcome.engine.governor_stop_round;
-  outcome.degraded_cells = outcome.engine.degraded_cells;
-  if (registry != nullptr) {
-    outcome.has_metrics = true;
-    outcome.metrics = registry->Snapshot();
-  }
-  if (tracer != nullptr) {
-    outcome.trace_events = tracer->size();
-    outcome.trace_dropped = tracer->dropped();
-    if (!spec.trace_path.empty()) {
-      const Status st = tracer->WriteChromeJson(spec.trace_path);
-      if (!st.ok()) {
-        std::fprintf(stderr, "trace write failed: %s\n",
-                     st.ToString().c_str());
+std::vector<double> RunSpecsTrueImprovements(
+    const WorkloadBundle& bundle, const std::vector<RunSpec>& specs) {
+  std::vector<double> improvements(specs.size(), 0.0);
+  const int parallelism =
+      std::min<int>(SweepParallelism(), static_cast<int>(specs.size()));
+  // The manager resolves workloads through the global registry, so the
+  // concurrent path requires `bundle` to be the registry's own (ad-hoc
+  // bundles — e.g. loaded from user SQL files — run sequentially, as do
+  // specs that write files).
+  bool concurrent = specs.size() > 1 && parallelism > 1;
+  if (concurrent) {
+    for (const RunSpec& spec : specs) {
+      if (SpecWritesFiles(spec) ||
+          BundleRegistry::Global().TryGet(spec.workload) != &bundle) {
+        concurrent = false;
+        break;
       }
     }
   }
-  return outcome;
+  if (!concurrent) {
+    for (size_t i = 0; i < specs.size(); ++i) {
+      improvements[i] = RunOnce(bundle, specs[i]).true_improvement;
+    }
+    return improvements;
+  }
+  SessionManagerOptions options;
+  options.parallelism = parallelism;
+  SessionManager manager(options);
+  for (const RunSpec& spec : specs) manager.Submit(spec);
+  const std::vector<SessionResult> results = manager.Drain();
+  // Drain() sorts by submission id, which is exactly input order.
+  for (size_t i = 0; i < results.size(); ++i) {
+    improvements[i] = results[i].outcome.true_improvement;
+  }
+  return improvements;
 }
 
 CellStats RunSeeds(const WorkloadBundle& bundle, RunSpec spec,
                    const std::vector<uint64_t>& seeds) {
-  RunningStats stats;
+  std::vector<RunSpec> specs;
+  specs.reserve(seeds.size());
   for (uint64_t seed : seeds) {
     spec.seed = seed;
-    stats.Add(RunOnce(bundle, spec).true_improvement);
+    specs.push_back(spec);
+  }
+  RunningStats stats;
+  for (double improvement : RunSpecsTrueImprovements(bundle, specs)) {
+    stats.Add(improvement);
   }
   return CellStats{stats.mean(), stats.stddev()};
 }
@@ -242,14 +109,12 @@ void PrintSeriesTable(const std::string& title, const WorkloadBundle& bundle,
                       const std::vector<int64_t>& budgets, int k,
                       double storage_bytes,
                       const std::vector<uint64_t>& seeds) {
-  std::printf("# %s\n", title.c_str());
-  std::printf("%-8s", "budget");
-  for (const std::string& algo : algorithms) {
-    std::printf("  %18s %6s", algo.c_str(), "sd");
-  }
-  std::printf("\n");
+  // Build the whole (budget, algorithm, seed) grid up front so every run
+  // of the table shares one session batch; cell boundaries are recorded so
+  // aggregation can walk the flat result vector in print order.
+  std::vector<RunSpec> specs;
+  std::vector<size_t> cell_sizes;
   for (int64_t budget : budgets) {
-    std::printf("%-8lld", static_cast<long long>(budget));
     for (const std::string& algo : algorithms) {
       RunSpec spec;
       spec.workload = bundle.workload.name;
@@ -260,10 +125,36 @@ void PrintSeriesTable(const std::string& title, const WorkloadBundle& bundle,
       // Deterministic algorithms need only one run.
       bool randomized = algo.rfind("mcts", 0) == 0 || algo == "dba-bandits" ||
                         algo == "no-dba";
-      CellStats cell =
-          RunSeeds(bundle, spec,
-                   randomized ? seeds : std::vector<uint64_t>{seeds.front()});
-      std::printf("  %18.2f %6.2f", cell.mean, cell.stddev);
+      const std::vector<uint64_t> cell_seeds =
+          randomized ? seeds : std::vector<uint64_t>{seeds.front()};
+      for (uint64_t seed : cell_seeds) {
+        spec.seed = seed;
+        specs.push_back(spec);
+      }
+      cell_sizes.push_back(cell_seeds.size());
+    }
+  }
+  const std::vector<double> improvements =
+      RunSpecsTrueImprovements(bundle, specs);
+
+  std::printf("# %s\n", title.c_str());
+  std::printf("%-8s", "budget");
+  for (const std::string& algo : algorithms) {
+    std::printf("  %18s %6s", algo.c_str(), "sd");
+  }
+  std::printf("\n");
+  size_t cell = 0;
+  size_t offset = 0;
+  for (int64_t budget : budgets) {
+    std::printf("%-8lld", static_cast<long long>(budget));
+    for (size_t a = 0; a < algorithms.size(); ++a) {
+      RunningStats stats;
+      for (size_t s = 0; s < cell_sizes[cell]; ++s) {
+        stats.Add(improvements[offset + s]);
+      }
+      offset += cell_sizes[cell];
+      ++cell;
+      std::printf("  %18.2f %6.2f", stats.mean(), stats.stddev());
     }
     std::printf("\n");
     std::fflush(stdout);

@@ -1,124 +1,22 @@
 #ifndef BATI_HARNESS_EXPERIMENT_H_
 #define BATI_HARNESS_EXPERIMENT_H_
 
-#include <memory>
 #include <string>
 #include <vector>
 
-#include "budget/governor.h"
-#include "common/status.h"
-#include "faults/fault_injector.h"
-#include "obs/metrics.h"
-#include "obs/tracer.h"
-#include "optimizer/what_if.h"
-#include "tuner/tuner.h"
-#include "whatif/cost_engine_stats.h"
-#include "whatif/whatif_executor.h"
-#include "workload/generators.h"
+#include "session/bundle_registry.h"
+#include "session/session_manager.h"
+#include "session/tuning_session.h"
 
 namespace bati {
 
-/// A workload plus everything derived from it that is shared across runs:
-/// the simulated what-if optimizer and the candidate-index universe.
-struct WorkloadBundle {
-  Workload workload;
-  std::shared_ptr<WhatIfOptimizer> optimizer;
-  CandidateSet candidates;
-};
-
-/// Builds (and caches within the process) a bundle for a named workload
-/// ("tpch", "tpcds", "job", "real-d", "real-m", "toy").
-const WorkloadBundle& LoadBundle(const std::string& name);
-
-/// Creates a tuner by algorithm name. Recognized names:
-///   "vanilla-greedy" | "two-phase-greedy" | "autoadmin-greedy" |
-///   "dba-bandits" | "no-dba" | "dta" | "mcts" (paper default setting) |
-///   "mcts-{uct,prior}-{bce,bg}-{fix0,fix1,rnd}" (ablation variants).
-std::unique_ptr<Tuner> MakeTuner(const std::string& algorithm,
-                                 TuningContext ctx, uint64_t seed);
-
-/// One tuning run's specification.
-struct RunSpec {
-  std::string workload;
-  std::string algorithm;
-  int64_t budget = 1000;
-  int max_indexes = 10;
-  double max_storage_bytes = 0.0;
-  uint64_t seed = 1;
-  /// Budget-governor configuration (src/budget/); disabled by default, in
-  /// which case the run is bit-identical to the pre-governor harness.
-  BudgetGovernorOptions governor;
-  /// Injected what-if fault model (src/faults/); off by default, in which
-  /// case the run is bit-identical to the fault-free harness.
-  FaultOptions faults;
-  /// Retry/backoff policy around faulted what-if calls.
-  RetryPolicy retry;
-  /// When non-empty, the engine writes a crash-consistent checkpoint here
-  /// at every round boundary.
-  std::string checkpoint_path;
-  /// When non-empty, the run resumes from this checkpoint file (the tuner
-  /// replays deterministically from its seed; the engine answers the
-  /// journaled prefix instead of re-invoking the optimizer).
-  std::string resume_path;
-  /// When true, the run records engine metrics (histograms, counters) and
-  /// the outcome carries a MetricsSnapshot. Off by default: an unobserved
-  /// run is bit-identical to the pre-observability harness.
-  bool collect_metrics = false;
-  /// When non-empty, the run records a structured trace and writes it here
-  /// as Chrome trace_event JSON (Perfetto-loadable).
-  std::string trace_path;
-  /// Trace ring-buffer capacity in events; 0 means Tracer::kDefaultCapacity.
-  /// Setting this non-zero enables tracing even without a trace_path (the
-  /// trace is then only reachable programmatically).
-  size_t trace_buffer = 0;
-};
-
-/// The canonical identity string for a spec — everything that must match
-/// for a checkpoint to be resumable: workload, algorithm, constraints,
-/// seed, governor switches, fault model, and retry policy.
-std::string RunIdentity(const RunSpec& spec);
-
-/// One tuning run's measured outcome.
-struct RunOutcome {
-  /// eta(W, C) with ground-truth what-if costs (how the paper reports
-  /// improvements), percent.
-  double true_improvement = 0.0;
-  /// eta(W, C) with derived costs at the end of the run, percent.
-  double derived_improvement = 0.0;
-  int64_t calls_used = 0;
-  size_t config_size = 0;
-  /// Simulated seconds spent in what-if calls (Figure 2's orange bars).
-  double whatif_seconds = 0.0;
-  /// Simulated seconds spent elsewhere in tuning (Figure 2's blue bars).
-  double other_seconds = 0.0;
-  /// Best-so-far improvement after each episode/round, if the algorithm
-  /// exposes one (greedy family, MCTS, DBA-bandits, No-DBA). When present,
-  /// the last point equals `derived_improvement`.
-  std::vector<double> trace;
-  /// Cost-engine observability counters for the run (cache hits, derived
-  /// and delta lookups, posting-list pruning, batched cells, wall time).
-  CostEngineStats engine;
-  /// Governor decisions, mirrored from `engine` for convenience: what-if
-  /// calls skipped with the saving banked or reallocated, and where early
-  /// stopping fired (-1 = never). All zero / -1 on ungoverned runs.
-  int64_t governor_skipped = 0;
-  int64_t governor_banked = 0;
-  int64_t governor_reallocated = 0;
-  int governor_stop_round = -1;
-  /// Cells answered with the derived cost after exhausting their retries,
-  /// mirrored from `engine`. Zero when fault injection is off.
-  int64_t degraded_cells = 0;
-  /// Metrics snapshot of the run; populated iff spec.collect_metrics.
-  bool has_metrics = false;
-  MetricsSnapshot metrics;
-  /// Events retained/dropped by the trace ring; meaningful only when the
-  /// spec enabled tracing.
-  size_t trace_events = 0;
-  uint64_t trace_dropped = 0;
-};
-
-/// Executes one tuning run against a bundle.
-RunOutcome RunOnce(const WorkloadBundle& bundle, const RunSpec& spec);
+// The experiment harness is a thin layer over the session subsystem
+// (src/session/): WorkloadBundle/LoadBundle live in
+// session/bundle_registry.h (backed by the thread-safe process-wide
+// BundleRegistry), and RunSpec/RunOutcome/RunOnce/MakeTuner live in
+// session/tuning_session.h (RunOnce constructs and runs one
+// TuningSession). This header re-exports them for the benches, tests, and
+// tools, and adds the figure-sweep helpers below.
 
 /// Mean/stddev of true improvement across seeds for one cell of a figure.
 struct CellStats {
@@ -126,7 +24,20 @@ struct CellStats {
   double stddev = 0.0;
 };
 
-/// Runs `spec` once per seed and aggregates the true improvements.
+/// Runs every spec and returns the true improvement of each, in input
+/// order. When the bundle is registry-backed and more than one spec is
+/// given, the runs execute as concurrent sessions on a SessionManager
+/// (bounded by BATI_SESSION_PARALLELISM, default: hardware concurrency
+/// capped at 8); results are identical to the sequential loop because
+/// sessions share no mutable state and aggregation follows input order.
+/// Specs that write files (checkpoint/resume/trace paths) force the
+/// sequential path.
+std::vector<double> RunSpecsTrueImprovements(const WorkloadBundle& bundle,
+                                             const std::vector<RunSpec>& specs);
+
+/// Runs `spec` once per seed (concurrently, see RunSpecsTrueImprovements)
+/// and aggregates the true improvements in seed order, so the printed
+/// tables are bit-identical to sequential execution.
 CellStats RunSeeds(const WorkloadBundle& bundle, RunSpec spec,
                    const std::vector<uint64_t>& seeds);
 
@@ -141,7 +52,10 @@ struct BenchScale {
 BenchScale GetBenchScale();
 
 /// Prints a figure header plus one row per budget with mean/stddev columns
-/// per algorithm, in the layout of the paper's plots.
+/// per algorithm, in the layout of the paper's plots. All (budget,
+/// algorithm, seed) runs of the table execute as one concurrent session
+/// batch; aggregation and printing stay in row order, so the table bytes
+/// match the historical sequential sweep exactly.
 void PrintSeriesTable(const std::string& title, const WorkloadBundle& bundle,
                       const std::vector<std::string>& algorithms,
                       const std::vector<int64_t>& budgets, int k,

@@ -1,0 +1,285 @@
+#include "session/spec_json.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+
+namespace bati {
+
+namespace {
+
+/// Cursor over one JSON line. The grammar here is deliberately tiny: one
+/// flat object of string/number/boolean values — the same shape
+/// ResultToJson() emits and a shell one-liner can produce.
+struct Cursor {
+  const std::string& text;
+  size_t pos = 0;
+
+  void SkipSpace() {
+    while (pos < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[pos]))) {
+      ++pos;
+    }
+  }
+  bool AtEnd() {
+    SkipSpace();
+    return pos >= text.size();
+  }
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos < text.size() && text[pos] == c) {
+      ++pos;
+      return true;
+    }
+    return false;
+  }
+};
+
+Status ParseString(Cursor* c, std::string* out) {
+  if (!c->Consume('"')) {
+    return Status::InvalidArgument("expected '\"' at position " +
+                                   std::to_string(c->pos));
+  }
+  out->clear();
+  while (c->pos < c->text.size()) {
+    char ch = c->text[c->pos++];
+    if (ch == '"') return Status::Ok();
+    if (ch == '\\') {
+      if (c->pos >= c->text.size()) break;
+      char esc = c->text[c->pos++];
+      if (esc == '"' || esc == '\\' || esc == '/') {
+        out->push_back(esc);
+      } else {
+        return Status::InvalidArgument(
+            std::string("unsupported escape '\\") + esc + "' in string");
+      }
+      continue;
+    }
+    out->push_back(ch);
+  }
+  return Status::InvalidArgument("unterminated string");
+}
+
+Status ParseNumber(Cursor* c, double* out) {
+  c->SkipSpace();
+  errno = 0;
+  const char* begin = c->text.c_str() + c->pos;
+  char* end = nullptr;
+  double parsed = std::strtod(begin, &end);
+  if (end == begin || errno != 0) {
+    return Status::InvalidArgument("malformed number at position " +
+                                   std::to_string(c->pos));
+  }
+  c->pos += static_cast<size_t>(end - begin);
+  *out = parsed;
+  return Status::Ok();
+}
+
+Status ParseBool(Cursor* c, bool* out) {
+  c->SkipSpace();
+  if (c->text.compare(c->pos, 4, "true") == 0) {
+    c->pos += 4;
+    *out = true;
+    return Status::Ok();
+  }
+  if (c->text.compare(c->pos, 5, "false") == 0) {
+    c->pos += 5;
+    *out = false;
+    return Status::Ok();
+  }
+  return Status::InvalidArgument("expected true or false at position " +
+                                 std::to_string(c->pos));
+}
+
+/// One decoded key/value; exactly one of the has_* flags is set.
+struct Value {
+  bool has_string = false;
+  bool has_number = false;
+  bool has_bool = false;
+  std::string str;
+  double num = 0.0;
+  bool boolean = false;
+};
+
+Status ParseValue(Cursor* c, Value* out) {
+  c->SkipSpace();
+  if (c->pos >= c->text.size()) {
+    return Status::InvalidArgument("missing value");
+  }
+  const char ch = c->text[c->pos];
+  if (ch == '"') {
+    out->has_string = true;
+    return ParseString(c, &out->str);
+  }
+  if (ch == 't' || ch == 'f') {
+    out->has_bool = true;
+    return ParseBool(c, &out->boolean);
+  }
+  if (ch == '{' || ch == '[') {
+    return Status::InvalidArgument("nested objects/arrays are not allowed");
+  }
+  out->has_number = true;
+  return ParseNumber(c, &out->num);
+}
+
+Status WantString(const std::string& key, const Value& v, std::string* out) {
+  if (!v.has_string) {
+    return Status::InvalidArgument("\"" + key + "\" must be a string");
+  }
+  *out = v.str;
+  return Status::Ok();
+}
+
+Status WantNumber(const std::string& key, const Value& v, double min,
+                  double max, double* out) {
+  if (!v.has_number) {
+    return Status::InvalidArgument("\"" + key + "\" must be a number");
+  }
+  if (v.num < min || v.num > max) {
+    return Status::InvalidArgument("\"" + key + "\" out of range");
+  }
+  *out = v.num;
+  return Status::Ok();
+}
+
+Status WantInt(const std::string& key, const Value& v, int64_t min,
+               int64_t* out) {
+  double num = 0.0;
+  Status st = WantNumber(key, v, static_cast<double>(min), 9.2e18, &num);
+  if (!st.ok()) return st;
+  int64_t integer = static_cast<int64_t>(num);
+  if (static_cast<double>(integer) != num) {
+    return Status::InvalidArgument("\"" + key + "\" must be an integer");
+  }
+  *out = integer;
+  return Status::Ok();
+}
+
+Status WantBool(const std::string& key, const Value& v, bool* out) {
+  if (!v.has_bool) {
+    return Status::InvalidArgument("\"" + key + "\" must be true or false");
+  }
+  *out = v.boolean;
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status ParseRunSpecJson(const std::string& line, RunSpec* spec) {
+  *spec = RunSpec();
+  // Governor threshold overrides, applied after the sweep (wired exactly
+  // like bati_tune's --skip-threshold / --stop-threshold / --stop-window).
+  bool early_stop = false;
+  bool realloc_budget = false;
+  double skip_threshold = -1.0;
+  double stop_threshold = -1.0;
+  int64_t stop_window = 0;
+
+  Cursor c{line};
+  if (!c.Consume('{')) {
+    return Status::InvalidArgument("spec line must be a JSON object");
+  }
+  bool first = true;
+  bool have_workload = false;
+  while (!c.Consume('}')) {
+    if (!first && !c.Consume(',')) {
+      return Status::InvalidArgument("expected ',' or '}' at position " +
+                                     std::to_string(c.pos));
+    }
+    first = false;
+    std::string key;
+    Status st = ParseString(&c, &key);
+    if (!st.ok()) return st;
+    if (!c.Consume(':')) {
+      return Status::InvalidArgument("expected ':' after \"" + key + "\"");
+    }
+    Value value;
+    st = ParseValue(&c, &value);
+    if (!st.ok()) return st;
+
+    int64_t integer = 0;
+    double num = 0.0;
+    if (key == "workload") {
+      st = WantString(key, value, &spec->workload);
+      have_workload = st.ok() && !spec->workload.empty();
+      if (st.ok() && !have_workload) {
+        st = Status::InvalidArgument("\"workload\" must be non-empty");
+      }
+    } else if (key == "algorithm") {
+      st = WantString(key, value, &spec->algorithm);
+    } else if (key == "budget") {
+      st = WantInt(key, value, 0, &spec->budget);
+    } else if (key == "k") {
+      st = WantInt(key, value, 1, &integer);
+      if (st.ok()) spec->max_indexes = static_cast<int>(integer);
+    } else if (key == "storage_gb") {
+      st = WantNumber(key, value, 0.0, 1e12, &num);
+      if (st.ok()) spec->max_storage_bytes = num * 1e9;
+    } else if (key == "seed") {
+      st = WantInt(key, value, 0, &integer);
+      if (st.ok()) spec->seed = static_cast<uint64_t>(integer);
+    } else if (key == "early_stop") {
+      st = WantBool(key, value, &early_stop);
+    } else if (key == "realloc_budget") {
+      st = WantBool(key, value, &realloc_budget);
+    } else if (key == "skip_threshold") {
+      st = WantNumber(key, value, 0.0, 1e12, &skip_threshold);
+    } else if (key == "stop_threshold") {
+      st = WantNumber(key, value, 0.0, 1e12, &stop_threshold);
+    } else if (key == "stop_window") {
+      st = WantInt(key, value, 1, &stop_window);
+    } else if (key == "fault_rate") {
+      st = WantNumber(key, value, 0.0, 1.0, &spec->faults.transient_rate);
+    } else if (key == "fault_sticky") {
+      st = WantNumber(key, value, 0.0, 1.0, &spec->faults.sticky_rate);
+    } else if (key == "fault_spike") {
+      st = WantNumber(key, value, 0.0, 1.0, &spec->faults.spike_rate);
+    } else if (key == "fault_spike_factor") {
+      st = WantNumber(key, value, 1.0, 1e12, &spec->faults.spike_factor);
+    } else if (key == "fault_seed") {
+      st = WantInt(key, value, 0, &integer);
+      if (st.ok()) spec->faults.seed = static_cast<uint64_t>(integer);
+    } else if (key == "retry_attempts") {
+      st = WantInt(key, value, 1, &integer);
+      if (st.ok()) spec->retry.max_attempts = static_cast<int>(integer);
+    } else if (key == "retry_timeout") {
+      st = WantNumber(key, value, 0.0, 1e12,
+                      &spec->retry.call_timeout_seconds);
+    } else if (key == "collect_metrics") {
+      st = WantBool(key, value, &spec->collect_metrics);
+    } else if (key == "checkpoint") {
+      st = WantString(key, value, &spec->checkpoint_path);
+    } else if (key == "resume") {
+      st = WantString(key, value, &spec->resume_path);
+    } else if (key == "trace_out") {
+      st = WantString(key, value, &spec->trace_path);
+    } else {
+      st = Status::InvalidArgument("unknown key \"" + key + "\"");
+    }
+    if (!st.ok()) return st;
+  }
+  if (!c.AtEnd()) {
+    return Status::InvalidArgument("trailing characters after object");
+  }
+  if (!have_workload) {
+    return Status::InvalidArgument("\"workload\" is required");
+  }
+  spec->faults.enabled = spec->faults.transient_rate > 0.0 ||
+                         spec->faults.sticky_rate > 0.0 ||
+                         spec->faults.spike_rate > 0.0;
+  if (early_stop || realloc_budget) {
+    spec->governor.enabled = true;
+    spec->governor.early_stop = early_stop;
+    spec->governor.skip_what_if = realloc_budget;
+    if (skip_threshold >= 0.0) {
+      spec->governor.realloc.skip_rel_threshold = skip_threshold;
+    }
+    if (stop_threshold >= 0.0) {
+      spec->governor.stop.abs_threshold_pct = stop_threshold;
+    }
+    if (stop_window > 0) spec->governor.stop.window_calls = stop_window;
+  }
+  return Status::Ok();
+}
+
+}  // namespace bati

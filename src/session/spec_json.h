@@ -1,0 +1,41 @@
+#ifndef BATI_SESSION_SPEC_JSON_H_
+#define BATI_SESSION_SPEC_JSON_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "session/tuning_session.h"
+
+namespace bati {
+
+/// Parses one flat JSON object into a RunSpec — the line format of
+/// `bati_batch --specs FILE` (one spec per line, JSONL). Example:
+///
+///   {"workload":"tpch","algorithm":"mcts","budget":2000,"k":10,"seed":3,
+///    "early_stop":true,"fault_rate":0.05}
+///
+/// Recognized keys (all optional except "workload"):
+///   workload, algorithm     strings; same names as bati_tune
+///   budget                  integer >= 0
+///   k                       integer >= 1 (max indexes)
+///   storage_gb              number >= 0; 0 disables the constraint
+///   seed, fault_seed        non-negative integers
+///   early_stop, realloc_budget, collect_metrics   booleans
+///   skip_threshold, stop_threshold                numbers >= 0
+///   stop_window             integer >= 1
+///   fault_rate, fault_sticky, fault_spike         rates in [0, 1]
+///   fault_spike_factor      number >= 1
+///   retry_attempts          integer >= 1
+///   retry_timeout           number >= 0 (simulated seconds; 0 disables)
+///   checkpoint, resume, trace_out                 path strings
+///
+/// Validation is strict, mirroring the CLI tools: an unknown key, a
+/// malformed value, or an out-of-range value is an InvalidArgument error,
+/// never a silent default. On success `*spec` is a freshly defaulted
+/// RunSpec with the line's fields applied — governor/fault plumbing wired
+/// exactly as bati_tune wires the equivalent flags.
+Status ParseRunSpecJson(const std::string& line, RunSpec* spec);
+
+}  // namespace bati
+
+#endif  // BATI_SESSION_SPEC_JSON_H_

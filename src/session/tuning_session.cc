@@ -1,0 +1,218 @@
+#include "session/tuning_session.h"
+
+#include <cstdio>
+
+#include "bandit/dba_bandits.h"
+#include "common/macros.h"
+#include "dqn/nodba.h"
+#include "dta/dta_tuner.h"
+#include "mcts/mcts_tuner.h"
+#include "obs/tracer.h"
+#include "tuner/greedy.h"
+#include "tuner/relaxation.h"
+#include "whatif/cost_service.h"
+#include "whatif/trace_io.h"
+
+namespace bati {
+
+namespace {
+
+/// Simulated non-what-if tuning overhead: per-call bookkeeping plus a fixed
+/// setup term (parsing, candidate generation). Chosen so what-if time is
+/// 75-93% of the total, as the paper measures (Figure 2).
+constexpr double kOtherSecondsPerCall = 0.12;
+constexpr double kOtherSecondsFixed = 30.0;
+
+}  // namespace
+
+std::unique_ptr<Tuner> MakeTuner(const std::string& algorithm,
+                                 TuningContext ctx, uint64_t seed) {
+  if (algorithm == "vanilla-greedy") {
+    return std::make_unique<GreedyTuner>(std::move(ctx));
+  }
+  if (algorithm == "two-phase-greedy") {
+    return std::make_unique<TwoPhaseGreedyTuner>(std::move(ctx));
+  }
+  if (algorithm == "autoadmin-greedy") {
+    return std::make_unique<AutoAdminGreedyTuner>(std::move(ctx));
+  }
+  if (algorithm == "dba-bandits") {
+    DbaBanditsOptions opt;
+    opt.seed = seed;
+    return std::make_unique<DbaBanditsTuner>(std::move(ctx), opt);
+  }
+  if (algorithm == "no-dba") {
+    NoDbaOptions opt;
+    opt.seed = seed;
+    return std::make_unique<NoDbaTuner>(std::move(ctx), opt);
+  }
+  if (algorithm == "dta") {
+    return std::make_unique<DtaTuner>(std::move(ctx));
+  }
+  if (algorithm == "relaxation") {
+    return std::make_unique<RelaxationTuner>(std::move(ctx));
+  }
+  if (algorithm.rfind("mcts", 0) == 0) {
+    MctsOptions opt;  // defaults = paper's recommended setting
+    opt.seed = seed;
+    if (algorithm.find("-uct") != std::string::npos) {
+      opt.action_policy = MctsOptions::ActionPolicy::kUct;
+    }
+    if (algorithm.find("-prior") != std::string::npos) {
+      opt.action_policy = MctsOptions::ActionPolicy::kEpsGreedyPrior;
+    }
+    if (algorithm.find("-boltz") != std::string::npos) {
+      opt.action_policy = MctsOptions::ActionPolicy::kBoltzmann;
+    }
+    if (algorithm.find("-bce") != std::string::npos) {
+      opt.extraction = MctsOptions::Extraction::kBce;
+    }
+    if (algorithm.find("-bg") != std::string::npos) {
+      opt.extraction = MctsOptions::Extraction::kBestGreedy;
+    }
+    if (algorithm.find("-hybrid") != std::string::npos) {
+      opt.extraction = MctsOptions::Extraction::kHybrid;
+    }
+    if (algorithm.find("-rave") != std::string::npos) {
+      opt.use_rave = true;
+    }
+    if (algorithm.find("-feat") != std::string::npos) {
+      opt.featurized_priors = true;
+    }
+    if (algorithm.find("-rnd") != std::string::npos) {
+      opt.rollout_policy = MctsOptions::RolloutPolicy::kRandomStep;
+    }
+    if (algorithm.find("-fix0") != std::string::npos) {
+      opt.rollout_policy = MctsOptions::RolloutPolicy::kFixedStep;
+      opt.fixed_rollout_step = 0;
+    }
+    if (algorithm.find("-fix1") != std::string::npos) {
+      opt.rollout_policy = MctsOptions::RolloutPolicy::kFixedStep;
+      opt.fixed_rollout_step = 1;
+    }
+    return std::make_unique<MctsTuner>(std::move(ctx), opt);
+  }
+  BATI_CHECK(false && "unknown algorithm name");
+  return nullptr;
+}
+
+std::string RunIdentity(const RunSpec& spec) {
+  char buf[256];
+  std::snprintf(
+      buf, sizeof(buf),
+      "workload=%s,algorithm=%s,budget=%lld,k=%d,storage=%g,seed=%llu,"
+      "governor=%d/%d/%d",
+      spec.workload.c_str(), spec.algorithm.c_str(),
+      static_cast<long long>(spec.budget), spec.max_indexes,
+      spec.max_storage_bytes, static_cast<unsigned long long>(spec.seed),
+      spec.governor.enabled ? 1 : 0, spec.governor.skip_what_if ? 1 : 0,
+      spec.governor.early_stop ? 1 : 0);
+  std::string id = buf;
+  id += "," + spec.faults.ToIdentityString();
+  id += "," + spec.retry.ToIdentityString();
+  return id;
+}
+
+TuningSession::TuningSession(const WorkloadBundle& bundle, RunSpec spec,
+                             SessionOptions options)
+    : bundle_(&bundle), spec_(std::move(spec)), options_(options) {}
+
+const RunOutcome& TuningSession::Run() {
+  BATI_CHECK(!ran_ && "a TuningSession runs at most once");
+  ran_ = true;
+  const WorkloadBundle& bundle = *bundle_;
+  const RunSpec& spec = spec_;
+
+  TuningContext ctx;
+  ctx.workload = &bundle.workload;
+  ctx.candidates = &bundle.candidates;
+  ctx.constraints.max_indexes = spec.max_indexes;
+  ctx.constraints.max_storage_bytes = spec.max_storage_bytes;
+
+  CostEngineOptions engine_options;
+  engine_options.governor = spec.governor;
+  engine_options.faults = spec.faults;
+  engine_options.retry = spec.retry;
+  engine_options.checkpoint_path = spec.checkpoint_path;
+  engine_options.run_identity = RunIdentity(spec);
+  // Observability sinks live on this frame and outlive the service; when
+  // the spec asks for neither, the engine runs fully unobserved.
+  std::unique_ptr<MetricsRegistry> registry;
+  if (spec.collect_metrics) {
+    registry = std::make_unique<MetricsRegistry>();
+    engine_options.metrics = registry.get();
+  }
+  std::unique_ptr<Tracer> tracer;
+  if (!spec.trace_path.empty() || spec.trace_buffer > 0) {
+    tracer = std::make_unique<Tracer>(spec.trace_buffer == 0
+                                          ? Tracer::kDefaultCapacity
+                                          : spec.trace_buffer);
+    engine_options.tracer = tracer.get();
+  }
+  CostService service(bundle.optimizer.get(), &bundle.workload,
+                      &bundle.candidates.indexes, spec.budget,
+                      engine_options);
+  if (!spec.resume_path.empty()) {
+    const Status st = service.ResumeFromFile(spec.resume_path);
+    if (!st.ok()) {
+      std::fprintf(stderr, "resume failed: %s\n", st.ToString().c_str());
+    }
+    BATI_CHECK(st.ok() && "resume from checkpoint failed");
+  }
+  std::unique_ptr<Tuner> tuner = MakeTuner(spec.algorithm, ctx, spec.seed);
+  TuningResult result = tuner->Tune(service);
+  service.FinishObservability();
+
+  RunOutcome& outcome = outcome_;
+  outcome.true_improvement = service.TrueImprovement(result.best_config);
+  outcome.derived_improvement = result.derived_improvement;
+  outcome.calls_used = service.calls_made();
+  outcome.config_size = result.best_config.count();
+  outcome.whatif_seconds = service.SimulatedWhatIfSeconds();
+  outcome.other_seconds =
+      kOtherSecondsFixed +
+      kOtherSecondsPerCall * static_cast<double>(service.calls_made());
+  if (const std::vector<double>* trace = tuner->progress_trace()) {
+    outcome.trace = *trace;
+  }
+  outcome.engine = service.EngineStats();
+  outcome.governor_skipped = outcome.engine.governor_skipped_calls;
+  outcome.governor_banked = outcome.engine.governor_banked_calls;
+  outcome.governor_reallocated = outcome.engine.governor_reallocated_calls;
+  outcome.governor_stop_round = outcome.engine.governor_stop_round;
+  outcome.degraded_cells = outcome.engine.degraded_cells;
+  if (registry != nullptr) {
+    outcome.has_metrics = true;
+    outcome.metrics = registry->Snapshot();
+  }
+  if (tracer != nullptr) {
+    outcome.trace_events = tracer->size();
+    outcome.trace_dropped = tracer->dropped();
+    if (!spec.trace_path.empty()) {
+      const Status st = tracer->WriteChromeJson(spec.trace_path);
+      if (!st.ok()) {
+        std::fprintf(stderr, "trace write failed: %s\n",
+                     st.ToString().c_str());
+      }
+    }
+  }
+  // Session artifacts must be captured while the service (and with it the
+  // layout trace and cached costs) is still alive.
+  if (options_.capture_result_json) {
+    result_json_ = ResultToJson(service, bundle.workload, tuner->name(),
+                                result.best_config, outcome.true_improvement,
+                                registry != nullptr ? &outcome.metrics
+                                                    : nullptr);
+  }
+  if (options_.capture_layout_csv) {
+    layout_csv_ = LayoutToCsv(service, bundle.workload);
+  }
+  return outcome_;
+}
+
+RunOutcome RunOnce(const WorkloadBundle& bundle, const RunSpec& spec) {
+  TuningSession session(bundle, spec);
+  return session.Run();
+}
+
+}  // namespace bati

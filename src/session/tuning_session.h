@@ -1,0 +1,167 @@
+#ifndef BATI_SESSION_TUNING_SESSION_H_
+#define BATI_SESSION_TUNING_SESSION_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "budget/governor.h"
+#include "faults/fault_injector.h"
+#include "obs/metrics.h"
+#include "session/bundle_registry.h"
+#include "tuner/tuner.h"
+#include "whatif/cost_engine_stats.h"
+#include "whatif/whatif_executor.h"
+
+namespace bati {
+
+/// Creates a tuner by algorithm name. Recognized names:
+///   "vanilla-greedy" | "two-phase-greedy" | "autoadmin-greedy" |
+///   "dba-bandits" | "no-dba" | "dta" | "mcts" (paper default setting) |
+///   "mcts-{uct,prior}-{bce,bg}-{fix0,fix1,rnd}" (ablation variants).
+std::unique_ptr<Tuner> MakeTuner(const std::string& algorithm,
+                                 TuningContext ctx, uint64_t seed);
+
+/// One tuning run's specification.
+struct RunSpec {
+  std::string workload;
+  std::string algorithm;
+  int64_t budget = 1000;
+  int max_indexes = 10;
+  double max_storage_bytes = 0.0;
+  uint64_t seed = 1;
+  /// Budget-governor configuration (src/budget/); disabled by default, in
+  /// which case the run is bit-identical to the pre-governor harness.
+  BudgetGovernorOptions governor;
+  /// Injected what-if fault model (src/faults/); off by default, in which
+  /// case the run is bit-identical to the fault-free harness.
+  FaultOptions faults;
+  /// Retry/backoff policy around faulted what-if calls.
+  RetryPolicy retry;
+  /// When non-empty, the engine writes a crash-consistent checkpoint here
+  /// at every round boundary.
+  std::string checkpoint_path;
+  /// When non-empty, the run resumes from this checkpoint file (the tuner
+  /// replays deterministically from its seed; the engine answers the
+  /// journaled prefix instead of re-invoking the optimizer).
+  std::string resume_path;
+  /// When true, the run records engine metrics (histograms, counters) and
+  /// the outcome carries a MetricsSnapshot. Off by default: an unobserved
+  /// run is bit-identical to the pre-observability harness.
+  bool collect_metrics = false;
+  /// When non-empty, the run records a structured trace and writes it here
+  /// as Chrome trace_event JSON (Perfetto-loadable).
+  std::string trace_path;
+  /// Trace ring-buffer capacity in events; 0 means Tracer::kDefaultCapacity.
+  /// Setting this non-zero enables tracing even without a trace_path (the
+  /// trace is then only reachable programmatically).
+  size_t trace_buffer = 0;
+};
+
+/// The canonical identity string for a spec — everything that must match
+/// for a checkpoint to be resumable: workload, algorithm, constraints,
+/// seed, governor switches, fault model, and retry policy.
+std::string RunIdentity(const RunSpec& spec);
+
+/// One tuning run's measured outcome.
+struct RunOutcome {
+  /// eta(W, C) with ground-truth what-if costs (how the paper reports
+  /// improvements), percent.
+  double true_improvement = 0.0;
+  /// eta(W, C) with derived costs at the end of the run, percent.
+  double derived_improvement = 0.0;
+  int64_t calls_used = 0;
+  size_t config_size = 0;
+  /// Simulated seconds spent in what-if calls (Figure 2's orange bars).
+  double whatif_seconds = 0.0;
+  /// Simulated seconds spent elsewhere in tuning (Figure 2's blue bars).
+  double other_seconds = 0.0;
+  /// Best-so-far improvement after each episode/round, if the algorithm
+  /// exposes one (greedy family, MCTS, DBA-bandits, No-DBA). When present,
+  /// the last point equals `derived_improvement`.
+  std::vector<double> trace;
+  /// Cost-engine observability counters for the run (cache hits, derived
+  /// and delta lookups, posting-list pruning, batched cells, wall time).
+  CostEngineStats engine;
+  /// Governor decisions, mirrored from `engine` for convenience: what-if
+  /// calls skipped with the saving banked or reallocated, and where early
+  /// stopping fired (-1 = never). All zero / -1 on ungoverned runs.
+  int64_t governor_skipped = 0;
+  int64_t governor_banked = 0;
+  int64_t governor_reallocated = 0;
+  int governor_stop_round = -1;
+  /// Cells answered with the derived cost after exhausting their retries,
+  /// mirrored from `engine`. Zero when fault injection is off.
+  int64_t degraded_cells = 0;
+  /// Metrics snapshot of the run; populated iff spec.collect_metrics.
+  bool has_metrics = false;
+  MetricsSnapshot metrics;
+  /// Events retained/dropped by the trace ring; meaningful only when the
+  /// spec enabled tracing.
+  size_t trace_events = 0;
+  uint64_t trace_dropped = 0;
+};
+
+/// Session-level switches that are not part of the run's identity: they
+/// only control which artifacts the session keeps after the cost service
+/// is torn down. All off by default.
+struct SessionOptions {
+  /// Capture ResultToJson() of the finished run (the exact JSON line
+  /// bati_tune --json prints) into TuningSession::result_json().
+  bool capture_result_json = false;
+  /// Capture LayoutToCsv() of the finished run (the full what-if call
+  /// trace) into TuningSession::layout_csv().
+  bool capture_layout_csv = false;
+};
+
+/// One tuning run as a first-class object: a TuningSession owns every
+/// piece of per-run mutable state — the CostService (with governor, fault,
+/// retry, and checkpoint options from the spec), the per-session
+/// MetricsRegistry and Tracer, and the tuner with its spec-seeded RNG —
+/// while sharing the immutable WorkloadBundle (workload, candidate
+/// universe, and the pure WhatIfOptimizer) with any number of concurrent
+/// sessions.
+///
+/// Invariant: a session executed alone is bit-identical to the classic
+/// RunOnce() path (which is now a thin wrapper over this class) — same
+/// layout CSV bytes, same progress trace, same stats. Concurrent sessions
+/// preserve this per-session because no mutable state is shared.
+class TuningSession {
+ public:
+  /// `bundle` must outlive the session.
+  TuningSession(const WorkloadBundle& bundle, RunSpec spec,
+                SessionOptions options = SessionOptions());
+
+  TuningSession(const TuningSession&) = delete;
+  TuningSession& operator=(const TuningSession&) = delete;
+
+  /// Executes the run to completion. Must be called at most once.
+  const RunOutcome& Run();
+
+  const RunSpec& spec() const { return spec_; }
+
+  /// The finished run's outcome; valid after Run().
+  const RunOutcome& outcome() const { return outcome_; }
+
+  /// Captured artifacts (empty unless the matching SessionOptions switch
+  /// was set and Run() completed).
+  const std::string& result_json() const { return result_json_; }
+  const std::string& layout_csv() const { return layout_csv_; }
+
+ private:
+  const WorkloadBundle* bundle_;
+  RunSpec spec_;
+  SessionOptions options_;
+  bool ran_ = false;
+  RunOutcome outcome_;
+  std::string result_json_;
+  std::string layout_csv_;
+};
+
+/// Executes one tuning run against a bundle: constructs a TuningSession,
+/// runs it, and returns the outcome.
+RunOutcome RunOnce(const WorkloadBundle& bundle, const RunSpec& spec);
+
+}  // namespace bati
+
+#endif  // BATI_SESSION_TUNING_SESSION_H_

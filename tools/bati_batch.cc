@@ -1,0 +1,146 @@
+// bati_batch: run a batch of tuning sessions through the SessionManager.
+//
+//   bati_batch --specs runs.jsonl --parallelism 4 --out results.jsonl
+//
+// The spec file is JSONL: one flat JSON object per line (see
+// session/spec_json.h for the accepted keys — the same knobs as bati_tune
+// flags). Every spec becomes one TuningSession; sessions for the same
+// workload share its immutable bundle and pure what-if optimizer, so the
+// batch parallelizes without re-parsing workloads per run. Output is one
+// result JSON object per line, in input order — the same object
+// `bati_tune --json` prints for the equivalent flags, regardless of
+// --parallelism (sessions share no mutable state).
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/flags.h"
+#include "harness/experiment.h"
+#include "session/spec_json.h"
+
+namespace {
+
+void Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s --specs FILE [options]\n"
+      "  --specs FILE        JSONL run specs, one per line ('-' = stdin)\n"
+      "  --out FILE          write result JSONL here (default: stdout)\n"
+      "  --parallelism N     concurrent sessions (default 1)\n"
+      "  --verbose           progress lines on stderr\n"
+      "each output line is the bati_tune --json object for the matching\n"
+      "input line; a spec whose workload is unknown yields an error object\n"
+      "and a final exit code of 1\n",
+      argv0);
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace bati;
+  std::string specs_path;
+  std::string out_path;
+  int64_t parallelism = 1;
+  bool verbose = false;
+  // The same strict flag table as bati_tune/bati_export (common/flags.h):
+  // unknown or malformed flags print usage and exit 2.
+  FlagParser parser;
+  parser.AddString("specs", &specs_path);
+  parser.AddString("out", &out_path);
+  parser.AddInt64("parallelism", &parallelism, /*min=*/1);
+  parser.AddBool("verbose", &verbose);
+  if (!parser.Parse(argc, argv)) {
+    Usage(argv[0]);
+    return 2;
+  }
+  if (specs_path.empty()) {
+    std::fprintf(stderr, "--specs is required\n");
+    Usage(argv[0]);
+    return 2;
+  }
+
+  std::ifstream spec_file;
+  if (specs_path != "-") {
+    spec_file.open(specs_path);
+    if (!spec_file) {
+      std::fprintf(stderr, "cannot read %s\n", specs_path.c_str());
+      return 2;
+    }
+  }
+  std::istream& in = specs_path == "-" ? std::cin : spec_file;
+
+  // Parse and validate the whole batch before running anything, so a typo
+  // on line 40 cannot waste the first 39 runs.
+  std::vector<RunSpec> specs;
+  std::string line;
+  for (int lineno = 1; std::getline(in, line); ++lineno) {
+    bool blank = true;
+    for (char c : line) {
+      if (c != ' ' && c != '\t' && c != '\r') blank = false;
+    }
+    if (blank) continue;
+    RunSpec spec;
+    const Status status = ParseRunSpecJson(line, &spec);
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s line %d: %s\n", specs_path.c_str(), lineno,
+                   status.message().c_str());
+      return 2;
+    }
+    specs.push_back(std::move(spec));
+  }
+  if (specs.empty()) {
+    std::fprintf(stderr, "no specs in %s\n", specs_path.c_str());
+    return 2;
+  }
+
+  std::ofstream out_file;
+  if (!out_path.empty()) {
+    out_file.open(out_path);
+    if (!out_file) {
+      std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+      return 2;
+    }
+  }
+  std::ostream& out = out_path.empty() ? std::cout : out_file;
+
+  SessionManagerOptions options;
+  options.parallelism = static_cast<int>(parallelism);
+  options.session.capture_result_json = true;
+  SessionManager manager(options);
+  for (RunSpec& spec : specs) manager.Submit(std::move(spec));
+  if (verbose) {
+    std::fprintf(stderr, "running %zu sessions at parallelism %lld\n",
+                 specs.size(), static_cast<long long>(parallelism));
+  }
+  std::vector<SessionResult> results = manager.Drain();
+
+  int failures = 0;
+  for (const SessionResult& result : results) {
+    if (!result.status.ok()) {
+      ++failures;
+      out << "{\"workload\":\"" << JsonEscape(result.spec.workload)
+          << "\",\"error\":\"" << JsonEscape(result.status.message())
+          << "\"}\n";
+      continue;
+    }
+    out << result.result_json << "\n";
+  }
+  out.flush();
+  if (verbose) {
+    std::fprintf(stderr, "done: %zu ok, %d failed\n",
+                 results.size() - failures, failures);
+  }
+  return failures == 0 ? 0 : 1;
+}

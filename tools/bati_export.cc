@@ -9,8 +9,28 @@
 #include <fstream>
 #include <string>
 
+#include "common/flags.h"
 #include "harness/experiment.h"
 #include "workload/loader.h"
+
+namespace {
+
+void Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --workload NAME [--out PREFIX] [--engine-stats]"
+               " [--governor] [--metrics]\n"
+               "writes PREFIX.schema.sql and PREFIX.queries.sql;\n"
+               "--engine-stats instead runs a small greedy tuning probe\n"
+               "and prints the cost-engine counters as JSON;\n"
+               "--governor runs the probe with the budget governor\n"
+               "enabled, so skip/stop decisions appear in the stats;\n"
+               "--metrics runs the probe with the metrics registry\n"
+               "attached and prints the full snapshot (histograms with\n"
+               "percentiles) alongside the engine stats\n",
+               argv0);
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace bati;
@@ -19,36 +39,20 @@ int main(int argc, char** argv) {
   bool engine_stats = false;
   bool governor = false;
   bool metrics = false;
-  for (int i = 1; i < argc; ++i) {
-    std::string flag = argv[i];
-    if (flag == "--workload" && i + 1 < argc) {
-      workload = argv[++i];
-    } else if (flag == "--out" && i + 1 < argc) {
-      out_prefix = argv[++i];
-    } else if (flag == "--engine-stats") {
-      engine_stats = true;
-    } else if (flag == "--governor") {
-      governor = true;
-    } else if (flag == "--metrics") {
-      metrics = true;
-    } else {
-      std::fprintf(stderr,
-                   "usage: %s --workload NAME [--out PREFIX] [--engine-stats]"
-                   " [--governor] [--metrics]\n"
-                   "writes PREFIX.schema.sql and PREFIX.queries.sql;\n"
-                   "--engine-stats instead runs a small greedy tuning probe\n"
-                   "and prints the cost-engine counters as JSON;\n"
-                   "--governor runs the probe with the budget governor\n"
-                   "enabled, so skip/stop decisions appear in the stats;\n"
-                   "--metrics runs the probe with the metrics registry\n"
-                   "attached and prints the full snapshot (histograms with\n"
-                   "percentiles) alongside the engine stats\n",
-                   argv[0]);
-      return 2;
-    }
+  // The same strict flag table as bati_tune/bati_batch (common/flags.h):
+  // unknown or malformed flags print usage and exit 2.
+  FlagParser parser;
+  parser.AddString("workload", &workload);
+  parser.AddString("out", &out_prefix);
+  parser.AddBool("engine-stats", &engine_stats);
+  parser.AddBool("governor", &governor);
+  parser.AddBool("metrics", &metrics);
+  if (!parser.Parse(argc, argv)) {
+    Usage(argv[0]);
+    return 2;
   }
-  const WorkloadBundle& bundle = LoadBundle(workload);
-  if (bundle.workload.database == nullptr) {
+  const WorkloadBundle* bundle = BundleRegistry::Global().TryGet(workload);
+  if (bundle == nullptr) {
     std::fprintf(stderr, "unknown workload: %s\n", workload.c_str());
     return 1;
   }
@@ -62,7 +66,7 @@ int main(int argc, char** argv) {
     spec.max_indexes = 5;
     if (governor) spec.governor = BudgetGovernorOptions::Enabled();
     spec.collect_metrics = metrics;
-    RunOutcome outcome = RunOnce(bundle, spec);
+    RunOutcome outcome = RunOnce(*bundle, spec);
     std::string line = "{\"workload\":\"" + workload + "\"";
     line += ",\"engine_stats\":" + outcome.engine.ToJson();
     if (outcome.has_metrics) {
@@ -80,7 +84,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "cannot write %s\n", schema_path.c_str());
       return 1;
     }
-    out << DumpSchemaDdl(*bundle.workload.database);
+    out << DumpSchemaDdl(*bundle->workload.database);
   }
   {
     std::ofstream out(queries_path);
@@ -88,10 +92,10 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "cannot write %s\n", queries_path.c_str());
       return 1;
     }
-    out << DumpWorkloadSql(bundle.workload);
+    out << DumpWorkloadSql(bundle->workload);
   }
   std::printf("wrote %s (%d tables) and %s (%d queries)\n",
-              schema_path.c_str(), bundle.workload.database->num_tables(),
-              queries_path.c_str(), bundle.workload.num_queries());
+              schema_path.c_str(), bundle->workload.database->num_tables(),
+              queries_path.c_str(), bundle->workload.num_queries());
   return 0;
 }

@@ -8,14 +8,13 @@
 // Prints the recommendation as CREATE INDEX statements plus the measured
 // improvement, what-if call usage, and (optionally) the layout trace.
 
-#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <memory>
 #include <string>
 
 #include "common/file_util.h"
+#include "common/flags.h"
 #include "harness/experiment.h"
 #include "obs/metrics.h"
 #include "obs/tracer.h"
@@ -65,53 +64,6 @@ struct Args {
   std::string trace_out;        // write a Chrome trace_event JSON here
   int64_t trace_buffer = 0;     // trace ring capacity (0 = default)
 };
-
-/// Strict numeric flag parsing: the whole token must parse, no silent
-/// atoll-style truncation to 0. Prints a clear error and fails otherwise.
-bool ParseInt64Flag(const char* flag, const char* v, int64_t* out) {
-  errno = 0;
-  char* end = nullptr;
-  const long long parsed = std::strtoll(v, &end, 10);
-  if (*v == '\0' || errno != 0 || end == nullptr || *end != '\0') {
-    std::fprintf(stderr, "invalid integer for %s: '%s'\n", flag, v);
-    return false;
-  }
-  *out = parsed;
-  return true;
-}
-
-bool ParseUint64Flag(const char* flag, const char* v, uint64_t* out) {
-  int64_t parsed = 0;
-  if (!ParseInt64Flag(flag, v, &parsed) || parsed < 0) {
-    if (parsed < 0) {
-      std::fprintf(stderr, "%s must be non-negative, got '%s'\n", flag, v);
-    }
-    return false;
-  }
-  *out = static_cast<uint64_t>(parsed);
-  return true;
-}
-
-bool ParseDoubleFlag(const char* flag, const char* v, double* out) {
-  errno = 0;
-  char* end = nullptr;
-  const double parsed = std::strtod(v, &end);
-  if (*v == '\0' || errno != 0 || end == nullptr || *end != '\0') {
-    std::fprintf(stderr, "invalid number for %s: '%s'\n", flag, v);
-    return false;
-  }
-  *out = parsed;
-  return true;
-}
-
-bool ParseRateFlag(const char* flag, const char* v, double* out) {
-  if (!ParseDoubleFlag(flag, v, out)) return false;
-  if (*out < 0.0 || *out > 1.0) {
-    std::fprintf(stderr, "%s must be in [0, 1], got '%s'\n", flag, v);
-    return false;
-  }
-  return true;
-}
 
 void Usage(const char* argv0) {
   std::fprintf(
@@ -166,193 +118,44 @@ void Usage(const char* argv0) {
       argv0, bati::Tracer::kDefaultCapacity);
 }
 
+/// The strict flag table, shared verbatim with bati_export/bati_batch via
+/// common/flags.h: unknown or malformed flags make main() print usage and
+/// exit 2.
 bool ParseArgs(int argc, char** argv, Args* args) {
-  for (int i = 1; i < argc; ++i) {
-    std::string flag = argv[i];
-    auto next = [&]() -> const char* {
-      if (i + 1 >= argc) {
-        std::fprintf(stderr, "missing value for %s\n", flag.c_str());
-        return nullptr;
-      }
-      return argv[++i];
-    };
-    // String-valued flags.
-    std::string* str_target = nullptr;
-    if (flag == "--workload") str_target = &args->workload;
-    else if (flag == "--schema-file") str_target = &args->schema_file;
-    else if (flag == "--sql-file") str_target = &args->sql_file;
-    else if (flag == "--algorithm") str_target = &args->algorithm;
-    else if (flag == "--layout-csv") str_target = &args->layout_csv;
-    else if (flag == "--checkpoint") str_target = &args->checkpoint;
-    else if (flag == "--resume") str_target = &args->resume;
-    if (str_target != nullptr) {
-      const char* v = next();
-      if (!v) return false;
-      *str_target = v;
-      continue;
-    }
-    // Numeric flags, strictly parsed: a malformed value is an error, not a
-    // silent zero.
-    if (flag == "--budget") {
-      const char* v = next();
-      if (!v || !ParseInt64Flag("--budget", v, &args->budget)) return false;
-      if (args->budget < 0) {
-        std::fprintf(stderr, "--budget must be non-negative, got %s\n", v);
-        return false;
-      }
-    } else if (flag == "--minutes") {
-      const char* v = next();
-      if (!v || !ParseDoubleFlag("--minutes", v, &args->minutes)) return false;
-    } else if (flag == "--k") {
-      const char* v = next();
-      if (!v || !ParseInt64Flag("--k", v, &args->k)) return false;
-      if (args->k < 1) {
-        std::fprintf(stderr, "--k must be at least 1, got %s\n", v);
-        return false;
-      }
-    } else if (flag == "--storage-gb") {
-      const char* v = next();
-      if (!v || !ParseDoubleFlag("--storage-gb", v, &args->storage_gb)) {
-        return false;
-      }
-    } else if (flag == "--seed") {
-      const char* v = next();
-      if (!v || !ParseUint64Flag("--seed", v, &args->seed)) return false;
-    } else if (flag == "--skip-threshold") {
-      const char* v = next();
-      if (!v || !ParseDoubleFlag("--skip-threshold", v,
-                                 &args->skip_threshold)) {
-        return false;
-      }
-    } else if (flag == "--stop-threshold") {
-      const char* v = next();
-      if (!v || !ParseDoubleFlag("--stop-threshold", v,
-                                 &args->stop_threshold)) {
-        return false;
-      }
-    } else if (flag == "--stop-window") {
-      const char* v = next();
-      if (!v || !ParseInt64Flag("--stop-window", v, &args->stop_window)) {
-        return false;
-      }
-    } else if (flag == "--fault-rate") {
-      const char* v = next();
-      if (!v || !ParseRateFlag("--fault-rate", v, &args->fault_rate)) {
-        return false;
-      }
-    } else if (flag == "--fault-sticky") {
-      const char* v = next();
-      if (!v || !ParseRateFlag("--fault-sticky", v, &args->fault_sticky)) {
-        return false;
-      }
-    } else if (flag == "--fault-spike") {
-      const char* v = next();
-      if (!v || !ParseRateFlag("--fault-spike", v, &args->fault_spike)) {
-        return false;
-      }
-    } else if (flag == "--fault-spike-factor") {
-      const char* v = next();
-      if (!v || !ParseDoubleFlag("--fault-spike-factor", v,
-                                 &args->fault_spike_factor)) {
-        return false;
-      }
-      if (args->fault_spike_factor < 1.0) {
-        std::fprintf(stderr,
-                     "--fault-spike-factor must be >= 1, got %s\n", v);
-        return false;
-      }
-    } else if (flag == "--fault-seed") {
-      const char* v = next();
-      if (!v || !ParseUint64Flag("--fault-seed", v, &args->fault_seed)) {
-        return false;
-      }
-    } else if (flag == "--retry-attempts") {
-      const char* v = next();
-      if (!v || !ParseInt64Flag("--retry-attempts", v,
-                                &args->retry_attempts)) {
-        return false;
-      }
-      if (args->retry_attempts < 1) {
-        std::fprintf(stderr, "--retry-attempts must be >= 1, got %s\n", v);
-        return false;
-      }
-    } else if (flag == "--retry-timeout") {
-      const char* v = next();
-      if (!v || !ParseDoubleFlag("--retry-timeout", v,
-                                 &args->retry_timeout)) {
-        return false;
-      }
-      if (args->retry_timeout < 0.0) {
-        std::fprintf(stderr, "--retry-timeout must be >= 0, got %s\n", v);
-        return false;
-      }
-    } else if (flag == "--crash-at-round") {
-      const char* v = next();
-      if (!v || !ParseInt64Flag("--crash-at-round", v,
-                                &args->crash_at_round)) {
-        return false;
-      }
-      if (args->crash_at_round < 0) {
-        std::fprintf(stderr, "--crash-at-round must be >= 0, got %s\n", v);
-        return false;
-      }
-    } else if (flag == "--metrics") {
-      args->metrics = true;
-    } else if (flag.rfind("--metrics=", 0) == 0) {
-      args->metrics = true;
-      args->metrics_file = flag.substr(std::strlen("--metrics="));
-      if (args->metrics_file.empty()) {
-        std::fprintf(stderr, "missing file name in --metrics=FILE\n");
-        return false;
-      }
-    } else if (flag == "--trace-out" || flag.rfind("--trace-out=", 0) == 0) {
-      if (flag == "--trace-out") {
-        const char* v = next();
-        if (!v) return false;
-        args->trace_out = v;
-      } else {
-        args->trace_out = flag.substr(std::strlen("--trace-out="));
-      }
-      if (args->trace_out.empty()) {
-        std::fprintf(stderr, "missing file name for --trace-out\n");
-        return false;
-      }
-    } else if (flag == "--trace-buffer" ||
-               flag.rfind("--trace-buffer=", 0) == 0) {
-      const char* v;
-      std::string inline_value;
-      if (flag == "--trace-buffer") {
-        v = next();
-        if (!v) return false;
-      } else {
-        inline_value = flag.substr(std::strlen("--trace-buffer="));
-        v = inline_value.c_str();
-      }
-      if (!ParseInt64Flag("--trace-buffer", v, &args->trace_buffer)) {
-        return false;
-      }
-      if (args->trace_buffer < 1) {
-        std::fprintf(stderr, "--trace-buffer must be >= 1, got %s\n", v);
-        return false;
-      }
-    } else if (flag == "--layout") {
-      args->show_layout = true;
-    } else if (flag == "--json") {
-      args->json = true;
-    } else if (flag == "--early-stop") {
-      args->early_stop = true;
-    } else if (flag == "--realloc-budget") {
-      args->realloc_budget = true;
-    } else if (flag == "--verbose") {
-      args->verbose = true;
-    } else if (flag == "--help" || flag == "-h") {
-      return false;
-    } else {
-      std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
-      return false;
-    }
-  }
-  return true;
+  bati::FlagParser parser;
+  parser.AddString("workload", &args->workload);
+  parser.AddString("schema-file", &args->schema_file);
+  parser.AddString("sql-file", &args->sql_file);
+  parser.AddString("algorithm", &args->algorithm);
+  parser.AddString("layout-csv", &args->layout_csv);
+  parser.AddString("checkpoint", &args->checkpoint);
+  parser.AddString("resume", &args->resume);
+  parser.AddInt64("budget", &args->budget, /*min=*/0);
+  parser.AddDouble("minutes", &args->minutes);
+  parser.AddInt64("k", &args->k, /*min=*/1);
+  parser.AddDouble("storage-gb", &args->storage_gb);
+  parser.AddUint64("seed", &args->seed);
+  parser.AddDouble("skip-threshold", &args->skip_threshold);
+  parser.AddDouble("stop-threshold", &args->stop_threshold);
+  parser.AddInt64("stop-window", &args->stop_window);
+  parser.AddRate("fault-rate", &args->fault_rate);
+  parser.AddRate("fault-sticky", &args->fault_sticky);
+  parser.AddRate("fault-spike", &args->fault_spike);
+  parser.AddDouble("fault-spike-factor", &args->fault_spike_factor,
+                   /*min=*/1.0);
+  parser.AddUint64("fault-seed", &args->fault_seed);
+  parser.AddInt64("retry-attempts", &args->retry_attempts, /*min=*/1);
+  parser.AddDouble("retry-timeout", &args->retry_timeout, /*min=*/0.0);
+  parser.AddInt64("crash-at-round", &args->crash_at_round, /*min=*/0);
+  parser.AddOptionalValue("metrics", &args->metrics, &args->metrics_file);
+  parser.AddString("trace-out", &args->trace_out);
+  parser.AddInt64("trace-buffer", &args->trace_buffer, /*min=*/1);
+  parser.AddBool("layout", &args->show_layout);
+  parser.AddBool("json", &args->json);
+  parser.AddBool("early-stop", &args->early_stop);
+  parser.AddBool("realloc-budget", &args->realloc_budget);
+  parser.AddBool("verbose", &args->verbose);
+  return parser.Parse(argc, argv);
 }
 
 }  // namespace
@@ -401,8 +204,10 @@ int main(int argc, char** argv) {
     args.workload = "user";
     bundle_ptr = &file_bundle;
   } else {
-    bundle_ptr = &LoadBundle(args.workload);
-    if (bundle_ptr->workload.database == nullptr) {
+    // TryGet (not LoadBundle) so a misspelled name is a clean error, not a
+    // CHECK failure.
+    bundle_ptr = BundleRegistry::Global().TryGet(args.workload);
+    if (bundle_ptr == nullptr) {
       std::fprintf(stderr, "unknown workload: %s\n", args.workload.c_str());
       return 1;
     }
