@@ -1,0 +1,27 @@
+#include "catalog/stats_view.h"
+
+namespace bati {
+
+StatsView::StatsView(const Database& db) {
+  const int n_tables = db.num_tables();
+  table_rows_.reserve(static_cast<size_t>(n_tables));
+  table_width_.reserve(static_cast<size_t>(n_tables));
+  col_offset_.reserve(static_cast<size_t>(n_tables) + 1);
+  col_offset_.push_back(0);
+  hist_offset_.push_back(0);
+  for (int t = 0; t < n_tables; ++t) {
+    const Table& table = db.table(t);
+    table_rows_.push_back(table.row_count());
+    table_width_.push_back(table.RowWidthBytes());
+    for (const Column& col : table.columns()) {
+      col_ndv_.push_back(col.stats.ndv);
+      col_width_.push_back(col.WidthBytes());
+      hist_offset_.push_back(
+          hist_offset_.back() +
+          static_cast<int64_t>(col.stats.histogram.num_buckets()));
+    }
+    col_offset_.push_back(static_cast<int64_t>(col_ndv_.size()));
+  }
+}
+
+}  // namespace bati

@@ -1,0 +1,91 @@
+#ifndef BATI_CATALOG_STATS_VIEW_H_
+#define BATI_CATALOG_STATS_VIEW_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "catalog/catalog.h"
+
+namespace bati {
+
+/// Structure-of-arrays snapshot of the statistics the what-if cost model
+/// reads on its hot path. The Table/Column object graph is convenient for
+/// construction and tooling, but costing a Real-D-scale query (thousands of
+/// tables, ~16 scans per query) through it chases a pointer per statistic.
+/// A StatsView flattens everything the optimizer consumes into contiguous
+/// arrays — per-table row counts and row widths, per-column NDVs and byte
+/// widths behind a table-offset prefix array, and histogram bucket offsets —
+/// built once per database and shared read-only by every what-if call.
+///
+/// Every stored value is copied bit-for-bit from the catalog (row widths are
+/// computed by the same Table::RowWidthBytes() the object graph serves), so
+/// reads through the view are bit-identical to reads through the graph.
+class StatsView {
+ public:
+  /// An empty view over no tables.
+  StatsView() = default;
+
+  /// Snapshots `db`. The view is self-contained: it does not retain a
+  /// reference to the database and never goes stale unless table/column
+  /// statistics are mutated after construction.
+  explicit StatsView(const Database& db);
+
+  int num_tables() const { return static_cast<int>(table_rows_.size()); }
+
+  /// Raw row count of table `t` (exactly Table::row_count()).
+  double table_rows(int t) const {
+    return table_rows_[static_cast<size_t>(t)];
+  }
+
+  /// Bytes per row of table `t` (exactly Table::RowWidthBytes()).
+  double table_row_width_bytes(int t) const {
+    return table_width_[static_cast<size_t>(t)];
+  }
+
+  int num_columns(int t) const {
+    return static_cast<int>(col_offset_[static_cast<size_t>(t) + 1] -
+                            col_offset_[static_cast<size_t>(t)]);
+  }
+
+  /// NDV of column `c` of table `t` (exactly ColumnStats::ndv).
+  double column_ndv(int t, int c) const {
+    return col_ndv_[static_cast<size_t>(col_offset_[static_cast<size_t>(t)]) +
+                    static_cast<size_t>(c)];
+  }
+
+  /// Byte width of column `c` of table `t` (exactly Column::WidthBytes()).
+  int column_width_bytes(int t, int c) const {
+    return col_width_[static_cast<size_t>(
+                          col_offset_[static_cast<size_t>(t)]) +
+                      static_cast<size_t>(c)];
+  }
+
+  /// Histogram bucket count of column `c` of table `t` (0 when the column
+  /// has no histogram and selectivity falls back to the uniform-domain
+  /// assumption). Offsets, not payloads: the hot path only needs presence.
+  int histogram_buckets(int t, int c) const {
+    const size_t i = static_cast<size_t>(col_offset_[static_cast<size_t>(t)]) +
+                     static_cast<size_t>(c);
+    return static_cast<int>(hist_offset_[i + 1] - hist_offset_[i]);
+  }
+
+  /// Columns across all tables (size of the flattened per-column arrays).
+  int64_t total_columns() const {
+    return static_cast<int64_t>(col_ndv_.size());
+  }
+
+ private:
+  std::vector<double> table_rows_;
+  std::vector<double> table_width_;
+  /// Prefix offsets into the per-column arrays; size num_tables() + 1.
+  std::vector<int64_t> col_offset_;
+  std::vector<double> col_ndv_;
+  std::vector<int32_t> col_width_;
+  /// Prefix offsets of histogram buckets per flattened column; size
+  /// total_columns() + 1.
+  std::vector<int64_t> hist_offset_;
+};
+
+}  // namespace bati
+
+#endif  // BATI_CATALOG_STATS_VIEW_H_

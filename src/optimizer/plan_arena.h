@@ -1,0 +1,106 @@
+#ifndef BATI_OPTIMIZER_PLAN_ARENA_H_
+#define BATI_OPTIMIZER_PLAN_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+namespace bati {
+
+/// Bump allocator for per-what-if-call plan scratch (access-path candidate
+/// tables, leaf-byte and covers caches). A call allocates a handful of small
+/// arrays, uses them for microseconds, and drops them; going through the
+/// heap for that puts malloc/free on the hottest path in the engine. The
+/// arena hands out pointers by bumping a cursor through geometrically
+/// growing blocks; Reset() rewinds the cursor but keeps every block, so a
+/// warmed-up arena allocates without touching the allocator at all.
+///
+/// Only trivial types are supported (no destructors run). Not thread-safe;
+/// the optimizer keeps one arena per thread.
+class PlanArena {
+ public:
+  static constexpr size_t kDefaultBlockBytes = size_t{1} << 16;
+
+  explicit PlanArena(size_t first_block_bytes = kDefaultBlockBytes)
+      : first_block_bytes_(first_block_bytes == 0 ? kDefaultBlockBytes
+                                                  : first_block_bytes) {}
+
+  PlanArena(const PlanArena&) = delete;
+  PlanArena& operator=(const PlanArena&) = delete;
+
+  /// `bytes` of storage aligned to `align` (a power of two). The returned
+  /// memory is uninitialized and valid until the next Reset().
+  void* AllocBytes(size_t bytes, size_t align) {
+    if (bytes == 0) bytes = 1;
+    while (true) {
+      if (block_ < blocks_.size()) {
+        Block& b = blocks_[block_];
+        const uintptr_t base = reinterpret_cast<uintptr_t>(b.data.get());
+        const uintptr_t aligned =
+            (base + offset_ + (align - 1)) & ~static_cast<uintptr_t>(align - 1);
+        const size_t new_offset = static_cast<size_t>(aligned - base) + bytes;
+        if (new_offset <= b.size) {
+          offset_ = new_offset;
+          used_bytes_ += bytes;
+          return reinterpret_cast<void*>(aligned);
+        }
+        ++block_;
+        offset_ = 0;
+        continue;
+      }
+      size_t size =
+          blocks_.empty() ? first_block_bytes_ : blocks_.back().size * 2;
+      if (size < bytes + align) size = bytes + align;
+      blocks_.push_back(
+          Block{std::make_unique<unsigned char[]>(size), size});
+      // Loop around: the fresh block is now blocks_[block_].
+    }
+  }
+
+  /// An uninitialized array of `n` trivial Ts.
+  template <typename T>
+  T* AllocArray(size_t n) {
+    static_assert(std::is_trivial_v<T>,
+                  "PlanArena never runs constructors or destructors");
+    return static_cast<T*>(AllocBytes(n * sizeof(T), alignof(T)));
+  }
+
+  /// Rewinds the cursor to the start. Blocks (capacity) are retained, so a
+  /// steady-state caller stops allocating after its first few calls.
+  void Reset() {
+    block_ = 0;
+    offset_ = 0;
+    used_bytes_ = 0;
+  }
+
+  /// Bytes handed out since the last Reset() (payload, not counting
+  /// alignment padding).
+  size_t used_bytes() const { return used_bytes_; }
+
+  /// Total bytes held across all blocks (survives Reset()).
+  size_t capacity_bytes() const {
+    size_t total = 0;
+    for (const Block& b : blocks_) total += b.size;
+    return total;
+  }
+
+  size_t num_blocks() const { return blocks_.size(); }
+
+ private:
+  struct Block {
+    std::unique_ptr<unsigned char[]> data;
+    size_t size = 0;
+  };
+
+  size_t first_block_bytes_;
+  std::vector<Block> blocks_;
+  size_t block_ = 0;    // current block index
+  size_t offset_ = 0;   // bump cursor within the current block
+  size_t used_bytes_ = 0;
+};
+
+}  // namespace bati
+
+#endif  // BATI_OPTIMIZER_PLAN_ARENA_H_

@@ -1,0 +1,248 @@
+#include "optimizer/query_skeleton.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "common/macros.h"
+
+namespace bati {
+
+namespace {
+
+uint64_t MixBits(uint64_t h, uint64_t v) {
+  h ^= v;
+  h *= 0x100000001B3ULL;
+  return h;
+}
+
+uint64_t DoubleBits(double v) {
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+}  // namespace
+
+uint64_t QuerySignature(const Query& query) {
+  uint64_t h = 0xCBF29CE484222325ULL;
+  h = MixBits(h, static_cast<uint64_t>(query.num_scans()));
+  for (const QueryScan& s : query.scans) {
+    h = MixBits(h, static_cast<uint64_t>(s.table_id) + 1);
+  }
+  h = MixBits(h, 0xF117ULL);
+  for (const BoundFilter& f : query.filters) {
+    h = MixBits(h, static_cast<uint64_t>(f.scan_id) + 1);
+    h = MixBits(h, static_cast<uint64_t>(f.column.table_id) + 1);
+    h = MixBits(h, static_cast<uint64_t>(f.column.column_id) + 1);
+    h = MixBits(h, static_cast<uint64_t>(f.kind) + 1);
+    h = MixBits(h, DoubleBits(f.selectivity));
+  }
+  h = MixBits(h, 0x10177ULL);
+  for (const BoundJoin& j : query.joins) {
+    h = MixBits(h, static_cast<uint64_t>(j.left_scan) + 1);
+    h = MixBits(h, static_cast<uint64_t>(j.left_column.table_id) + 1);
+    h = MixBits(h, static_cast<uint64_t>(j.left_column.column_id) + 1);
+    h = MixBits(h, static_cast<uint64_t>(j.right_scan) + 1);
+    h = MixBits(h, static_cast<uint64_t>(j.right_column.table_id) + 1);
+    h = MixBits(h, static_cast<uint64_t>(j.right_column.column_id) + 1);
+  }
+  auto mix_uses = [&h](const std::vector<BoundColumnUse>& uses,
+                       uint64_t tag) {
+    h = MixBits(h, tag);
+    for (const BoundColumnUse& u : uses) {
+      h = MixBits(h, static_cast<uint64_t>(u.scan_id) + 1);
+      h = MixBits(h, static_cast<uint64_t>(u.column.table_id) + 1);
+      h = MixBits(h, static_cast<uint64_t>(u.column.column_id) + 1);
+    }
+  };
+  mix_uses(query.projections, 0x9120ULL);
+  mix_uses(query.group_by, 0x6209ULL);
+  mix_uses(query.order_by, 0x0DE2ULL);
+  h = MixBits(h, query.select_star ? 0x5E1FULL : 0x5E10ULL);
+  h = MixBits(h, query.has_aggregation ? 0xA660ULL : 0xA661ULL);
+  return h;
+}
+
+QuerySkeleton BuildQuerySkeleton(const Query& query, const StatsView& stats,
+                                 const CostModelParams& params,
+                                 uint64_t signature) {
+  const int n_scans = query.num_scans();
+  BATI_CHECK(n_scans > 0);
+  QuerySkeleton sk;
+  sk.signature = signature;
+  sk.scans.resize(static_cast<size_t>(n_scans));
+
+  // Per-scan facts, mirroring the reference implementation's ScanInfo
+  // gathering step for step (same arithmetic, same order).
+  for (int s = 0; s < n_scans; ++s) {
+    SkeletonScan& info = sk.scans[static_cast<size_t>(s)];
+    info.table_id = query.scans[static_cast<size_t>(s)].table_id;
+    info.base_rows = std::max(1.0, stats.table_rows(info.table_id));
+    info.row_width =
+        std::max(1.0, stats.table_row_width_bytes(info.table_id));
+  }
+  for (const BoundFilter& f : query.filters) {
+    sk.scans[static_cast<size_t>(f.scan_id)].filters.push_back(
+        SkeletonFilter{f.column.column_id, f.kind, f.selectivity});
+  }
+  for (SkeletonScan& info : sk.scans) {
+    if (!params.exponential_backoff) {
+      for (const SkeletonFilter& f : info.filters) {
+        info.filter_selectivity *= f.selectivity;
+      }
+      continue;
+    }
+    // Exponential backoff: most selective filter fully, each further filter
+    // with a square-rooted exponent (partial-correlation assumption).
+    std::vector<double> sels;
+    sels.reserve(info.filters.size());
+    for (const SkeletonFilter& f : info.filters) {
+      sels.push_back(f.selectivity);
+    }
+    std::sort(sels.begin(), sels.end());
+    double exponent = 1.0;
+    for (double s : sels) {
+      info.filter_selectivity *= std::pow(s, exponent);
+      exponent *= 0.5;
+    }
+  }
+
+  // Required columns per scan: sorted unique union of every use. The
+  // reference builds a std::set; sort+unique over a vector yields the same
+  // sorted contents.
+  {
+    std::vector<std::vector<int>> required(static_cast<size_t>(n_scans));
+    auto add_use = [&required](int scan_id, const ColumnRef& ref) {
+      required[static_cast<size_t>(scan_id)].push_back(ref.column_id);
+    };
+    for (const BoundFilter& f : query.filters) add_use(f.scan_id, f.column);
+    for (const BoundJoin& j : query.joins) {
+      add_use(j.left_scan, j.left_column);
+      add_use(j.right_scan, j.right_column);
+    }
+    for (const BoundColumnUse& u : query.projections) {
+      add_use(u.scan_id, u.column);
+    }
+    for (const BoundColumnUse& u : query.group_by) {
+      add_use(u.scan_id, u.column);
+    }
+    for (const BoundColumnUse& u : query.order_by) {
+      add_use(u.scan_id, u.column);
+    }
+    for (int s = 0; s < n_scans; ++s) {
+      SkeletonScan& info = sk.scans[static_cast<size_t>(s)];
+      std::vector<int>& req = required[static_cast<size_t>(s)];
+      if (query.select_star) {
+        const int n_cols = stats.num_columns(info.table_id);
+        for (int c = 0; c < n_cols; ++c) req.push_back(c);
+      }
+      std::sort(req.begin(), req.end());
+      req.erase(std::unique(req.begin(), req.end()), req.end());
+      info.required_columns = std::move(req);
+    }
+  }
+
+  // Effective (post-filter) cardinalities and the greedy left-deep join
+  // order: lowest eff_rows first, then connected-preferred lowest eff_rows.
+  std::vector<double> eff_rows(static_cast<size_t>(n_scans));
+  for (int s = 0; s < n_scans; ++s) {
+    SkeletonScan& info = sk.scans[static_cast<size_t>(s)];
+    info.eff_rows = std::max(1.0, info.base_rows * info.filter_selectivity);
+    eff_rows[static_cast<size_t>(s)] = info.eff_rows;
+  }
+  std::vector<bool> placed(static_cast<size_t>(n_scans), false);
+  std::vector<int> order;
+  order.reserve(static_cast<size_t>(n_scans));
+  {
+    int first = 0;
+    for (int s = 1; s < n_scans; ++s) {
+      if (eff_rows[static_cast<size_t>(s)] <
+          eff_rows[static_cast<size_t>(first)]) {
+        first = s;
+      }
+    }
+    order.push_back(first);
+    placed[static_cast<size_t>(first)] = true;
+    while (static_cast<int>(order.size()) < n_scans) {
+      int best = -1;
+      bool best_connected = false;
+      for (int s = 0; s < n_scans; ++s) {
+        if (placed[static_cast<size_t>(s)]) continue;
+        bool connected = false;
+        for (const BoundJoin& j : query.joins) {
+          bool touches_s = (j.left_scan == s || j.right_scan == s);
+          if (!touches_s) continue;
+          int other = (j.left_scan == s) ? j.right_scan : j.left_scan;
+          if (placed[static_cast<size_t>(other)]) {
+            connected = true;
+            break;
+          }
+        }
+        if (best < 0 || (connected && !best_connected) ||
+            (connected == best_connected &&
+             eff_rows[static_cast<size_t>(s)] <
+                 eff_rows[static_cast<size_t>(best)])) {
+          best = s;
+          best_connected = connected;
+        }
+      }
+      order.push_back(best);
+      placed[static_cast<size_t>(best)] = true;
+    }
+  }
+
+  // Steps: connecting joins per step (in the reference's discovery order)
+  // and the accumulated-cardinality chain, which is configuration-
+  // independent — join methods change costs, never out_rows.
+  sk.steps.resize(order.size());
+  double current_rows = 0.0;
+  for (size_t step_idx = 0; step_idx < order.size(); ++step_idx) {
+    const int s = order[step_idx];
+    SkeletonStep& step = sk.steps[step_idx];
+    step.scan_id = s;
+    if (step_idx == 0) {
+      current_rows = eff_rows[static_cast<size_t>(s)];
+      step.rows_after = current_rows;
+      continue;
+    }
+    step.rows_before = current_rows;
+    double out_rows = current_rows * eff_rows[static_cast<size_t>(s)];
+    for (const BoundJoin& j : query.joins) {
+      int other = -1;
+      if (j.left_scan == s) other = j.right_scan;
+      if (j.right_scan == s) other = j.left_scan;
+      if (other < 0) continue;
+      bool other_placed = false;
+      for (size_t k = 0; k < step_idx; ++k) {
+        if (order[k] == other) {
+          other_placed = true;
+          break;
+        }
+      }
+      if (!other_placed) continue;
+      const ColumnRef& my_col =
+          (j.left_scan == s) ? j.left_column : j.right_column;
+      step.connecting.push_back(SkeletonConn{
+          my_col.column_id,
+          stats.column_ndv(my_col.table_id, my_col.column_id)});
+      const double lc_ndv =
+          stats.column_ndv(j.left_column.table_id, j.left_column.column_id);
+      const double rc_ndv =
+          stats.column_ndv(j.right_column.table_id, j.right_column.column_id);
+      out_rows /= std::max({1.0, lc_ndv, rc_ndv});
+    }
+    out_rows = std::max(1.0, out_rows);
+    current_rows = out_rows;
+    step.rows_after = current_rows;
+  }
+
+  sk.order_cols.reserve(query.order_by.size());
+  for (const BoundColumnUse& u : query.order_by) {
+    sk.order_cols.push_back(u.column.column_id);
+  }
+  return sk;
+}
+
+}  // namespace bati

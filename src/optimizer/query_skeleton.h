@@ -1,0 +1,98 @@
+#ifndef BATI_OPTIMIZER_QUERY_SKELETON_H_
+#define BATI_OPTIMIZER_QUERY_SKELETON_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "catalog/stats_view.h"
+#include "optimizer/cost_model.h"
+#include "workload/query.h"
+
+namespace bati {
+
+/// The configuration-independent half of a what-if plan, computed once per
+/// query and shared across every what-if call on that query. The simulated
+/// optimizer's join order, per-scan cardinalities, filter selectivities,
+/// required-column sets and the whole current_rows/out_rows chain depend
+/// only on the query and the catalog — never on the hypothetical index
+/// configuration — so re-deriving them per call (sets, sorts, the greedy
+/// O(scans² · joins) join-order search) is pure waste on the hot path.
+/// Only access-path and join-method choices remain per call.
+///
+/// Every stored double is produced by the same arithmetic, in the same
+/// order, as the reference implementation, so plans costed from a skeleton
+/// are bit-identical to plans costed from scratch.
+struct SkeletonFilter {
+  int column_id = -1;
+  FilterKind kind = FilterKind::kEquality;
+  double selectivity = 1.0;
+};
+
+struct SkeletonScan {
+  int table_id = -1;
+  /// max(1, table row count) — the reference's ScanInfo::base_rows.
+  double base_rows = 0.0;
+  /// max(1, table row width bytes).
+  double row_width = 0.0;
+  /// Combined filter selectivity (plain product or exponential backoff,
+  /// per CostModelParams).
+  double filter_selectivity = 1.0;
+  /// max(1, base_rows * filter_selectivity).
+  double eff_rows = 0.0;
+  /// Sorted unique column ordinals the query needs from this scan.
+  std::vector<int> required_columns;
+  /// Filters on this scan, in query filter order (FindFilter returns the
+  /// first match, so order is semantics).
+  std::vector<SkeletonFilter> filters;
+};
+
+/// One join predicate connecting a step's scan to the scans placed before
+/// it, reduced to what the per-call cost loops read: the join column on the
+/// new scan's side and that column's NDV.
+struct SkeletonConn {
+  int column_id = -1;
+  double ndv = 1.0;
+};
+
+/// One step of the greedy left-deep join order.
+struct SkeletonStep {
+  int scan_id = -1;
+  /// Accumulated row count entering this step (unused for step 0).
+  double rows_before = 0.0;
+  /// Accumulated row count after this step — eff_rows for step 0, the
+  /// capped out_rows chain for join steps.
+  double rows_after = 0.0;
+  /// Connecting join predicates, in the reference implementation's
+  /// discovery order (query join order filtered by placement).
+  std::vector<SkeletonConn> connecting;
+};
+
+struct QuerySkeleton {
+  /// Content signature of the source query (QuerySignature). Memo lookups
+  /// keyed by Query address validate this against the live query, so a
+  /// stale entry (address reuse, in-place mutation) can never be served.
+  uint64_t signature = 0;
+  std::vector<SkeletonScan> scans;
+  /// One entry per scan, in join order.
+  std::vector<SkeletonStep> steps;
+  /// ORDER BY column ordinals, in order (sort-elimination probe).
+  std::vector<int> order_cols;
+
+  int num_scans() const { return static_cast<int>(scans.size()); }
+};
+
+/// 64-bit FNV-1a content signature over everything BuildQuerySkeleton reads
+/// from the query. Two queries with equal signatures are treated as
+/// identical by the plan memo.
+uint64_t QuerySignature(const Query& query);
+
+/// Derives the skeleton, reading catalog statistics through `stats`. `params`
+/// only contributes the filter-combination rule (exponential_backoff), which
+/// is fixed per optimizer instance.
+QuerySkeleton BuildQuerySkeleton(const Query& query, const StatsView& stats,
+                                 const CostModelParams& params,
+                                 uint64_t signature);
+
+}  // namespace bati
+
+#endif  // BATI_OPTIMIZER_QUERY_SKELETON_H_

@@ -2,51 +2,54 @@
 
 #include <algorithm>
 #include <cmath>
-#include <set>
+#include <functional>
+#include <limits>
+#include <mutex>
+#include <thread>
 
 #include "common/macros.h"
+#include "optimizer/plan_arena.h"
+#include "optimizer/what_if_internal.h"
 
 namespace bati {
 
 namespace {
 
-double Log2Rows(double rows) { return std::log2(std::max(2.0, rows)); }
+using whatif_internal::Log2Rows;
+using whatif_internal::NoiseFactor;
 
-/// Per-scan compile-time facts extracted once per Cost() call.
-struct ScanInfo {
-  int table_id = -1;
-  double base_rows = 0.0;
-  double row_width = 0.0;
-  /// Product of all filter selectivities on this scan.
-  double filter_selectivity = 1.0;
-  /// Column ordinals (within the table) this query needs from the scan.
-  std::vector<int> required_columns;
-  /// Filters on this scan.
-  std::vector<const BoundFilter*> filters;
-};
+/// Per-thread scratch arena for a what-if call's candidate caches. One
+/// call's scratch never outlives the call, so the arena resets at entry and
+/// reuses its blocks forever after warm-up.
+PlanArena& CallArena() {
+  thread_local PlanArena arena;
+  return arena;
+}
 
-/// Equality-capable filter lookup: equality and IN filters can bind any key
-/// prefix position; a range filter can bind only the last matched position.
-const BoundFilter* FindFilter(const ScanInfo& scan, int column_id,
-                              bool equality_capable) {
-  for (const BoundFilter* f : scan.filters) {
-    if (f->column.column_id != column_id) continue;
+/// First filter on `scan` binding `column_id` with the requested equality
+/// capability — same contract and same (insertion) order as the reference
+/// implementation's FindFilter.
+const SkeletonFilter* FindFilter(const SkeletonScan& scan, int column_id,
+                                 bool equality_capable) {
+  for (const SkeletonFilter& f : scan.filters) {
+    if (f.column_id != column_id) continue;
     bool is_eq =
-        f->kind == FilterKind::kEquality || f->kind == FilterKind::kIn;
-    if (equality_capable == is_eq) return f;
+        f.kind == FilterKind::kEquality || f.kind == FilterKind::kIn;
+    if (equality_capable == is_eq) return &f;
   }
   return nullptr;
 }
 
-/// True if scanning through `ix` delivers rows ordered by `order_cols` (in
-/// sequence): the key prefix must match the order columns, where positions
-/// bound by equality filters are order-free and may be skipped.
-bool ProvidesOrder(const Index& ix, const ScanInfo& scan,
-                   const std::vector<int>& order_cols) {
-  if (order_cols.empty()) return false;
+/// True if scanning through `ix` delivers rows ordered by the `n_order`
+/// columns in `order_cols` (in sequence): the key prefix must match the
+/// order columns, where positions bound by equality filters are order-free
+/// and may be skipped.
+bool ProvidesOrder(const Index& ix, const SkeletonScan& scan,
+                   const int* order_cols, size_t n_order) {
+  if (n_order == 0) return false;
   size_t oi = 0;
   for (int key : ix.key_columns) {
-    if (oi < order_cols.size() && key == order_cols[oi]) {
+    if (oi < n_order && key == order_cols[oi]) {
       ++oi;
       continue;
     }
@@ -55,131 +58,184 @@ bool ProvidesOrder(const Index& ix, const ScanInfo& scan,
     }
     break;
   }
-  return oi == order_cols.size();
-}
-
-/// Deterministic hash-based noise factor keyed on query and configuration,
-/// used only when CostModelParams::monotonicity_noise > 0.
-double NoiseFactor(const Query& q, const std::vector<Index>& config,
-                   double amplitude) {
-  uint64_t h = 0x9E3779B97F4A7C15ULL ^ static_cast<uint64_t>(q.id);
-  for (const Index& ix : config) {
-    h ^= ix.Hash();
-    h *= 0x100000001B3ULL;
-  }
-  double u = static_cast<double>(h >> 11) * 0x1.0p-53;  // [0,1)
-  return 1.0 + amplitude * (2.0 * u - 1.0);
+  return oi == n_order;
 }
 
 }  // namespace
 
 WhatIfOptimizer::WhatIfOptimizer(std::shared_ptr<const Database> db,
-                                 CostModelParams params)
-    : db_(std::move(db)), params_(params) {
+                                 CostModelParams params,
+                                 WhatIfOptimizerOptions options)
+    : db_(std::move(db)), params_(params), options_(options) {
   BATI_CHECK(db_ != nullptr);
   // At least one join method that works without any index must remain
   // available, or join queries would have no plan.
   BATI_CHECK(params_.enable_hash_join || params_.enable_merge_join);
+  stats_view_ = StatsView(*db_);
+}
+
+namespace {
+
+/// One slot of the per-thread skeleton L1: a hit requires the same owning
+/// optimizer, the same query address, the same content signature, and the
+/// same memo epoch (ClearPlanMemo() bumps the epoch to drop stale slots).
+struct LocalSkeletonSlot {
+  const void* owner = nullptr;
+  const Query* query = nullptr;
+  uint64_t signature = 0;
+  uint64_t epoch = 0;
+  std::shared_ptr<const QuerySkeleton> skeleton;
+};
+
+/// Direct-mapped by query address; 64 slots cover a whole TPC-DS-sized
+/// batch with few conflicts, and a conflict only costs a shared-memo read.
+constexpr size_t kLocalSkeletonSlots = 64;
+
+LocalSkeletonSlot& LocalSlotFor(const Query* query) {
+  thread_local LocalSkeletonSlot slots[kLocalSkeletonSlots];
+  const uint64_t h =
+      (static_cast<uint64_t>(reinterpret_cast<uintptr_t>(query)) >> 4) *
+      0x9E3779B97F4A7C15ULL;
+  return slots[h >> 58];  // top log2(kLocalSkeletonSlots) bits
+}
+
+/// The stripe this thread's memo hits are counted on.
+size_t HitStripeFor() {
+  thread_local const size_t stripe =
+      std::hash<std::thread::id>()(std::this_thread::get_id());
+  return stripe;
+}
+
+}  // namespace
+
+std::shared_ptr<const QuerySkeleton> WhatIfOptimizer::GetSkeleton(
+    const Query& query) const {
+  const uint64_t sig = QuerySignature(query);
+  const uint64_t epoch = memo_epoch_.load(std::memory_order_acquire);
+  LocalSkeletonSlot& slot = LocalSlotFor(&query);
+  if (slot.owner == this && slot.query == &query && slot.signature == sig &&
+      slot.epoch == epoch) {
+    memo_hits_[HitStripeFor() % kMemoHitStripes].count.fetch_add(
+        1, std::memory_order_relaxed);
+    return slot.skeleton;
+  }
+  std::shared_ptr<const QuerySkeleton> sk;
+  {
+    std::shared_lock<std::shared_mutex> lock(memo_mu_);
+    auto it = memo_.find(&query);
+    if (it != memo_.end() && it->second->signature == sig) {
+      memo_hits_[HitStripeFor() % kMemoHitStripes].count.fetch_add(
+          1, std::memory_order_relaxed);
+      sk = it->second;
+    }
+  }
+  if (sk == nullptr) {
+    memo_misses_.fetch_add(1, std::memory_order_relaxed);
+    sk = std::make_shared<const QuerySkeleton>(
+        BuildQuerySkeleton(query, stats_view_, params_, sig));
+    std::unique_lock<std::shared_mutex> lock(memo_mu_);
+    auto [it, inserted] = memo_.insert_or_assign(&query, sk);
+    // Two threads can race to build the same skeleton; both results are
+    // identical (the build is pure), so last-write-wins is fine.
+    sk = it->second;
+  }
+  slot.owner = this;
+  slot.query = &query;
+  slot.signature = sig;
+  slot.epoch = epoch;
+  slot.skeleton = sk;
+  return sk;
+}
+
+PlanMemoStats WhatIfOptimizer::memo_stats() const {
+  PlanMemoStats stats;
+  for (const HitStripe& s : memo_hits_) {
+    stats.hits += s.count.load(std::memory_order_relaxed);
+  }
+  stats.misses = memo_misses_.load(std::memory_order_relaxed);
+  std::shared_lock<std::shared_mutex> lock(memo_mu_);
+  stats.entries = static_cast<int64_t>(memo_.size());
+  return stats;
+}
+
+void WhatIfOptimizer::ClearPlanMemo() const {
+  std::unique_lock<std::shared_mutex> lock(memo_mu_);
+  memo_.clear();
+  // Release: a thread observing the new epoch must also observe the clear.
+  memo_epoch_.fetch_add(1, std::memory_order_release);
 }
 
 PlanExplanation WhatIfOptimizer::Explain(
     const Query& query, const std::vector<Index>& config) const {
+  if (!options_.use_fast_path) return ExplainReference(query, config);
+  std::shared_ptr<const QuerySkeleton> sk = GetSkeleton(query);
+  return ExplainFast(*sk, query, config);
+}
+
+PlanExplanation WhatIfOptimizer::ExplainFast(
+    const QuerySkeleton& sk, const Query& query,
+    const std::vector<Index>& config) const {
   const CostModelParams& p = params_;
-  const Database& db = *db_;
-  const int n_scans = query.num_scans();
-  BATI_CHECK(n_scans > 0);
+  const StatsView& sv = stats_view_;
+  const size_t n_config = config.size();
 
-  // ---- Gather per-scan info (configuration-independent). ----
-  std::vector<ScanInfo> scans(static_cast<size_t>(n_scans));
-  for (int s = 0; s < n_scans; ++s) {
-    ScanInfo& info = scans[static_cast<size_t>(s)];
-    info.table_id = query.scans[static_cast<size_t>(s)].table_id;
-    const Table& t = db.table(info.table_id);
-    info.base_rows = std::max(1.0, t.row_count());
-    info.row_width = std::max(1.0, t.RowWidthBytes());
-  }
-  for (const BoundFilter& f : query.filters) {
-    ScanInfo& info = scans[static_cast<size_t>(f.scan_id)];
-    info.filters.push_back(&f);
-  }
-  for (ScanInfo& info : scans) {
-    if (!p.exponential_backoff) {
-      for (const BoundFilter* f : info.filters) {
-        info.filter_selectivity *= f->selectivity;
-      }
-      continue;
+  // Per-call scratch: a lazily filled leaf-bytes cache (per index) and a
+  // per-step covers cache (per index, reset at each step). Leaf bytes and
+  // covers checks are the only per-index derived values the cost loops
+  // read more than once.
+  PlanArena& arena = CallArena();
+  arena.Reset();
+  double* leaf_cache = arena.AllocArray<double>(n_config);
+  int8_t* covers_cache = arena.AllocArray<int8_t>(n_config);
+  for (size_t i = 0; i < n_config; ++i) leaf_cache[i] = -1.0;
+  auto leaf_of = [&](size_t pos) -> double {
+    double v = leaf_cache[pos];
+    if (v < 0.0) {
+      v = config[pos].LeafRowBytes(sv);
+      leaf_cache[pos] = v;
     }
-    // Exponential backoff: most selective filter fully, each further filter
-    // with a square-rooted exponent (partial-correlation assumption).
-    std::vector<double> sels;
-    sels.reserve(info.filters.size());
-    for (const BoundFilter* f : info.filters) sels.push_back(f->selectivity);
-    std::sort(sels.begin(), sels.end());
-    double exponent = 1.0;
-    for (double s : sels) {
-      info.filter_selectivity *= std::pow(s, exponent);
-      exponent *= 0.5;
+    return v;
+  };
+  const SkeletonScan* cur = nullptr;
+  auto covers_of = [&](size_t pos) -> bool {
+    int8_t v = covers_cache[pos];
+    if (v < 0) {
+      v = config[pos].Covers(cur->required_columns) ? 1 : 0;
+      covers_cache[pos] = v;
     }
-  }
-  // Required columns per scan.
-  {
-    std::vector<std::set<int>> required(static_cast<size_t>(n_scans));
-    auto add_use = [&](int scan_id, const ColumnRef& ref) {
-      required[static_cast<size_t>(scan_id)].insert(ref.column_id);
-    };
-    for (const BoundFilter& f : query.filters) add_use(f.scan_id, f.column);
-    for (const BoundJoin& j : query.joins) {
-      add_use(j.left_scan, j.left_column);
-      add_use(j.right_scan, j.right_column);
-    }
-    for (const BoundColumnUse& u : query.projections) {
-      add_use(u.scan_id, u.column);
-    }
-    for (const BoundColumnUse& u : query.group_by) add_use(u.scan_id, u.column);
-    for (const BoundColumnUse& u : query.order_by) add_use(u.scan_id, u.column);
-    for (int s = 0; s < n_scans; ++s) {
-      ScanInfo& info = scans[static_cast<size_t>(s)];
-      if (query.select_star) {
-        const Table& t = db.table(info.table_id);
-        for (int c = 0; c < t.num_columns(); ++c) {
-          required[static_cast<size_t>(s)].insert(c);
-        }
-      }
-      info.required_columns.assign(required[static_cast<size_t>(s)].begin(),
-                                   required[static_cast<size_t>(s)].end());
-    }
-  }
+    return v != 0;
+  };
 
-  // ---- Bulk access path per scan: min over heap + applicable indexes. ----
-  // Returns {cost, access kind, index position}.
+  // Bulk access path for the current scan: min over heap + applicable
+  // indexes — the reference's bulk_access, reading skeleton + caches.
   struct BulkChoice {
     double cost;
     AccessPathKind kind;
     int index_pos;
   };
-  auto bulk_access = [&](int s) -> BulkChoice {
-    const ScanInfo& info = scans[static_cast<size_t>(s)];
+  auto bulk_access = [&]() -> BulkChoice {
+    const SkeletonScan& info = *cur;
     double heap_pages = info.base_rows * info.row_width / p.page_bytes;
     BulkChoice best{heap_pages + info.base_rows * p.cpu_per_row,
                     AccessPathKind::kHeapScan, -1};
-    for (size_t pos = 0; pos < config.size(); ++pos) {
+    for (size_t pos = 0; pos < n_config; ++pos) {
       const Index& ix = config[pos];
       if (ix.table_id != info.table_id) continue;
-      double leaf = ix.LeafRowBytes(db);
-      bool covers = ix.Covers(info.required_columns);
+      double leaf = leaf_of(pos);
+      bool covers = covers_of(pos);
       // Match a sargable key prefix against the scan's filters.
       double prefix_sel = 1.0;
       bool matched_any = false;
       for (int key_col : ix.key_columns) {
-        const BoundFilter* eq = FindFilter(info, key_col, /*eq=*/true);
+        const SkeletonFilter* eq = FindFilter(info, key_col, /*eq=*/true);
         if (eq != nullptr) {
           prefix_sel *= eq->selectivity;
           matched_any = true;
           continue;
         }
-        const BoundFilter* range = FindFilter(info, key_col, /*eq=*/false);
-        if (range != nullptr &&
-            (range->kind == FilterKind::kRange)) {
+        const SkeletonFilter* range =
+            FindFilter(info, key_col, /*eq=*/false);
+        if (range != nullptr && (range->kind == FilterKind::kRange)) {
           prefix_sel *= range->selectivity;
           matched_any = true;
         }
@@ -206,92 +262,45 @@ PlanExplanation WhatIfOptimizer::Explain(
     return best;
   };
 
-  // ---- Join order: configuration-independent greedy left-deep order on
-  // effective (post-filter) cardinalities. ----
-  std::vector<double> eff_rows(static_cast<size_t>(n_scans));
-  for (int s = 0; s < n_scans; ++s) {
-    eff_rows[static_cast<size_t>(s)] =
-        std::max(1.0, scans[static_cast<size_t>(s)].base_rows *
-                          scans[static_cast<size_t>(s)].filter_selectivity);
-  }
-  std::vector<bool> placed(static_cast<size_t>(n_scans), false);
-  std::vector<int> order;
-  order.reserve(static_cast<size_t>(n_scans));
-  {
-    int first = 0;
-    for (int s = 1; s < n_scans; ++s) {
-      if (eff_rows[static_cast<size_t>(s)] <
-          eff_rows[static_cast<size_t>(first)]) {
-        first = s;
-      }
-    }
-    order.push_back(first);
-    placed[static_cast<size_t>(first)] = true;
-    while (static_cast<int>(order.size()) < n_scans) {
-      int best = -1;
-      bool best_connected = false;
-      for (int s = 0; s < n_scans; ++s) {
-        if (placed[static_cast<size_t>(s)]) continue;
-        bool connected = false;
-        for (const BoundJoin& j : query.joins) {
-          bool touches_s = (j.left_scan == s || j.right_scan == s);
-          if (!touches_s) continue;
-          int other = (j.left_scan == s) ? j.right_scan : j.left_scan;
-          if (placed[static_cast<size_t>(other)]) {
-            connected = true;
-            break;
-          }
-        }
-        if (best < 0 ||
-            (connected && !best_connected) ||
-            (connected == best_connected &&
-             eff_rows[static_cast<size_t>(s)] <
-                 eff_rows[static_cast<size_t>(best)])) {
-          best = s;
-          best_connected = connected;
-        }
-      }
-      order.push_back(best);
-      placed[static_cast<size_t>(best)] = true;
-    }
-  }
-
-  // ---- Walk the join order, choosing access paths and join methods. ----
+  // ---- Walk the memoized join order, choosing access paths and join
+  // methods (the only configuration-dependent work). ----
   PlanExplanation plan;
+  plan.steps.reserve(sk.steps.size());
   double total = 0.0;
   double current_rows = 0.0;
   bool sort_eliminated = false;
-  for (size_t step_idx = 0; step_idx < order.size(); ++step_idx) {
-    int s = order[step_idx];
-    const ScanInfo& info = scans[static_cast<size_t>(s)];
+  for (size_t step_idx = 0; step_idx < sk.steps.size(); ++step_idx) {
+    const SkeletonStep& st = sk.steps[step_idx];
+    const SkeletonScan& info = sk.scans[static_cast<size_t>(st.scan_id)];
+    cur = &info;
+    for (size_t i = 0; i < n_config; ++i) covers_cache[i] = -1;
     PlanStep step;
-    step.scan_id = s;
+    step.scan_id = st.scan_id;
 
     if (step_idx == 0) {
-      BulkChoice choice = bulk_access(s);
+      BulkChoice choice = bulk_access();
       step.access = choice.kind;
       step.index_pos = choice.index_pos;
       step.step_cost = choice.cost;
-      current_rows = eff_rows[static_cast<size_t>(s)];
+      current_rows = info.eff_rows;
       // Single-table queries with ORDER BY: an order-providing index can
       // eliminate the final sort, so pick the access path by the joint cost
       // access + (sort unless ordered). A joint minimum keeps the model
       // monotone in the configuration.
-      if (n_scans == 1 && !query.order_by.empty()) {
-        std::vector<int> order_cols;
-        for (const BoundColumnUse& u : query.order_by) {
-          order_cols.push_back(u.column.column_id);
-        }
-        double out = eff_rows[static_cast<size_t>(s)];
+      if (sk.num_scans() == 1 && !sk.order_cols.empty()) {
+        double out = info.eff_rows;
         double sort_cost = out * Log2Rows(out) * p.sort_per_row_log;
         double best_joint = choice.cost + sort_cost;
         bool best_ordered = false;
-        for (size_t pos = 0; pos < config.size(); ++pos) {
+        for (size_t pos = 0; pos < n_config; ++pos) {
           const Index& ix = config[pos];
           if (ix.table_id != info.table_id) continue;
-          if (!ProvidesOrder(ix, info, order_cols)) continue;
-          double leaf = ix.LeafRowBytes(db);
-          bool covers = ix.Covers(info.required_columns);
+          if (!ProvidesOrder(ix, info, sk.order_cols.data(),
+                             sk.order_cols.size())) {
+            continue;
+          }
+          double leaf = leaf_of(pos);
+          bool covers = covers_of(pos);
           double cost = info.base_rows * leaf / p.page_bytes +
                         info.base_rows * p.cpu_per_row;
           if (!covers) {
@@ -312,39 +321,18 @@ PlanExplanation WhatIfOptimizer::Explain(
         }
       }
     } else {
-      // Join predicates connecting s to the scans placed so far.
-      std::vector<const BoundJoin*> connecting;
-      for (const BoundJoin& j : query.joins) {
-        int other = -1;
-        if (j.left_scan == s) other = j.right_scan;
-        if (j.right_scan == s) other = j.left_scan;
-        if (other < 0) continue;
-        for (size_t k = 0; k < step_idx; ++k) {
-          if (order[k] == other) {
-            connecting.push_back(&j);
-            break;
-          }
-        }
-      }
-
-      // Output cardinality after this join (independent of method).
-      double out_rows = current_rows * eff_rows[static_cast<size_t>(s)];
-      for (const BoundJoin* j : connecting) {
-        const Column& lc = db.column(j->left_column);
-        const Column& rc = db.column(j->right_column);
-        out_rows /= std::max({1.0, lc.stats.ndv, rc.stats.ndv});
-      }
-      out_rows = std::max(1.0, out_rows);
+      // Output cardinality after this join comes precomputed: it is
+      // independent of join method and configuration.
+      const double out_rows = st.rows_after;
 
       // Option 1: hash join over the best bulk access.
-      BulkChoice bulk = bulk_access(s);
+      BulkChoice bulk = bulk_access();
       double best_cost = std::numeric_limits<double>::infinity();
       JoinMethod best_method = JoinMethod::kHashJoin;
       AccessPathKind best_access = bulk.kind;
       int best_index_pos = bulk.index_pos;
       if (p.enable_hash_join) {
-        best_cost = bulk.cost +
-                    eff_rows[static_cast<size_t>(s)] * p.hash_build_per_row +
+        best_cost = bulk.cost + info.eff_rows * p.hash_build_per_row +
                     current_rows * p.hash_probe_per_row;
       }
 
@@ -352,29 +340,26 @@ PlanExplanation WhatIfOptimizer::Explain(
       // sort; the new scan avoids its sort when an index delivers rows
       // ordered by the join column (its key prefix, with equality-bound
       // positions skippable, starts with that column).
-      if (p.enable_merge_join && !connecting.empty()) {
-        double right_rows = eff_rows[static_cast<size_t>(s)];
-        double right_sorted = bulk.cost + right_rows *
-                                              Log2Rows(right_rows) *
-                                              p.sort_per_row_log;
+      if (p.enable_merge_join && !st.connecting.empty()) {
+        double right_rows = info.eff_rows;
+        double right_sorted =
+            bulk.cost + right_rows * Log2Rows(right_rows) * p.sort_per_row_log;
         AccessPathKind merge_access = bulk.kind;
         int merge_index_pos = bulk.index_pos;
-        for (size_t pos = 0; pos < config.size(); ++pos) {
+        for (size_t pos = 0; pos < n_config; ++pos) {
           const Index& ix = config[pos];
           if (ix.table_id != info.table_id) continue;
           bool ordered = false;
-          for (const BoundJoin* j : connecting) {
-            const ColumnRef& my_col =
-                (j->left_scan == s) ? j->left_column : j->right_column;
-            if (ProvidesOrder(ix, info, {my_col.column_id})) {
+          for (const SkeletonConn& cj : st.connecting) {
+            if (ProvidesOrder(ix, info, &cj.column_id, 1)) {
               ordered = true;
               break;
             }
           }
           if (!ordered) continue;
           // Full ordered retrieval through this index (no sort needed).
-          double leaf = ix.LeafRowBytes(db);
-          bool covers = ix.Covers(info.required_columns);
+          double leaf = leaf_of(pos);
+          bool covers = covers_of(pos);
           double cost = info.base_rows * leaf / p.page_bytes +
                         info.base_rows * p.cpu_per_row;
           if (!covers) {
@@ -402,40 +387,34 @@ PlanExplanation WhatIfOptimizer::Explain(
 
       // Option 2: index nested loops, if some index on s starts with (an
       // equality-filter-extended prefix ending in) a connecting join column.
-      if (p.enable_index_nested_loop && !connecting.empty()) {
-        for (size_t pos = 0; pos < config.size(); ++pos) {
+      if (p.enable_index_nested_loop && !st.connecting.empty()) {
+        for (size_t pos = 0; pos < n_config; ++pos) {
           const Index& ix = config[pos];
           if (ix.table_id != info.table_id) continue;
           // Walk the key prefix: equality filters may fill leading
           // positions, then a join column must appear.
           double prefix_sel = 1.0;
-          const BoundJoin* used_join = nullptr;
+          const SkeletonConn* used_join = nullptr;
           for (int key_col : ix.key_columns) {
-            const BoundFilter* eq = FindFilter(info, key_col, /*eq=*/true);
+            const SkeletonFilter* eq = FindFilter(info, key_col, /*eq=*/true);
             if (eq != nullptr) {
               prefix_sel *= eq->selectivity;
               continue;
             }
-            for (const BoundJoin* j : connecting) {
-              const ColumnRef& my_col =
-                  (j->left_scan == s) ? j->left_column : j->right_column;
-              if (my_col.column_id == key_col) {
-                used_join = j;
+            for (const SkeletonConn& cj : st.connecting) {
+              if (cj.column_id == key_col) {
+                used_join = &cj;
                 break;
               }
             }
             break;
           }
           if (used_join == nullptr) continue;
-          const ColumnRef& my_col = (used_join->left_scan == s)
-                                        ? used_join->left_column
-                                        : used_join->right_column;
-          const Column& jc = db.column(my_col);
           double matched_per_probe =
               std::max(1.0, info.base_rows * prefix_sel /
-                                std::max(1.0, jc.stats.ndv));
-          double leaf = ix.LeafRowBytes(db);
-          bool covers = ix.Covers(info.required_columns);
+                                std::max(1.0, used_join->ndv));
+          double leaf = leaf_of(pos);
+          bool covers = covers_of(pos);
           double per_probe = p.seek_cost * 0.02 + p.nlj_probe_overhead +
                              matched_per_probe *
                                  (leaf / p.page_bytes + p.cpu_per_row);

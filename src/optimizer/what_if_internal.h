@@ -1,0 +1,37 @@
+#ifndef BATI_OPTIMIZER_WHAT_IF_INTERNAL_H_
+#define BATI_OPTIMIZER_WHAT_IF_INTERNAL_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "storage/index.h"
+#include "workload/query.h"
+
+namespace bati {
+namespace whatif_internal {
+
+/// Helpers shared bit-for-bit by the fast path (what_if.cc) and the
+/// reference implementation (what_if_reference.cc). One definition keeps
+/// the two paths' arithmetic from ever drifting apart.
+
+inline double Log2Rows(double rows) { return std::log2(std::max(2.0, rows)); }
+
+/// Deterministic hash-based noise factor keyed on query and configuration,
+/// used only when CostModelParams::monotonicity_noise > 0.
+inline double NoiseFactor(const Query& q, const std::vector<Index>& config,
+                          double amplitude) {
+  uint64_t h = 0x9E3779B97F4A7C15ULL ^ static_cast<uint64_t>(q.id);
+  for (const Index& ix : config) {
+    h ^= ix.Hash();
+    h *= 0x100000001B3ULL;
+  }
+  double u = static_cast<double>(h >> 11) * 0x1.0p-53;  // [0,1)
+  return 1.0 + amplitude * (2.0 * u - 1.0);
+}
+
+}  // namespace whatif_internal
+}  // namespace bati
+
+#endif  // BATI_OPTIMIZER_WHAT_IF_INTERNAL_H_

@@ -25,7 +25,7 @@ struct WorkloadBundle {
 };
 
 /// Process-wide, thread-safe cache of named workload bundles ("tpch",
-/// "tpcds", "job", "real-d", "real-m", "toy").
+/// "tpcds", "job", "real-d", "real-d-bench", "real-m", "toy").
 ///
 /// Replaces the unsynchronized `static` map the harness's LoadBundle()
 /// used to hold: lookups from any number of threads are safe, each named

@@ -69,6 +69,15 @@ double Index::LeafRowBytes(const Database& db) const {
   return bytes;
 }
 
+double Index::LeafRowBytes(const StatsView& stats) const {
+  double bytes = kLeafRowOverheadBytes;
+  for (int c : key_columns) bytes += stats.column_width_bytes(table_id, c);
+  for (int c : include_columns) {
+    bytes += stats.column_width_bytes(table_id, c);
+  }
+  return bytes;
+}
+
 double Index::SizeBytes(const Database& db) const {
   const Table& t = db.table(table_id);
   return t.row_count() * LeafRowBytes(db) * kTreeOverheadFactor;

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "catalog/catalog.h"
+#include "catalog/stats_view.h"
 
 namespace bati {
 
@@ -39,6 +40,11 @@ struct Index {
 
   /// Bytes per leaf row: widths of key + include columns plus row overhead.
   double LeafRowBytes(const Database& db) const;
+
+  /// As above, reading widths through a StatsView (the what-if hot path's
+  /// structure-of-arrays catalog snapshot). Bit-identical to the Database
+  /// overload: same overhead constant, same accumulation order.
+  double LeafRowBytes(const StatsView& stats) const;
 
   /// Estimated size in bytes (leaf level dominates).
   double SizeBytes(const Database& db) const;

@@ -48,7 +48,8 @@ CostService::CostService(const WhatIfOptimizer* optimizer,
       index_(workload == nullptr ? 0 : workload->num_queries(),
              candidates == nullptr
                  ? 0
-                 : static_cast<int>(candidates->size())),
+                 : static_cast<int>(candidates->size()),
+             options.index_shards),
       options_(options) {
   BATI_CHECK(optimizer_ != nullptr);
   BATI_CHECK(workload_ != nullptr);
@@ -68,6 +69,9 @@ CostService::CostService(const WhatIfOptimizer* optimizer,
   if (options_.governor.enabled) {
     governor_ = std::make_unique<BudgetGovernor>(options_.governor, budget,
                                                  base_workload_cost_);
+  }
+  if (options_.whatif_pool_size > 0) {
+    executor_.SetPoolSize(static_cast<size_t>(options_.whatif_pool_size));
   }
   if (options_.faults.enabled) {
     injector_ = std::make_unique<FaultInjector>(options_.faults);

@@ -57,6 +57,13 @@ struct CostEngineOptions {
   /// decisions.
   MetricsRegistry* metrics = nullptr;
   Tracer* tracer = nullptr;
+  /// Shard count for the DerivedCostIndex (rounded up to a power of two);
+  /// 0 picks DerivedCostIndex::kDefaultShards. Sharding changes contention
+  /// and counter attribution, never lookup results.
+  int index_shards = 0;
+  /// Thread-pool size for the executor's batched WhatIfCostMany() path;
+  /// 0 picks min(hardware_concurrency, 8). Never affects results.
+  int whatif_pool_size = 0;
 };
 
 /// Budget-metered access to the what-if optimizer, with caching and cost

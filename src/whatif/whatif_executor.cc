@@ -16,6 +16,23 @@ double NowSeconds() {
       .count();
 }
 
+// Bounded spin budgets (iterations of one relaxed atomic load each, roughly
+// 1-2ns per iteration). A batch is worth ~30-150us of work and batches arrive
+// back to back separated only by the service's serial accounting phase, so a
+// worker that sleeps on the condition variable pays a futex wake (~10-50us)
+// per batch — comparable to its whole share of the work. Spinning across the
+// gap keeps workers hot; the condition variable remains as the fallback so
+// idle pools still park. On a single-core machine spinning only steals the
+// timeslice from whoever holds the work, so the budget drops to zero and
+// every wait goes straight to the condition variable.
+constexpr int kWorkerSpinIters = 60000;      // ~100us
+constexpr int kCoordinatorSpinIters = 200000;  // ~300us, covers a full batch
+
+int SpinBudget(int iters) {
+  static const bool multicore = std::thread::hardware_concurrency() > 1;
+  return multicore ? iters : 0;
+}
+
 }  // namespace
 
 double RetryPolicy::BackoffSeconds(int attempt) const {
@@ -45,7 +62,7 @@ WhatIfExecutor::WhatIfExecutor(const WhatIfOptimizer* optimizer,
 WhatIfExecutor::~WhatIfExecutor() {
   {
     std::lock_guard<std::mutex> lock(mu_);
-    shutdown_ = true;
+    shutdown_.store(true, std::memory_order_release);
   }
   work_cv_.notify_all();
   for (std::thread& t : workers_) t.join();
@@ -217,11 +234,30 @@ double WhatIfExecutor::EvaluateCell(int query_id,
 void WhatIfExecutor::RunJob(const std::shared_ptr<Job>& job) {
   if (job->cells.size() >= kParallelThreshold) {
     EnsurePool();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      job_ = job;
+      job_generation_.fetch_add(1, std::memory_order_release);
+      work_cv_.notify_all();
+    }
+    // Completion fast path: spin on the lock-free counter — for a typical
+    // batch the workers finish well inside the spin budget and the
+    // coordinator never sleeps.
+    const size_t total = job->cells.size();
+    bool finished = false;
+    const int coordinator_spins = SpinBudget(kCoordinatorSpinIters);
+    for (int spin = 0; spin < coordinator_spins; ++spin) {
+      if (job->done.load(std::memory_order_acquire) == total) {
+        finished = true;
+        break;
+      }
+    }
     std::unique_lock<std::mutex> lock(mu_);
-    job_ = job;
-    ++job_generation_;
-    work_cv_.notify_all();
-    done_cv_.wait(lock, [&] { return job->done == job->cells.size(); });
+    if (!finished) {
+      done_cv_.wait(lock, [&] {
+        return job->done.load(std::memory_order_acquire) == total;
+      });
+    }
     job_.reset();
   } else {
     for (size_t i = 0; i < job->cells.size(); ++i) {
@@ -340,8 +376,11 @@ std::vector<CellOutcome> WhatIfExecutor::EvaluateCellsWithRetry(
 
 void WhatIfExecutor::EnsurePool() {
   if (!workers_.empty()) return;
-  unsigned hw = std::thread::hardware_concurrency();
-  size_t n = std::min<size_t>(hw == 0 ? 2 : hw, 8);
+  size_t n = pool_size_;
+  if (n == 0) {
+    unsigned hw = std::thread::hardware_concurrency();
+    n = std::min<size_t>(hw == 0 ? 2 : hw, 8);
+  }
   workers_.reserve(n);
   for (size_t i = 0; i < n; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
@@ -351,15 +390,29 @@ void WhatIfExecutor::EnsurePool() {
 void WhatIfExecutor::WorkerLoop() {
   uint64_t seen_generation = 0;
   while (true) {
+    // Spin briefly for the next batch before parking: batches arrive back to
+    // back, and the publish is visible through the atomic generation without
+    // touching mu_. Falls through to the condition variable when no work
+    // shows up (idle pool, shutdown).
+    const int worker_spins = SpinBudget(kWorkerSpinIters);
+    for (int spin = 0; spin < worker_spins; ++spin) {
+      if (job_generation_.load(std::memory_order_acquire) !=
+              seen_generation ||
+          shutdown_.load(std::memory_order_acquire)) {
+        break;
+      }
+    }
     std::shared_ptr<Job> job;
     {
       std::unique_lock<std::mutex> lock(mu_);
       work_cv_.wait(lock, [&] {
-        return shutdown_ ||
-               (job_ != nullptr && job_generation_ != seen_generation);
+        return shutdown_.load(std::memory_order_relaxed) ||
+               (job_ != nullptr &&
+                job_generation_.load(std::memory_order_relaxed) !=
+                    seen_generation);
       });
-      if (shutdown_) return;
-      seen_generation = job_generation_;
+      if (shutdown_.load(std::memory_order_relaxed)) return;
+      seen_generation = job_generation_.load(std::memory_order_relaxed);
       job = job_;
     }
     // The shared_ptr keeps the job alive, and its ticket counter belongs to
@@ -367,22 +420,36 @@ void WhatIfExecutor::WorkerLoop() {
     // overruns cells.size() and is a no-op, so arriving late here is safe.
     size_t done_here = 0;
     while (true) {
-      size_t i = job->next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= job->cells.size()) break;
-      if (job->with_retry) {
-        job->outcomes[i] =
-            RunCellWithRetry(job->cells[i].query_id,
-                             job->materialized[job->cells[i].config_idx],
-                             job->config_hashes[job->cells[i].config_idx]);
-      } else {
-        job->results[i] = ObservedCellCost(*job, i);
+      // Claim cells in chunks: one atomic RMW per kClaimChunk cells, and a
+      // worker's result writes land on (mostly) whole cache lines instead of
+      // interleaving double-width stores with its neighbours.
+      size_t begin = job->next.fetch_add(Job::kClaimChunk,
+                                         std::memory_order_relaxed);
+      if (begin >= job->cells.size()) break;
+      const size_t end =
+          std::min(begin + Job::kClaimChunk, job->cells.size());
+      for (size_t i = begin; i < end; ++i) {
+        if (job->with_retry) {
+          job->outcomes[i] =
+              RunCellWithRetry(job->cells[i].query_id,
+                               job->materialized[job->cells[i].config_idx],
+                               job->config_hashes[job->cells[i].config_idx]);
+        } else {
+          job->results[i] = ObservedCellCost(*job, i);
+        }
+        ++done_here;
       }
-      ++done_here;
     }
     if (done_here > 0) {
-      std::lock_guard<std::mutex> lock(mu_);
-      job->done += done_here;
-      if (job->done == job->cells.size()) done_cv_.notify_all();
+      // Lock-free completion: only the worker that finishes the batch takes
+      // the mutex (to pair the notify with the coordinator's wait); the
+      // coordinator usually observes the counter in its spin phase anyway.
+      const size_t prev =
+          job->done.fetch_add(done_here, std::memory_order_acq_rel);
+      if (prev + done_here == job->cells.size()) {
+        std::lock_guard<std::mutex> lock(mu_);
+        done_cv_.notify_all();
+      }
     }
   }
 }

@@ -99,6 +99,13 @@ class WhatIfExecutor {
   void ConfigureFaults(const FaultInjector* injector,
                        const RetryPolicy& policy);
 
+  /// Fixes the thread-pool size for batched evaluation. 0 (the default)
+  /// picks min(hardware_concurrency, 8). Must be called before the first
+  /// batched evaluation — the pool is started lazily and never resized.
+  /// Pool size never affects results (cells are pure and accounting is
+  /// input-ordered), only wall-clock speed.
+  void SetPoolSize(size_t n) { pool_size_ = n; }
+
   /// Wires the executor's observability instruments (either argument may be
   /// null; both must outlive the executor). Evaluations then record per-cell
   /// and per-batch latency histograms and span/retry trace events — pure
@@ -197,6 +204,11 @@ class WhatIfExecutor {
   // touches no results, and cannot disturb a later batch. Every distinct
   // configuration in the batch is materialized exactly once, up front.
   struct Job {
+    /// Cells claimed per ticket: 8 doubles = one cache line of results per
+    /// claim, and an 8x cut in ticket contention. Small enough that the
+    /// worst-case imbalance (one worker stuck with a full chunk) is a few
+    /// microseconds of what-if calls.
+    static constexpr size_t kClaimChunk = 8;
     struct Cell {
       int query_id = -1;
       size_t config_idx = 0;  // into `materialized`
@@ -209,7 +221,9 @@ class WhatIfExecutor {
     std::vector<CellOutcome> outcomes;
     bool with_retry = false;
     std::atomic<size_t> next{0};
-    size_t done = 0;  // guarded by the executor's mu_
+    /// Cells completed; lock-free so workers never take the executor mutex
+    /// on the completion path (only the last finisher does, to notify).
+    std::atomic<size_t> done{0};
   };
 
   std::shared_ptr<Job> BuildJob(const std::vector<CellRef>& cells) const;
@@ -257,6 +271,9 @@ class WhatIfExecutor {
   int64_t timeout_faults_ = 0;
   int64_t retry_attempts_ = 0;
 
+  /// Fixed pool size (0 = pick from hardware concurrency); see SetPoolSize.
+  size_t pool_size_ = 0;
+
   // Thread pool state. The current job is published under `mu_`; workers
   // copy the shared_ptr and then claim cell indices from the job's own
   // atomic counter, reporting completion through the job's `done`.
@@ -264,9 +281,14 @@ class WhatIfExecutor {
   std::mutex mu_;
   std::condition_variable work_cv_;
   std::condition_variable done_cv_;
-  std::shared_ptr<Job> job_;      // guarded by mu_
-  uint64_t job_generation_ = 0;   // guarded by mu_
-  bool shutdown_ = false;         // guarded by mu_
+  std::shared_ptr<Job> job_;  // guarded by mu_
+  /// Atomic so idle workers can spin-poll for the next batch (and the
+  /// coordinator for completion) without touching mu_: a what-if batch is
+  /// worth ~100us of work, which a futex sleep/wake cycle per worker would
+  /// otherwise eat whole. Writes still happen with mu_ held, keeping the
+  /// condition-variable protocol race-free.
+  std::atomic<uint64_t> job_generation_{0};
+  std::atomic<bool> shutdown_{false};
 };
 
 }  // namespace bati

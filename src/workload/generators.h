@@ -38,11 +38,19 @@ Workload MakeRealD(const WorkloadOptions& options = WorkloadOptions());
 /// ~20.2 joins per query, 26 GB.
 Workload MakeRealM(const WorkloadOptions& options = WorkloadOptions());
 
+/// Real-D at full scale with a benchmark-sized query set: the same 7,912
+/// tables / 587 GB / ~15.6 joins-per-query shape as Real-D, but 64 queries
+/// from an independent seed — enough work for WhatIfCostMany() to engage
+/// the executor thread pool. Registered as a bundle ("real-d-bench") for
+/// bati_tune / bati_batch and driven by bench_whatif.
+Workload MakeRealDBench(const WorkloadOptions& options = WorkloadOptions());
+
 /// Tiny two-table workload mirroring the paper's running example (Figure 3:
 /// tables R(a,b), S(c,d) and queries Q1, Q2). Used by tests and examples.
 Workload MakeToyWorkload();
 
-/// Dispatch by name: "tpch", "tpcds", "job", "real-d", "real-m", "toy".
+/// Dispatch by name: "tpch", "tpcds", "job", "real-d", "real-m",
+/// "real-d-bench", "toy".
 /// Returns an empty workload (no database) for unknown names.
 Workload MakeWorkloadByName(const std::string& name,
                             const WorkloadOptions& options = WorkloadOptions());

@@ -351,6 +351,24 @@ Workload MakeRealD(const WorkloadOptions& options) {
   return MakeReal(p, options);
 }
 
+Workload MakeRealDBench(const WorkloadOptions& options) {
+  // Same schema shape as Real-D (Table 1), doubled query count and a
+  // distinct seed: the benchmark workload must be big enough to engage the
+  // batched executor pool without being the workload the figures tune.
+  RealParams p;
+  p.name = "real-d-bench";
+  p.table_prefix = "rb";
+  p.num_tables = 7912;
+  p.num_queries = 64;
+  p.target_bytes = 587e9;
+  p.mean_joins = 15.6;
+  p.mean_filters = 0.25;
+  p.mean_fks = 1.6;
+  p.fact_fraction = 0.01;
+  p.schema_seed = 0xD002;
+  return MakeReal(p, options);
+}
+
 Workload MakeRealM(const WorkloadOptions& options) {
   RealParams p;
   p.name = "real-m";

@@ -38,6 +38,7 @@ Workload MakeWorkloadByName(const std::string& name,
   if (name == "tpcds") return MakeTpcds(options);
   if (name == "job") return MakeJob(options);
   if (name == "real-d") return MakeRealD(options);
+  if (name == "real-d-bench") return MakeRealDBench(options);
   if (name == "real-m") return MakeRealM(options);
   if (name == "toy") return MakeToyWorkload();
   return Workload{};

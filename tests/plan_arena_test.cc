@@ -1,0 +1,111 @@
+// PlanArena is the per-call bump allocator behind the fast what-if path:
+// correctness here means aligned allocations that never overlap, geometric
+// block growth, and Reset() reusing capacity without giving it back.
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "optimizer/plan_arena.h"
+
+namespace bati {
+namespace {
+
+bool Aligned(const void* p, size_t align) {
+  return reinterpret_cast<uintptr_t>(p) % align == 0;
+}
+
+TEST(PlanArenaTest, AllocationsAreAlignedAndDisjoint) {
+  PlanArena arena;
+  double* d = arena.AllocArray<double>(7);
+  int8_t* b = arena.AllocArray<int8_t>(3);
+  int64_t* q = arena.AllocArray<int64_t>(5);
+  ASSERT_NE(d, nullptr);
+  ASSERT_NE(b, nullptr);
+  ASSERT_NE(q, nullptr);
+  EXPECT_TRUE(Aligned(d, alignof(double)));
+  EXPECT_TRUE(Aligned(q, alignof(int64_t)));
+
+  // Writing through each pointer must not disturb the others.
+  for (int i = 0; i < 7; ++i) d[i] = 1.5 * i;
+  std::memset(b, 0x7f, 3);
+  for (int i = 0; i < 5; ++i) q[i] = -i;
+  for (int i = 0; i < 7; ++i) EXPECT_EQ(d[i], 1.5 * i);
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(b[i], 0x7f);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(q[i], -i);
+
+  EXPECT_GE(arena.used_bytes(),
+            7 * sizeof(double) + 3 + 5 * sizeof(int64_t));
+}
+
+TEST(PlanArenaTest, GrowsBeyondFirstBlock) {
+  PlanArena arena;
+  // Far more than the default 64 KiB block: forces geometric growth.
+  std::vector<double*> chunks;
+  for (int i = 0; i < 64; ++i) {
+    double* p = arena.AllocArray<double>(4096);  // 32 KiB each
+    ASSERT_NE(p, nullptr);
+    p[0] = i;  // touch every chunk
+    p[4095] = i;
+    chunks.push_back(p);
+  }
+  EXPECT_GT(arena.num_blocks(), 1u);
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(chunks[static_cast<size_t>(i)][0], i);
+    EXPECT_EQ(chunks[static_cast<size_t>(i)][4095], i);
+  }
+}
+
+TEST(PlanArenaTest, OversizedRequestIsServed) {
+  PlanArena arena;
+  // A single allocation larger than any default block.
+  int64_t* p = arena.AllocArray<int64_t>(1 << 18);  // 2 MiB
+  ASSERT_NE(p, nullptr);
+  p[0] = 42;
+  p[(1 << 18) - 1] = 43;
+  EXPECT_EQ(p[0], 42);
+  EXPECT_EQ(p[(1 << 18) - 1], 43);
+}
+
+TEST(PlanArenaTest, ResetReusesCapacityWithoutShrinking) {
+  PlanArena arena;
+  for (int i = 0; i < 16; ++i) arena.AllocArray<double>(4096);
+  const size_t capacity = arena.capacity_bytes();
+  const size_t blocks = arena.num_blocks();
+  ASSERT_GT(capacity, 0u);
+
+  arena.Reset();
+  EXPECT_EQ(arena.used_bytes(), 0u);
+  EXPECT_EQ(arena.capacity_bytes(), capacity);
+  EXPECT_EQ(arena.num_blocks(), blocks);
+
+  // Allocating the same shapes again must not grow the arena: the whole
+  // point is steady-state zero-allocation what-if calls.
+  for (int i = 0; i < 16; ++i) arena.AllocArray<double>(4096);
+  EXPECT_EQ(arena.capacity_bytes(), capacity);
+  EXPECT_EQ(arena.num_blocks(), blocks);
+}
+
+TEST(PlanArenaTest, ManyResetCyclesStayStable) {
+  PlanArena arena;
+  size_t capacity_after_first = 0;
+  for (int cycle = 0; cycle < 100; ++cycle) {
+    arena.Reset();
+    double* d = arena.AllocArray<double>(333);
+    int8_t* b = arena.AllocArray<int8_t>(77);
+    ASSERT_NE(d, nullptr);
+    ASSERT_NE(b, nullptr);
+    d[332] = cycle;
+    b[76] = static_cast<int8_t>(cycle);
+    if (cycle == 0) {
+      capacity_after_first = arena.capacity_bytes();
+    } else {
+      EXPECT_EQ(arena.capacity_bytes(), capacity_after_first);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bati

@@ -1,0 +1,81 @@
+// StatsView is a bit-for-bit structure-of-arrays snapshot of the catalog:
+// every accessor must agree exactly with the Table/Column object graph it
+// flattened, on every workload shape the generators produce.
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "catalog/stats_view.h"
+#include "storage/index.h"
+#include "tuner/candidate_gen.h"
+#include "workload/generators.h"
+
+namespace bati {
+namespace {
+
+void ExpectViewMirrorsDatabase(const Database& db) {
+  StatsView view(db);
+  ASSERT_EQ(view.num_tables(), db.num_tables());
+  int64_t columns = 0;
+  for (int t = 0; t < db.num_tables(); ++t) {
+    const Table& table = db.table(t);
+    EXPECT_EQ(view.table_rows(t), table.row_count()) << table.name();
+    EXPECT_EQ(view.table_row_width_bytes(t), table.RowWidthBytes())
+        << table.name();
+    ASSERT_EQ(view.num_columns(t), table.num_columns()) << table.name();
+    for (int c = 0; c < table.num_columns(); ++c) {
+      const Column& col = table.column(c);
+      EXPECT_EQ(view.column_ndv(t, c), col.stats.ndv)
+          << table.name() << "." << col.name;
+      EXPECT_EQ(view.column_width_bytes(t, c), col.WidthBytes())
+          << table.name() << "." << col.name;
+      EXPECT_EQ(view.histogram_buckets(t, c),
+                col.stats.histogram.num_buckets())
+          << table.name() << "." << col.name;
+      ++columns;
+    }
+  }
+  EXPECT_EQ(view.total_columns(), columns);
+}
+
+TEST(StatsViewTest, MirrorsToyDatabase) {
+  ExpectViewMirrorsDatabase(*MakeToyWorkload().database);
+}
+
+TEST(StatsViewTest, MirrorsTpchDatabase) {
+  ExpectViewMirrorsDatabase(*MakeTpch().database);
+}
+
+TEST(StatsViewTest, MirrorsTpcdsDatabase) {
+  ExpectViewMirrorsDatabase(*MakeTpcds().database);
+}
+
+TEST(StatsViewTest, MirrorsRealMDatabase) {
+  ExpectViewMirrorsDatabase(*MakeRealM().database);
+}
+
+TEST(StatsViewTest, EmptyViewHasNoTables) {
+  StatsView view;
+  EXPECT_EQ(view.num_tables(), 0);
+  EXPECT_EQ(view.total_columns(), 0);
+}
+
+// The two LeafRowBytes overloads — object graph and SoA view — must agree
+// exactly for every candidate index (the fast path sizes index leaves
+// through the view).
+TEST(StatsViewTest, LeafRowBytesMatchesObjectGraph) {
+  for (const char* name : {"toy", "tpch", "real-m"}) {
+    const Workload w = MakeWorkloadByName(name);
+    ASSERT_NE(w.database, nullptr) << name;
+    StatsView view(*w.database);
+    const CandidateSet candidates = GenerateCandidates(w);
+    for (const Index& ix : candidates.indexes) {
+      EXPECT_EQ(ix.LeafRowBytes(view), ix.LeafRowBytes(*w.database))
+          << name << "/" << ix.Name(*w.database);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bati

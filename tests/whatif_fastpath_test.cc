@@ -1,0 +1,253 @@
+// Property tests for the what-if hot-path refactor's core invariant: the
+// fast path (SoA StatsView reads, memoized query skeletons, arena scratch)
+// is bit-identical to the preserved reference implementation — same plans,
+// same costs, byte for byte — for every query, configuration, cost-model
+// variant, and across all eight tuning algorithms end to end.
+
+#include <cstring>
+#include <memory>
+#include <random>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "harness/experiment.h"
+#include "optimizer/what_if.h"
+#include "tuner/candidate_gen.h"
+#include "whatif/cost_service.h"
+#include "workload/generators.h"
+
+namespace bati {
+namespace {
+
+void ExpectPlanIdentical(const PlanExplanation& fast,
+                         const PlanExplanation& ref,
+                         const std::string& label) {
+  ASSERT_EQ(fast.steps.size(), ref.steps.size()) << label;
+  for (size_t i = 0; i < fast.steps.size(); ++i) {
+    const PlanStep& a = fast.steps[i];
+    const PlanStep& b = ref.steps[i];
+    EXPECT_EQ(a.scan_id, b.scan_id) << label << " step " << i;
+    EXPECT_EQ(a.access, b.access) << label << " step " << i;
+    EXPECT_EQ(a.index_pos, b.index_pos) << label << " step " << i;
+    EXPECT_EQ(a.join, b.join) << label << " step " << i;
+    // Bitwise, not approximate: memoized arithmetic must not perturb a
+    // single ulp.
+    EXPECT_EQ(a.step_cost, b.step_cost) << label << " step " << i;
+    EXPECT_EQ(a.output_rows, b.output_rows) << label << " step " << i;
+  }
+  EXPECT_EQ(fast.post_processing_cost, ref.post_processing_cost) << label;
+  EXPECT_EQ(fast.total_cost, ref.total_cost) << label;
+}
+
+/// Random configurations over the candidate universe, deterministic seed.
+std::vector<std::vector<Index>> SampleConfigs(const CandidateSet& candidates,
+                                              int count, int max_size,
+                                              uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::vector<std::vector<Index>> configs;
+  configs.push_back({});  // the empty configuration
+  const int universe = candidates.size();
+  if (universe == 0) return configs;
+  std::uniform_int_distribution<int> size_dist(1, max_size);
+  std::uniform_int_distribution<int> pick(0, universe - 1);
+  for (int i = 0; i < count; ++i) {
+    std::vector<int> chosen;
+    const int want = size_dist(rng);
+    for (int k = 0; k < want; ++k) chosen.push_back(pick(rng));
+    std::sort(chosen.begin(), chosen.end());
+    chosen.erase(std::unique(chosen.begin(), chosen.end()), chosen.end());
+    std::vector<Index> config;
+    for (int pos : chosen) {
+      config.push_back(candidates.indexes[static_cast<size_t>(pos)]);
+    }
+    configs.push_back(std::move(config));
+  }
+  return configs;
+}
+
+void CheckWorkloadIdentity(const std::string& name,
+                           CostModelParams params) {
+  const Workload w = MakeWorkloadByName(name);
+  ASSERT_NE(w.database, nullptr) << name;
+  const CandidateSet candidates = GenerateCandidates(w);
+  WhatIfOptimizer fast(w.database, params,
+                       WhatIfOptimizerOptions{/*use_fast_path=*/true});
+  WhatIfOptimizer reference(w.database, params,
+                            WhatIfOptimizerOptions{/*use_fast_path=*/false});
+  const auto configs = SampleConfigs(candidates, 40, 6, 0xFA57 + w.queries.size());
+  for (const Query& q : w.queries) {
+    for (size_t ci = 0; ci < configs.size(); ++ci) {
+      const std::string label =
+          name + "/" + q.name + "/config" + std::to_string(ci);
+      PlanExplanation a = fast.Explain(q, configs[ci]);
+      PlanExplanation b = reference.Explain(q, configs[ci]);
+      ExpectPlanIdentical(a, b, label);
+      // The dedicated oracle entry point on the fast optimizer agrees too.
+      EXPECT_EQ(fast.ExplainReference(q, configs[ci]).total_cost,
+                a.total_cost)
+          << label;
+    }
+  }
+}
+
+TEST(WhatIfFastPathTest, BitIdenticalToReference) {
+  CheckWorkloadIdentity("toy", CostModelParams{});
+  CheckWorkloadIdentity("tpch", CostModelParams{});
+}
+
+TEST(WhatIfFastPathTest, BitIdenticalWithExponentialBackoff) {
+  CostModelParams p;
+  p.exponential_backoff = true;
+  CheckWorkloadIdentity("tpch", p);
+}
+
+TEST(WhatIfFastPathTest, BitIdenticalWithMonotonicityNoise) {
+  CostModelParams p;
+  p.monotonicity_noise = 0.05;
+  CheckWorkloadIdentity("toy", p);
+}
+
+TEST(WhatIfFastPathTest, BitIdenticalOnRealDScale) {
+  // A handful of Real-D-scale queries (7,912 tables, ~15.6 joins) through
+  // both paths; the full sweep lives in the benchmark, not the test suite.
+  const Workload w = MakeWorkloadByName("real-d");
+  ASSERT_NE(w.database, nullptr);
+  const CandidateSet candidates = GenerateCandidates(w);
+  WhatIfOptimizer fast(w.database);
+  WhatIfOptimizer reference(w.database, CostModelParams{},
+                            WhatIfOptimizerOptions{/*use_fast_path=*/false});
+  const auto configs = SampleConfigs(candidates, 10, 8, 0xD001);
+  for (int qi = 0; qi < std::min(8, w.num_queries()); ++qi) {
+    const Query& q = w.queries[static_cast<size_t>(qi)];
+    for (size_t ci = 0; ci < configs.size(); ++ci) {
+      ExpectPlanIdentical(fast.Explain(q, configs[ci]),
+                          reference.Explain(q, configs[ci]),
+                          "real-d/" + q.name + "/config" + std::to_string(ci));
+    }
+  }
+}
+
+// The memo serves skeletons across calls and configurations without leaking
+// any configuration-dependent state: hits grow, results stay equal.
+TEST(WhatIfFastPathTest, MemoHitsAcrossConfigs) {
+  const Workload w = MakeWorkloadByName("tpch");
+  const CandidateSet candidates = GenerateCandidates(w);
+  WhatIfOptimizer fast(w.database);
+  WhatIfOptimizer reference(w.database, CostModelParams{},
+                            WhatIfOptimizerOptions{/*use_fast_path=*/false});
+  const auto configs = SampleConfigs(candidates, 12, 5, 7);
+  const Query& q = w.queries.front();
+  for (const auto& config : configs) {
+    EXPECT_EQ(fast.Cost(q, config), reference.Cost(q, config));
+  }
+  PlanMemoStats stats = fast.memo_stats();
+  EXPECT_EQ(stats.misses, 1);  // one skeleton build for the one query
+  EXPECT_EQ(stats.hits, static_cast<int64_t>(configs.size()) - 1);
+  EXPECT_EQ(stats.entries, 1);
+
+  // Clearing the memo forces a rebuild; results are unaffected.
+  fast.ClearPlanMemo();
+  EXPECT_EQ(fast.Cost(q, configs.back()), reference.Cost(q, configs.back()));
+  EXPECT_EQ(fast.memo_stats().misses, 2);
+}
+
+// A stale memo entry must never be served: mutating a query in place (same
+// address, different content) invalidates via the content signature.
+TEST(WhatIfFastPathTest, MemoInvalidatesOnContentChange) {
+  Workload w = MakeWorkloadByName("tpch");
+  const CandidateSet candidates = GenerateCandidates(w);
+  WhatIfOptimizer fast(w.database);
+  WhatIfOptimizer reference(w.database, CostModelParams{},
+                            WhatIfOptimizerOptions{/*use_fast_path=*/false});
+  Query& q = w.queries.front();
+  const auto configs = SampleConfigs(candidates, 4, 5, 99);
+
+  EXPECT_EQ(fast.Cost(q, configs[1]), reference.Cost(q, configs[1]));
+  ASSERT_FALSE(q.filters.empty());
+  // Tighten a filter in place: the cached skeleton's selectivities are now
+  // stale and the signature check must force a rebuild.
+  q.filters.front().selectivity *= 0.125;
+  for (const auto& config : configs) {
+    EXPECT_EQ(fast.Cost(q, config), reference.Cost(q, config))
+        << "after in-place mutation";
+  }
+  PlanMemoStats stats = fast.memo_stats();
+  EXPECT_GE(stats.misses, 2);
+}
+
+// End-to-end bit-identity: every algorithm, run through a bundle whose
+// optimizer is the fast path and through one on the reference path, must
+// produce byte-identical layout CSVs (the full what-if call trace) and
+// equal outcomes. Extends the session_determinism_test pattern to the
+// refactor boundary.
+class FastPathSessionTest : public testing::TestWithParam<const char*> {};
+
+TEST_P(FastPathSessionTest, LayoutCsvMatchesReferenceOptimizer) {
+  const std::string algorithm = GetParam();
+  for (const char* workload_name : {"toy", "tpch"}) {
+    const Workload w = MakeWorkloadByName(workload_name);
+    ASSERT_NE(w.database, nullptr);
+
+    WorkloadBundle fast_bundle;
+    fast_bundle.workload = w;
+    fast_bundle.candidates = GenerateCandidates(fast_bundle.workload);
+    fast_bundle.optimizer = std::make_shared<WhatIfOptimizer>(
+        fast_bundle.workload.database, CostModelParams{},
+        WhatIfOptimizerOptions{/*use_fast_path=*/true});
+
+    WorkloadBundle ref_bundle;
+    ref_bundle.workload = w;
+    ref_bundle.candidates = GenerateCandidates(ref_bundle.workload);
+    ref_bundle.optimizer = std::make_shared<WhatIfOptimizer>(
+        ref_bundle.workload.database, CostModelParams{},
+        WhatIfOptimizerOptions{/*use_fast_path=*/false});
+
+    RunSpec spec;
+    spec.workload = workload_name;
+    spec.algorithm = algorithm;
+    spec.budget = std::string(workload_name) == "toy" ? 60 : 200;
+    spec.max_indexes = 5;
+    spec.seed = 11;
+
+    SessionOptions options;
+    options.capture_layout_csv = true;
+
+    TuningSession fast_session(fast_bundle, spec, options);
+    RunOutcome fast_outcome = fast_session.Run();
+    const std::string fast_csv = fast_session.layout_csv();
+
+    TuningSession ref_session(ref_bundle, spec, options);
+    RunOutcome ref_outcome = ref_session.Run();
+    const std::string ref_csv = ref_session.layout_csv();
+
+    const std::string label =
+        std::string(workload_name) + "/" + algorithm;
+    EXPECT_EQ(fast_csv, ref_csv) << label;
+    EXPECT_DOUBLE_EQ(fast_outcome.true_improvement,
+                     ref_outcome.true_improvement)
+        << label;
+    EXPECT_DOUBLE_EQ(fast_outcome.derived_improvement,
+                     ref_outcome.derived_improvement)
+        << label;
+    EXPECT_EQ(fast_outcome.calls_used, ref_outcome.calls_used) << label;
+    EXPECT_EQ(fast_outcome.config_size, ref_outcome.config_size) << label;
+    EXPECT_EQ(fast_outcome.trace, ref_outcome.trace) << label;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Algorithms, FastPathSessionTest,
+    testing::Values("vanilla-greedy", "two-phase-greedy", "autoadmin-greedy",
+                    "dba-bandits", "no-dba", "dta", "relaxation", "mcts"),
+    [](const testing::TestParamInfo<const char*>& info) {
+      std::string name = info.param;
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace bati

@@ -69,7 +69,8 @@ void Usage(const char* argv0) {
   std::fprintf(
       stderr,
       "usage: %s [options]\n"
-      "  --workload NAME     toy|tpch|tpcds|job|real-d|real-m (default tpch)\n"
+      "  --workload NAME     toy|tpch|tpcds|job|real-d|real-d-bench|real-m "
+      "(default tpch)\n"
       "  --schema-file PATH  CREATE TABLE script (see sql/ddl.h annotations)\n"
       "  --sql-file PATH     ';'-separated SELECT workload (with "
       "--schema-file)\n"

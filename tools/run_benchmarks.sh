@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Build (Release) and run the tracked what-if hot-path benchmark.
+#
+# Usage:
+#   tools/run_benchmarks.sh [--quick] [--update-baseline]
+#
+# Writes build-bench/BENCH_whatif.json and gates against the committed
+# BENCH_whatif.json at the repo root: the run fails if any workload's
+# fast-path speedup regresses by more than 10% (see bench/bench_whatif.cc).
+# --update-baseline copies the fresh result over the committed baseline
+# after a successful gated run.
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD_DIR="${BUILD_DIR:-$REPO_ROOT/build-bench}"
+BASELINE="$REPO_ROOT/BENCH_whatif.json"
+OUT="$BUILD_DIR/BENCH_whatif.json"
+
+QUICK=""
+UPDATE_BASELINE=0
+for arg in "$@"; do
+  case "$arg" in
+    --quick) QUICK="--quick" ;;
+    --update-baseline) UPDATE_BASELINE=1 ;;
+    *) echo "unknown argument: $arg" >&2; exit 2 ;;
+  esac
+done
+
+cmake -S "$REPO_ROOT" -B "$BUILD_DIR" -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build "$BUILD_DIR" --target bench_whatif -j "$(nproc)"
+
+GATE_ARGS=()
+if [[ -f "$BASELINE" ]]; then
+  GATE_ARGS+=(--baseline "$BASELINE" --max-regression 10)
+else
+  echo "note: no committed baseline at $BASELINE; running ungated" >&2
+fi
+
+"$BUILD_DIR/bench/bench_whatif" --out "$OUT" $QUICK "${GATE_ARGS[@]}"
+
+if [[ "$UPDATE_BASELINE" == 1 ]]; then
+  cp "$OUT" "$BASELINE"
+  echo "baseline updated: $BASELINE"
+fi
+echo "benchmark result: $OUT"
