@@ -1,0 +1,33 @@
+#include "serve/admission.h"
+
+#include <algorithm>
+#include <string>
+
+namespace bati {
+
+Status TenantAdmission::Admit(int64_t budget) {
+  if (pending_ >= queue_quota_) {
+    return Status::Unavailable(
+        "queue quota exhausted: " + std::to_string(pending_) +
+        " tuning runs pending (quota " + std::to_string(queue_quota_) + ")");
+  }
+  if (budget_quota_ > 0 && budget_used_ + budget > budget_quota_) {
+    return Status::FailedPrecondition(
+        "budget quota exhausted: " + std::to_string(budget) +
+        " what-if units requested, " +
+        std::to_string(budget_quota_ - budget_used_) + " of " +
+        std::to_string(budget_quota_) + " remaining");
+  }
+  ++pending_;
+  budget_used_ += budget;
+  return Status::Ok();
+}
+
+void TenantAdmission::Settle(int64_t reserved_budget, int64_t calls_used) {
+  pending_ = std::max<int64_t>(0, pending_ - 1);
+  const int64_t refund = reserved_budget - std::min(calls_used,
+                                                    reserved_budget);
+  budget_used_ = std::max<int64_t>(0, budget_used_ - refund);
+}
+
+}  // namespace bati

@@ -1,0 +1,56 @@
+#ifndef BATI_SERVE_ADMISSION_H_
+#define BATI_SERVE_ADMISSION_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+
+namespace bati {
+
+/// Per-tenant admission control for tuning work: a bound on concurrently
+/// pending tuning runs (queue quota) and a bound on total what-if units the
+/// tenant may consume across its lifetime (budget quota). Admission
+/// *reserves* the run's full requested budget — the only value known before
+/// the run executes — and the unspent part is refunded when the result is
+/// applied, so a tenant can never oversubscribe its quota through in-flight
+/// runs. Single-threaded: only the daemon's event loop admits and settles.
+class TenantAdmission {
+ public:
+  /// `budget_quota` of 0 means unlimited what-if units.
+  TenantAdmission(int64_t queue_quota, int64_t budget_quota)
+      : queue_quota_(queue_quota), budget_quota_(budget_quota) {}
+
+  /// Admits a tuning run requesting `budget` what-if units. On success the
+  /// run counts as pending and its budget is reserved. Failures are
+  /// structured: Unavailable when the tenant's pending-run quota is
+  /// exhausted (back off and retry), FailedPrecondition when the remaining
+  /// budget quota cannot cover the request (no retry will help).
+  Status Admit(int64_t budget);
+
+  /// Settles an admitted run: releases its pending slot and refunds the
+  /// difference between the reserved budget and the what-if calls actually
+  /// used (a run never uses more than its budget).
+  void Settle(int64_t reserved_budget, int64_t calls_used);
+
+  int64_t queue_quota() const { return queue_quota_; }
+  int64_t budget_quota() const { return budget_quota_; }
+  int64_t pending() const { return pending_; }
+  /// What-if units charged so far (reservations minus refunds).
+  int64_t budget_used() const { return budget_used_; }
+
+  /// Restores counters from a checkpoint.
+  void Restore(int64_t pending, int64_t budget_used) {
+    pending_ = pending;
+    budget_used_ = budget_used;
+  }
+
+ private:
+  int64_t queue_quota_;
+  int64_t budget_quota_;
+  int64_t pending_ = 0;
+  int64_t budget_used_ = 0;
+};
+
+}  // namespace bati
+
+#endif  // BATI_SERVE_ADMISSION_H_

@@ -1,0 +1,87 @@
+#include "serve/lifecycle.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+#include "storage/index.h"
+
+namespace bati {
+
+const char* LifecycleActionName(LifecycleDecision::Action action) {
+  switch (action) {
+    case LifecycleDecision::Action::kShipped:
+      return "shipped";
+    case LifecycleDecision::Action::kNoChange:
+      return "no-change";
+    case LifecycleDecision::Action::kRollback:
+      return "safety-rollback";
+  }
+  return "unknown";
+}
+
+double IndexLifecycle::WindowCost(
+    const WorkloadBundle& bundle,
+    const std::vector<std::pair<int, double>>& window,
+    const std::vector<size_t>& positions) const {
+  std::vector<Index> config;
+  config.reserve(positions.size());
+  for (size_t pos : positions) {
+    BATI_CHECK(pos < bundle.candidates.indexes.size());
+    config.push_back(bundle.candidates.indexes[pos]);
+  }
+  double cost = 0.0;
+  if (window.empty()) {
+    // No live observations yet: fall back to the tuning-time assumption of
+    // a uniformly weighted workload.
+    for (const Query& query : bundle.workload.queries) {
+      cost += bundle.optimizer->Cost(query, config);
+    }
+    return cost;
+  }
+  for (const auto& [query_id, weight] : window) {
+    BATI_CHECK(query_id >= 0 &&
+               query_id < bundle.workload.num_queries());
+    cost += weight * bundle.optimizer->Cost(
+                         bundle.workload.queries[static_cast<size_t>(
+                             query_id)],
+                         config);
+  }
+  return cost;
+}
+
+LifecycleDecision IndexLifecycle::Apply(
+    const WorkloadBundle& bundle,
+    const std::vector<std::pair<int, double>>& window,
+    const std::vector<size_t>& candidate) {
+  LifecycleDecision decision;
+  decision.deployed_cost = WindowCost(bundle, window, deployed_);
+  decision.candidate_cost = WindowCost(bundle, window, candidate);
+  decision.regression =
+      decision.deployed_cost > 0.0
+          ? (decision.candidate_cost - decision.deployed_cost) /
+                decision.deployed_cost
+          : 0.0;
+
+  if (candidate == deployed_) {
+    decision.action = LifecycleDecision::Action::kNoChange;
+    return decision;
+  }
+  if (decision.regression > safety_bound_) {
+    decision.action = LifecycleDecision::Action::kRollback;
+    return decision;
+  }
+
+  // Stage the diff: candidate \ deployed is created, deployed \ candidate
+  // is dropped. Both inputs are ascending, so set_difference applies.
+  std::set_difference(candidate.begin(), candidate.end(), deployed_.begin(),
+                      deployed_.end(),
+                      std::back_inserter(decision.created));
+  std::set_difference(deployed_.begin(), deployed_.end(), candidate.begin(),
+                      candidate.end(),
+                      std::back_inserter(decision.dropped));
+  decision.action = LifecycleDecision::Action::kShipped;
+  deployed_ = candidate;
+  return decision;
+}
+
+}  // namespace bati

@@ -1,0 +1,85 @@
+#ifndef BATI_SERVE_LIFECYCLE_H_
+#define BATI_SERVE_LIFECYCLE_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "session/bundle_registry.h"
+
+namespace bati {
+
+/// What the lifecycle manager decided about one candidate configuration.
+struct LifecycleDecision {
+  enum class Action {
+    /// The candidate was deployed: `created` staged in, `dropped` staged
+    /// out.
+    kShipped,
+    /// The candidate equals the deployed configuration; nothing to do.
+    kNoChange,
+    /// The candidate's cost on the live window regressed past the safety
+    /// bound; the deployed configuration stays (DBA-bandits' guarantee: a
+    /// regressing recommendation is rolled back, never shipped).
+    kRollback,
+  };
+
+  Action action = Action::kNoChange;
+  /// Candidate positions staged in / out by a kShipped decision (empty
+  /// otherwise), ascending.
+  std::vector<size_t> created;
+  std::vector<size_t> dropped;
+  /// Weighted derived costs of both configurations on the live window.
+  double deployed_cost = 0.0;
+  double candidate_cost = 0.0;
+  /// (candidate - deployed) / deployed; negative is an improvement.
+  double regression = 0.0;
+};
+
+const char* LifecycleActionName(LifecycleDecision::Action action);
+
+/// One tenant's index lifecycle: tracks the deployed configuration (as
+/// candidate positions in the tenant bundle's universe) and evaluates each
+/// recommended or operator-proposed candidate against it on the *live*
+/// window before anything ships. The evaluation uses the bundle's pure
+/// what-if optimizer as the derived cost model — the serve-side analogue of
+/// DBA-bandits' safety check. Single-threaded: only the daemon's event loop
+/// applies decisions.
+class IndexLifecycle {
+ public:
+  /// `safety_bound` is the maximum tolerated relative regression of the
+  /// candidate over the deployed configuration on the live window.
+  explicit IndexLifecycle(double safety_bound)
+      : safety_bound_(safety_bound) {}
+
+  /// Evaluates `candidate` (ascending positions into
+  /// `bundle.candidates.indexes`; all positions must be in range) against
+  /// the deployed configuration, weighting each query by `window` (the
+  /// observer's WindowSupport(); uniform over the whole workload when
+  /// empty). Ships it — updating deployed() — unless it equals the
+  /// deployed configuration or regresses past the safety bound.
+  LifecycleDecision Apply(const WorkloadBundle& bundle,
+                          const std::vector<std::pair<int, double>>& window,
+                          const std::vector<size_t>& candidate);
+
+  const std::vector<size_t>& deployed() const { return deployed_; }
+
+  /// Restores the deployed configuration from a checkpoint.
+  void Restore(std::vector<size_t> deployed) {
+    deployed_ = std::move(deployed);
+  }
+
+  double safety_bound() const { return safety_bound_; }
+
+ private:
+  /// Window-weighted cost of a configuration given by positions.
+  double WindowCost(const WorkloadBundle& bundle,
+                    const std::vector<std::pair<int, double>>& window,
+                    const std::vector<size_t>& positions) const;
+
+  double safety_bound_;
+  std::vector<size_t> deployed_;
+};
+
+}  // namespace bati
+
+#endif  // BATI_SERVE_LIFECYCLE_H_

@@ -1,0 +1,117 @@
+#ifndef BATI_SERVE_WORKLOAD_OBSERVER_H_
+#define BATI_SERVE_WORKLOAD_OBSERVER_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace bati {
+
+/// Tunables of one tenant's sliding-window workload observer.
+struct ObserverOptions {
+  /// Observations the sliding window retains; the oldest is evicted (and
+  /// its sketch contribution subtracted) when the window is full.
+  size_t window = 256;
+  /// Drift is evaluated every `stride` observations, not on every query —
+  /// the paper's workloads shift in phases, not per statement.
+  size_t stride = 32;
+  /// No drift verdict before this many observations have ever been seen:
+  /// a cold window is not evidence of a shift.
+  size_t min_events = 64;
+  /// Total-variation distance between the live window and the reference
+  /// (tuning-time) distribution above which the window has drifted.
+  double drift_threshold = 0.25;
+  /// Count-min sketch geometry. Width is cells per row; depth is the
+  /// number of independently hashed rows minimized over.
+  size_t sketch_width = 512;
+  size_t sketch_depth = 4;
+};
+
+/// One tenant's view of its live query stream: a count-min-style frequency
+/// sketch maintained over a sliding window of recent observations, plus the
+/// exact window contents (needed for eviction, serialization, and building
+/// re-tune sub-workloads). Frequencies are estimated from the sketch — the
+/// min over its rows, an upper bound that is exact while the window's
+/// support is small against the sketch width — and compared against the
+/// reference distribution captured at tuning time by total-variation
+/// distance. Single-threaded by design: the daemon's event loop is the only
+/// caller.
+class WorkloadObserver {
+ public:
+  /// `num_queries` is the tenant workload's query universe size; observed
+  /// ids must lie in [0, num_queries).
+  WorkloadObserver(const ObserverOptions& options, int num_queries);
+
+  /// Records one observation of `query_id` with positive `weight`,
+  /// evicting the oldest observation when the window is full.
+  void Observe(int query_id, double weight);
+
+  /// True when a drift evaluation is due: at least `min_events` total
+  /// observations, a reference set, and `stride` observations since the
+  /// last evaluation point.
+  bool DriftCheckDue() const;
+
+  /// Total-variation distance in [0, 1] between the live window's sketch-
+  /// estimated distribution and the reference distribution. Marks the
+  /// evaluation point (resets the stride counter). Returns 0 when the
+  /// window is empty or no reference is set.
+  double EvaluateDrift();
+
+  /// Captures the current live distribution as the new reference —
+  /// called when a (re-)tune is submitted, so drift is measured against
+  /// the window the active configuration was tuned for.
+  void CaptureReference();
+
+  /// Installs an explicit reference distribution (`num_queries` entries) —
+  /// the daemon uses the uniform distribution when a tune is submitted
+  /// before any query has been observed, matching the tuner's uniformly
+  /// weighted view of the workload.
+  void SetReference(std::vector<double> reference);
+
+  /// The live window's sketch-estimated distribution over the query
+  /// universe, normalized to sum 1 (all-zero when the window is empty).
+  std::vector<double> Distribution() const;
+
+  /// The live window's support with aggregated exact weights, ascending by
+  /// query id; empty when the window is empty. This is both the re-tune
+  /// sub-workload (which queries matter now) and the lifecycle manager's
+  /// cost weighting.
+  std::vector<std::pair<int, double>> WindowSupport() const;
+
+  size_t window_size() const { return window_.size(); }
+  uint64_t events_seen() const { return events_seen_; }
+  bool has_reference() const { return has_reference_; }
+
+  /// Serializes the observer's replayable state (window contents,
+  /// reference distribution, counters) as `kv`-style lines with hex-float
+  /// weights, for embedding in the serve checkpoint. The sketch itself is
+  /// not serialized: Deserialize rebuilds it by replaying the window.
+  std::string Serialize() const;
+
+  /// Restores state written by Serialize(). Returns false on malformed
+  /// input. `lines` are the payload lines, without the surrounding
+  /// checkpoint framing.
+  bool Deserialize(const std::vector<std::string>& lines);
+
+ private:
+  size_t SketchCell(size_t row, int query_id) const;
+  void SketchAdd(int query_id, double weight);
+  double SketchEstimate(int query_id) const;
+
+  ObserverOptions options_;
+  int num_queries_;
+  /// (query id, weight), oldest first.
+  std::deque<std::pair<int, double>> window_;
+  /// depth x width weight cells, row-major.
+  std::vector<double> sketch_;
+  std::vector<double> reference_;
+  bool has_reference_ = false;
+  uint64_t events_seen_ = 0;
+  uint64_t since_check_ = 0;
+};
+
+}  // namespace bati
+
+#endif  // BATI_SERVE_WORKLOAD_OBSERVER_H_

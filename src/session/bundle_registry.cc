@@ -17,6 +17,11 @@ BundleRegistry::Entry& BundleRegistry::GetEntry(const std::string& name) {
 }
 
 const WorkloadBundle* BundleRegistry::TryGet(const std::string& name) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = dynamic_.find(name);
+    if (it != dynamic_.end()) return it->second.back().get();
+  }
   Entry& entry = GetEntry(name);
   std::call_once(entry.once, [&entry, &name] {
     Workload workload = MakeWorkloadByName(name);
@@ -35,6 +40,15 @@ const WorkloadBundle& BundleRegistry::Get(const std::string& name) {
   const WorkloadBundle* bundle = TryGet(name);
   BATI_CHECK(bundle != nullptr && "unknown workload name");
   return *bundle;
+}
+
+const WorkloadBundle* BundleRegistry::RegisterDynamic(
+    const std::string& name, std::unique_ptr<WorkloadBundle> bundle) {
+  BATI_CHECK(bundle != nullptr);
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::unique_ptr<WorkloadBundle>>& generations = dynamic_[name];
+  generations.push_back(std::move(bundle));
+  return generations.back().get();
 }
 
 size_t BundleRegistry::size() const {

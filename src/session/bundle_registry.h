@@ -51,6 +51,16 @@ class BundleRegistry {
   /// As TryGet(), but an unknown name is a programmer error (CHECK).
   const WorkloadBundle& Get(const std::string& name);
 
+  /// Registers (or replaces) a dynamically built bundle under `name`,
+  /// returning its stable address. Dynamic names shadow built-in ones in
+  /// TryGet()/Get(). Replaced bundles are retired, not destroyed — their
+  /// pointers stay valid for the registry's lifetime, so sessions still
+  /// running over a superseded bundle are unaffected. This is how the
+  /// serve daemon routes live-window sub-workloads through the
+  /// SessionManager, which resolves specs by name.
+  const WorkloadBundle* RegisterDynamic(
+      const std::string& name, std::unique_ptr<WorkloadBundle> bundle);
+
   /// Number of names probed so far (built or found unknown).
   size_t size() const;
 
@@ -68,6 +78,10 @@ class BundleRegistry {
 
   mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<Entry>> entries_;
+  /// Dynamically registered bundles, newest generation last. Superseded
+  /// generations are retained so pointers handed out stay valid.
+  std::map<std::string, std::vector<std::unique_ptr<WorkloadBundle>>>
+      dynamic_;
 };
 
 /// Builds (and caches process-wide) a bundle for a named workload. Thin

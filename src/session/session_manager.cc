@@ -52,22 +52,37 @@ void SessionManager::Start() {
 }
 
 bool SessionManager::Cancel(uint64_t id) {
-  std::lock_guard<std::mutex> lock(mu_);
-  for (auto& [workload, queue] : queues_) {
-    for (auto it = queue.begin(); it != queue.end(); ++it) {
-      if (it->id != id) continue;
-      SessionResult result;
-      result.id = it->id;
-      result.spec = std::move(it->spec);
-      result.cancelled = true;
-      queue.erase(it);
-      --queued_;
-      RecordResultLocked(std::move(result));
-      done_cv_.notify_all();
-      return true;
+  SessionResult result;
+  bool found = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [workload, queue] : queues_) {
+      for (auto it = queue.begin(); it != queue.end(); ++it) {
+        if (it->id != id) continue;
+        result.id = it->id;
+        result.spec = std::move(it->spec);
+        result.cancelled = true;
+        queue.erase(it);
+        --queued_;
+        // Count the cancellation as virtually running until it is
+        // recorded, so a concurrent Drain() cannot complete between the
+        // callback firing and the result landing.
+        ++running_;
+        found = true;
+        break;
+      }
+      if (found) break;
     }
   }
-  return false;
+  if (!found) return false;
+  if (options_.on_result) options_.on_result(result);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    RecordResultLocked(std::move(result));
+    --running_;
+  }
+  done_cv_.notify_all();
+  return true;
 }
 
 std::vector<SessionResult> SessionManager::Drain() {
@@ -139,6 +154,9 @@ void SessionManager::WorkerLoop() {
       result.result_json = session.result_json();
       result.layout_csv = session.layout_csv();
     }
+    // Completion callback fires while this worker still counts as running,
+    // so Drain() returns only after every callback has been delivered.
+    if (options_.on_result) options_.on_result(result);
     {
       std::lock_guard<std::mutex> lock(mu_);
       RecordResultLocked(std::move(result));

@@ -4,6 +4,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <mutex>
 #include <string>
@@ -15,6 +16,8 @@
 
 namespace bati {
 
+struct SessionResult;
+
 /// Configuration of a SessionManager.
 struct SessionManagerOptions {
   /// Worker threads draining the queue; each runs one session at a time.
@@ -24,6 +27,14 @@ struct SessionManagerOptions {
   /// When true the workers start idle; nothing runs until Start(). Lets a
   /// caller submit (and cancel) a whole batch before execution begins.
   bool start_paused = false;
+  /// When set, invoked once per terminal result (completed or cancelled)
+  /// as soon as it exists — before Drain() can observe it — so consumers
+  /// (bati_batch's incremental output, the serve daemon's pending-tune
+  /// table) see results the moment they land instead of at drain time.
+  /// Called from worker threads (or the cancelling thread), possibly
+  /// concurrently, with no manager lock held: the callee synchronizes and
+  /// must not block on Drain().
+  std::function<void(const SessionResult&)> on_result;
 };
 
 /// The terminal record of one submitted spec.

@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <cerrno>
+#include <cstdio>
 #include <cstdlib>
 
 namespace bati {
@@ -264,6 +265,13 @@ Status ParseRunSpecJson(const std::string& line, RunSpec* spec) {
   if (!have_workload) {
     return Status::InvalidArgument("\"workload\" is required");
   }
+  if (spec->algorithm.empty()) {
+    spec->algorithm = "mcts";  // bati_tune's default; never leave a spec
+                               // that would CHECK-fail inside MakeTuner
+  } else if (!IsKnownAlgorithm(spec->algorithm)) {
+    return Status::InvalidArgument("unknown algorithm \"" +
+                                   spec->algorithm + "\"");
+  }
   spec->faults.enabled = spec->faults.transient_rate > 0.0 ||
                          spec->faults.sticky_rate > 0.0 ||
                          spec->faults.spike_rate > 0.0;
@@ -280,6 +288,115 @@ Status ParseRunSpecJson(const std::string& line, RunSpec* spec) {
     if (stop_window > 0) spec->governor.stop.window_calls = stop_window;
   }
   return Status::Ok();
+}
+
+Status ParseRunSpecJsonLine(const std::string& line, int lineno,
+                            RunSpec* spec) {
+  Status st = ParseRunSpecJson(line, spec);
+  if (st.ok()) return st;
+  return Status::InvalidArgument("line " + std::to_string(lineno) + ": " +
+                                 st.message());
+}
+
+namespace {
+
+void AppendKey(std::string* out, const char* key) {
+  if ((*out)[out->size() - 1] != '{') out->push_back(',');
+  out->append("\"");
+  out->append(key);
+  out->append("\":");
+}
+
+void AppendString(std::string* out, const char* key, const std::string& v) {
+  AppendKey(out, key);
+  out->push_back('"');
+  for (char c : v) {
+    if (c == '"' || c == '\\') out->push_back('\\');
+    out->push_back(c);
+  }
+  out->push_back('"');
+}
+
+void AppendInt(std::string* out, const char* key, int64_t v) {
+  AppendKey(out, key);
+  out->append(std::to_string(v));
+}
+
+void AppendDouble(std::string* out, const char* key, double v) {
+  AppendKey(out, key);
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out->append(buf);
+}
+
+void AppendBool(std::string* out, const char* key, bool v) {
+  AppendKey(out, key);
+  out->append(v ? "true" : "false");
+}
+
+}  // namespace
+
+std::string RunSpecToJson(const RunSpec& spec) {
+  const RunSpec def;  // emit only what differs from a default spec
+  std::string out = "{";
+  AppendString(&out, "workload", spec.workload);
+  if (!spec.algorithm.empty()) {
+    AppendString(&out, "algorithm", spec.algorithm);
+  }
+  if (spec.budget != def.budget) AppendInt(&out, "budget", spec.budget);
+  if (spec.max_indexes != def.max_indexes) {
+    AppendInt(&out, "k", spec.max_indexes);
+  }
+  if (spec.max_storage_bytes != def.max_storage_bytes) {
+    AppendDouble(&out, "storage_gb", spec.max_storage_bytes / 1e9);
+  }
+  if (spec.seed != def.seed) {
+    AppendInt(&out, "seed", static_cast<int64_t>(spec.seed));
+  }
+  if (spec.governor.enabled) {
+    if (spec.governor.early_stop) AppendBool(&out, "early_stop", true);
+    if (spec.governor.skip_what_if) AppendBool(&out, "realloc_budget", true);
+    AppendDouble(&out, "skip_threshold",
+                 spec.governor.realloc.skip_rel_threshold);
+    AppendDouble(&out, "stop_threshold",
+                 spec.governor.stop.abs_threshold_pct);
+    if (spec.governor.stop.window_calls >= 1) {
+      AppendInt(&out, "stop_window", spec.governor.stop.window_calls);
+    }
+  }
+  if (spec.faults.transient_rate != def.faults.transient_rate) {
+    AppendDouble(&out, "fault_rate", spec.faults.transient_rate);
+  }
+  if (spec.faults.sticky_rate != def.faults.sticky_rate) {
+    AppendDouble(&out, "fault_sticky", spec.faults.sticky_rate);
+  }
+  if (spec.faults.spike_rate != def.faults.spike_rate) {
+    AppendDouble(&out, "fault_spike", spec.faults.spike_rate);
+  }
+  if (spec.faults.spike_factor != def.faults.spike_factor) {
+    AppendDouble(&out, "fault_spike_factor", spec.faults.spike_factor);
+  }
+  if (spec.faults.seed != def.faults.seed) {
+    AppendInt(&out, "fault_seed", static_cast<int64_t>(spec.faults.seed));
+  }
+  if (spec.retry.max_attempts != def.retry.max_attempts) {
+    AppendInt(&out, "retry_attempts", spec.retry.max_attempts);
+  }
+  if (spec.retry.call_timeout_seconds != def.retry.call_timeout_seconds) {
+    AppendDouble(&out, "retry_timeout", spec.retry.call_timeout_seconds);
+  }
+  if (spec.collect_metrics) AppendBool(&out, "collect_metrics", true);
+  if (!spec.checkpoint_path.empty()) {
+    AppendString(&out, "checkpoint", spec.checkpoint_path);
+  }
+  if (!spec.resume_path.empty()) {
+    AppendString(&out, "resume", spec.resume_path);
+  }
+  if (!spec.trace_path.empty()) {
+    AppendString(&out, "trace_out", spec.trace_path);
+  }
+  out.push_back('}');
+  return out;
 }
 
 }  // namespace bati

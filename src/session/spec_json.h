@@ -30,11 +30,27 @@ namespace bati {
 ///   checkpoint, resume, trace_out                 path strings
 ///
 /// Validation is strict, mirroring the CLI tools: an unknown key, a
-/// malformed value, or an out-of-range value is an InvalidArgument error,
-/// never a silent default. On success `*spec` is a freshly defaulted
-/// RunSpec with the line's fields applied — governor/fault plumbing wired
-/// exactly as bati_tune wires the equivalent flags.
+/// malformed value, an out-of-range value, or an unknown algorithm name is
+/// an InvalidArgument error, never a silent default (and never a crash deep
+/// inside MakeTuner). On success `*spec` is a freshly defaulted RunSpec
+/// with the line's fields applied — governor/fault plumbing wired exactly
+/// as bati_tune wires the equivalent flags, and "algorithm" defaulted to
+/// "mcts" (the paper's setting, bati_tune's default) when absent.
 Status ParseRunSpecJson(const std::string& line, RunSpec* spec);
+
+/// As ParseRunSpecJson, but errors are prefixed with "line N: " so a
+/// multi-line consumer (bati_batch, bati_serve) reports the offending
+/// input line without every caller re-implementing the bookkeeping.
+Status ParseRunSpecJsonLine(const std::string& line, int lineno,
+                            RunSpec* spec);
+
+/// Serializes a spec back to the flat JSON object ParseRunSpecJson
+/// accepts, emitting only fields that differ from a default RunSpec (plus
+/// the mandatory "workload"). Round-trips: parsing the output reproduces
+/// the spec. Doubles are printed with enough digits to round-trip
+/// bit-exactly, which makes the string usable as a deterministic identity
+/// (the serve checkpoint stores tenant templates this way).
+std::string RunSpecToJson(const RunSpec& spec);
 
 }  // namespace bati
 

@@ -96,6 +96,16 @@ std::unique_ptr<Tuner> MakeTuner(const std::string& algorithm,
   return nullptr;
 }
 
+bool IsKnownAlgorithm(const std::string& algorithm) {
+  // Keep in sync with MakeTuner above: fixed names plus the "mcts[-...]"
+  // ablation family (MakeTuner treats unrecognized suffixes as the paper's
+  // default setting, so any "mcts" prefix is runnable).
+  return algorithm == "vanilla-greedy" || algorithm == "two-phase-greedy" ||
+         algorithm == "autoadmin-greedy" || algorithm == "dba-bandits" ||
+         algorithm == "no-dba" || algorithm == "dta" ||
+         algorithm == "relaxation" || algorithm.rfind("mcts", 0) == 0;
+}
+
 std::string RunIdentity(const RunSpec& spec) {
   char buf[256];
   std::snprintf(
@@ -168,6 +178,7 @@ const RunOutcome& TuningSession::Run() {
   outcome.derived_improvement = result.derived_improvement;
   outcome.calls_used = service.calls_made();
   outcome.config_size = result.best_config.count();
+  outcome.config_positions = result.best_config.ToIndices();
   outcome.whatif_seconds = service.SimulatedWhatIfSeconds();
   outcome.other_seconds =
       kOtherSecondsFixed +

@@ -22,6 +22,12 @@ namespace bati {
 std::unique_ptr<Tuner> MakeTuner(const std::string& algorithm,
                                  TuningContext ctx, uint64_t seed);
 
+/// True when `algorithm` names a tuner MakeTuner can build. Validating
+/// early (spec parsing, serve admission) turns what would be a CHECK-crash
+/// deep inside a session into a clean InvalidArgument at the input
+/// boundary.
+bool IsKnownAlgorithm(const std::string& algorithm);
+
 /// One tuning run's specification.
 struct RunSpec {
   std::string workload;
@@ -72,6 +78,11 @@ struct RunOutcome {
   double derived_improvement = 0.0;
   int64_t calls_used = 0;
   size_t config_size = 0;
+  /// The recommended configuration as candidate positions, ascending —
+  /// the same universe the bundle's CandidateSet defines. Lets callers
+  /// (the serve lifecycle manager, diff tooling) act on the configuration
+  /// itself rather than just its size.
+  std::vector<size_t> config_positions;
   /// Simulated seconds spent in what-if calls (Figure 2's orange bars).
   double whatif_seconds = 0.0;
   /// Simulated seconds spent elsewhere in tuning (Figure 2's blue bars).

@@ -10,10 +10,6 @@
 
 namespace bati {
 
-namespace {
-
-constexpr char kMagic[] = "bati-checkpoint v1";
-
 void AppendHexDouble(std::string* out, double value) {
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%a", value);
@@ -26,6 +22,10 @@ bool ParseHexDouble(const std::string& token, double* out) {
   *out = std::strtod(token.c_str(), &end);
   return end != nullptr && *end == '\0';
 }
+
+namespace {
+
+constexpr char kMagic[] = "bati-checkpoint v1";
 
 bool ParseI64(const std::string& token, int64_t* out) {
   if (token.empty()) return false;

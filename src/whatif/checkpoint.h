@@ -63,6 +63,13 @@ struct EngineCheckpoint {
   std::vector<CheckpointEvent> events;
 };
 
+/// Hex-float round-trip helpers, shared with the other checkpoint writers
+/// (the serve daemon's state file): "%a" formatting parses back bit-exactly
+/// through strtod, which is what makes text checkpoints resumable without
+/// drift.
+void AppendHexDouble(std::string* out, double value);
+bool ParseHexDouble(const std::string& token, double* out);
+
 /// Serializes a checkpoint to its line-based text form. Costs and simulated
 /// seconds are written as hexadecimal floats, so parsing round-trips every
 /// double bit-exactly — a requirement for bit-identical resume.

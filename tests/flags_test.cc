@@ -128,6 +128,51 @@ TEST(FlagParserTest, EnforcesBounds) {
   }
 }
 
+TEST(FlagParserTest, EqualsFormWorksForEveryValuedKind) {
+  Parsed out;
+  FlagParser parser = MakeParser(&out);
+  Argv argv({"--name=beta", "--count=3", "--seed=11", "--rate=0.5",
+             "--factor=4.5"});
+  EXPECT_TRUE(parser.Parse(argv.argc(), argv.argv()));
+  EXPECT_EQ(out.name, "beta");
+  EXPECT_EQ(out.count, 3);
+  EXPECT_EQ(out.seed, 11u);
+  EXPECT_DOUBLE_EQ(out.rate, 0.5);
+  EXPECT_DOUBLE_EQ(out.factor, 4.5);
+}
+
+TEST(FlagParserTest, EqualsFormStillValidatesStrictly) {
+  for (const char* bad :
+       {"--count=abc", "--count=0", "--seed=-3", "--rate=1.5"}) {
+    Parsed out;
+    FlagParser parser = MakeParser(&out);
+    Argv argv({bad});
+    EXPECT_FALSE(parser.Parse(argv.argc(), argv.argv())) << bad;
+  }
+}
+
+TEST(FlagParserTest, LastOccurrenceWinsAcrossBothSyntaxes) {
+  // Repeating a flag is not an error; the final occurrence decides, no
+  // matter which syntax each occurrence used. This is what lets a wrapper
+  // script append overrides to a base command line.
+  Parsed out;
+  FlagParser parser = MakeParser(&out);
+  Argv argv({"--name", "first", "--name=second", "--count=2", "--count",
+             "9", "--rate=0.75", "--rate", "0.25"});
+  EXPECT_TRUE(parser.Parse(argv.argc(), argv.argv()));
+  EXPECT_EQ(out.name, "second");
+  EXPECT_EQ(out.count, 9);
+  EXPECT_DOUBLE_EQ(out.rate, 0.25);
+}
+
+TEST(FlagParserTest, LastOccurrenceStillRejectsAnyMalformedRepeat) {
+  // Every occurrence is validated even though only the last one lands.
+  Parsed out;
+  FlagParser parser = MakeParser(&out);
+  Argv argv({"--count=abc", "--count=9"});
+  EXPECT_FALSE(parser.Parse(argv.argc(), argv.argv()));
+}
+
 TEST(FlagParserTest, BoolTakesNoValue) {
   Parsed out;
   FlagParser parser = MakeParser(&out);

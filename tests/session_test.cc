@@ -353,5 +353,76 @@ TEST(SpecJsonTest, RejectsBadInput) {
       ParseRunSpecJson("{\"workload\":\"toy\",}", &spec).ok());
 }
 
+TEST(SpecJsonTest, ValidatesAlgorithmAtParseTime) {
+  // An unknown algorithm must be an InvalidArgument here, at the input
+  // boundary — not a CHECK-crash later inside MakeTuner.
+  RunSpec spec;
+  const Status st = ParseRunSpecJson(
+      "{\"workload\":\"toy\",\"algorithm\":\"qlearning\"}", &spec);
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("qlearning"), std::string::npos);
+  // An omitted algorithm gets the documented default instead of staying
+  // empty (which MakeTuner would also reject).
+  ASSERT_TRUE(ParseRunSpecJson("{\"workload\":\"toy\"}", &spec).ok());
+  EXPECT_EQ(spec.algorithm, "mcts");
+  EXPECT_TRUE(IsKnownAlgorithm("vanilla-greedy"));
+  EXPECT_TRUE(IsKnownAlgorithm("mcts-uct-bce-fix0"));
+  EXPECT_FALSE(IsKnownAlgorithm(""));
+  EXPECT_FALSE(IsKnownAlgorithm("greedy"));
+}
+
+TEST(SpecJsonTest, LineParserPrefixesLineNumbers) {
+  // The JSONL entry point must answer each malformed line with a non-OK
+  // status that names the line — never a crash, never a default.
+  struct Case {
+    const char* line;
+    const char* needle;  // expected fragment of the error message
+  };
+  const Case cases[] = {
+      {"{\"workload\":\"toy\",\"algorithm\":\"qlearning\"}", "qlearning"},
+      {"{\"workload\":\"toy\",\"budget\":-5}", "budget"},
+      {"{\"workload\":\"toy\",\"budget\":\"lots\"}", "budget"},
+      {"{\"workload\":\"toy\"} trailing garbage", "trailing"},
+  };
+  int lineno = 40;
+  for (const Case& c : cases) {
+    RunSpec spec;
+    const Status st = ParseRunSpecJsonLine(c.line, lineno, &spec);
+    ASSERT_FALSE(st.ok()) << c.line;
+    EXPECT_NE(st.message().find("line " + std::to_string(lineno)),
+              std::string::npos)
+        << st.message();
+    EXPECT_NE(st.message().find(c.needle), std::string::npos)
+        << st.message();
+    ++lineno;
+  }
+  RunSpec spec;
+  EXPECT_TRUE(
+      ParseRunSpecJsonLine("{\"workload\":\"toy\"}", 7, &spec).ok());
+}
+
+TEST(SpecJsonTest, RunSpecToJsonRoundTrips) {
+  RunSpec spec;
+  ASSERT_TRUE(ParseRunSpecJson(
+                  "{\"workload\":\"tpch\",\"algorithm\":\"dba-bandits\","
+                  "\"budget\":750,\"k\":4,\"seed\":13,\"early_stop\":true,"
+                  "\"stop_threshold\":0.15,\"stop_window\":25,"
+                  "\"fault_rate\":0.02,\"retry_attempts\":4}",
+                  &spec)
+                  .ok());
+  const std::string json = RunSpecToJson(spec);
+  RunSpec reparsed;
+  ASSERT_TRUE(ParseRunSpecJson(json, &reparsed).ok()) << json;
+  // The round trip is exact: same identity and a fixed point of the
+  // serializer itself.
+  EXPECT_EQ(RunIdentity(reparsed), RunIdentity(spec));
+  EXPECT_EQ(RunSpecToJson(reparsed), json);
+  // Defaults stay implicit: a minimal spec serializes minimally.
+  RunSpec minimal;
+  ASSERT_TRUE(ParseRunSpecJson("{\"workload\":\"toy\"}", &minimal).ok());
+  EXPECT_EQ(RunSpecToJson(minimal),
+            "{\"workload\":\"toy\",\"algorithm\":\"mcts\"}");
+}
+
 }  // namespace
 }  // namespace bati

@@ -9,11 +9,15 @@
 // batch parallelizes without re-parsing workloads per run. Output is one
 // result JSON object per line, in input order — the same object
 // `bati_tune --json` prints for the equivalent flags, regardless of
-// --parallelism (sessions share no mutable state).
+// --parallelism (sessions share no mutable state). Each line is flushed
+// the moment runs 1..K have all finished, so a consumer tailing the
+// output (or a pipe) sees results incrementally, not at drain time.
 
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -118,29 +122,44 @@ int main(int argc, char** argv) {
   SessionManagerOptions options;
   options.parallelism = static_cast<int>(parallelism);
   options.session.capture_result_json = true;
+  // Stream results as they land instead of waiting for the whole batch:
+  // the completion callback buffers out-of-order finishes and prints (and
+  // flushes) the contiguous prefix in input order, so a consumer tailing
+  // the output sees line K as soon as runs 1..K are done.
+  std::mutex print_mu;
+  std::map<uint64_t, std::string> ready;
+  uint64_t next_to_print = 1;
+  int failures = 0;
+  options.on_result = [&](const SessionResult& result) {
+    std::string line;
+    if (!result.status.ok()) {
+      line = "{\"workload\":\"" + JsonEscape(result.spec.workload) +
+             "\",\"error\":\"" + JsonEscape(result.status.message()) +
+             "\"}";
+    } else {
+      line = result.result_json;
+    }
+    std::lock_guard<std::mutex> lock(print_mu);
+    if (!result.status.ok()) ++failures;
+    ready.emplace(result.id, std::move(line));
+    while (!ready.empty() && ready.begin()->first == next_to_print) {
+      out << ready.begin()->second << "\n";
+      out.flush();
+      ready.erase(ready.begin());
+      ++next_to_print;
+    }
+  };
   SessionManager manager(options);
   for (RunSpec& spec : specs) manager.Submit(std::move(spec));
   if (verbose) {
     std::fprintf(stderr, "running %zu sessions at parallelism %lld\n",
                  specs.size(), static_cast<long long>(parallelism));
   }
-  std::vector<SessionResult> results = manager.Drain();
+  const std::vector<SessionResult> results = manager.Drain();
 
-  int failures = 0;
-  for (const SessionResult& result : results) {
-    if (!result.status.ok()) {
-      ++failures;
-      out << "{\"workload\":\"" << JsonEscape(result.spec.workload)
-          << "\",\"error\":\"" << JsonEscape(result.status.message())
-          << "\"}\n";
-      continue;
-    }
-    out << result.result_json << "\n";
-  }
-  out.flush();
   if (verbose) {
     std::fprintf(stderr, "done: %zu ok, %d failed\n",
-                 results.size() - failures, failures);
+                 results.size() - static_cast<size_t>(failures), failures);
   }
   return failures == 0 ? 0 : 1;
 }

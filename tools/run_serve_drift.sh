@@ -1,0 +1,74 @@
+#!/usr/bin/env bash
+# Nightly drift-scenario replay: streams a two-phase tpch workload through
+# bati_serve — a near-uniform query mix, then a hard shift onto queries 3
+# and 5 — and asserts the daemon's acceptance properties end to end:
+#
+#   * the mix shift triggers at least one drift re-tune,
+#   * an injected drop-every-index deploy is rolled back by the safety
+#     guard, never shipped,
+#   * replaying the identical stream produces byte-identical output.
+#
+#   tools/run_serve_drift.sh [build-dir]    # default: build
+
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build="${1:-build}"
+serve="${repo_root}/${build}/tools/bati_serve"
+
+if [[ ! -x "${serve}" ]]; then
+  echo "error: ${serve} not built" >&2
+  exit 2
+fi
+
+workdir="$(mktemp -d)"
+trap 'rm -rf "${workdir}"' EXIT
+
+{
+  printf '%s\n' \
+    '{"type":"register","tenant":"acme","workload":"tpch","algorithm":"vanilla-greedy","budget":120,"tune":true}' \
+    '{"type":"drain"}'
+  for i in $(seq 0 31); do
+    printf '{"type":"query","tenant":"acme","query":%d}\n' "$((i % 22))"
+  done
+  for i in $(seq 0 63); do
+    printf '{"type":"query","tenant":"acme","query":%d}\n' \
+      "$(( (i % 2) == 0 ? 3 : 5 ))"
+  done
+  printf '%s\n' \
+    '{"type":"drain"}' \
+    '{"type":"deploy","tenant":"acme","config":""}'
+} > "${workdir}/events.jsonl"
+
+run_once() {
+  "${serve}" --window 64 --stride 8 --min-events 16 \
+    --drift-threshold 0.4 < "${workdir}/events.jsonl"
+}
+
+echo "==> serve drift: replaying the two-phase stream twice"
+run_once > "${workdir}/out1.jsonl"
+run_once > "${workdir}/out2.jsonl"
+
+cmp "${workdir}/out1.jsonl" "${workdir}/out2.jsonl" || {
+  echo "error: two replays of the same stream diverged" >&2
+  exit 1
+}
+grep -q '"retune":' "${workdir}/out1.jsonl" || {
+  echo "error: the mix shift triggered no drift re-tune" >&2
+  exit 1
+}
+grep -q '"origin":"drift"' "${workdir}/out1.jsonl" || {
+  echo "error: no drift-origin tune result was applied" >&2
+  exit 1
+}
+grep -q '"action":"shipped"' "${workdir}/out1.jsonl" || {
+  echo "error: no recommendation shipped" >&2
+  exit 1
+}
+tail -1 "${workdir}/out1.jsonl" | grep -q '"action":"safety-rollback"' || {
+  echo "error: the regressing deploy was not rolled back:" >&2
+  tail -1 "${workdir}/out1.jsonl" >&2
+  exit 1
+}
+
+echo "serve drift: OK"
