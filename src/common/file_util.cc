@@ -5,11 +5,34 @@
 #include <cstring>
 
 #if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
 #include <unistd.h>
 #define BATI_HAVE_FSYNC 1
 #endif
 
 namespace bati {
+
+namespace {
+
+#ifdef BATI_HAVE_FSYNC
+/// Syncs the directory containing `path`, making the rename itself — not
+/// just the file's bytes — durable. Without this, a crash immediately after
+/// rename(2) can lose the directory entry: the data blocks are on disk but
+/// the name still points at the old file (or nothing).
+bool SyncParentDir(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash == 0 ? 1 : slash);
+  const int fd = open(dir.c_str(), O_RDONLY);
+  if (fd < 0) return false;
+  const bool ok = fsync(fd) == 0;
+  close(fd);
+  return ok;
+}
+#endif
+
+}  // namespace
 
 Status AtomicWriteFile(const std::string& path, const std::string& contents) {
   const std::string tmp = path + ".tmp";
@@ -38,6 +61,11 @@ Status AtomicWriteFile(const std::string& path, const std::string& contents) {
     return Status::Internal("rename failed: " + tmp + " -> " + path + " (" +
                             std::strerror(errno) + ")");
   }
+#ifdef BATI_HAVE_FSYNC
+  if (!SyncParentDir(path)) {
+    return Status::Internal("directory fsync failed after rename: " + path);
+  }
+#endif
   return Status::Ok();
 }
 

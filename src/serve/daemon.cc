@@ -108,7 +108,12 @@ ServeDaemon::ServeDaemon(const ServeOptions& options) : options_(options) {
   manager_ = std::make_unique<SessionManager>(manager_options);
 }
 
-ServeDaemon::~ServeDaemon() = default;
+ServeDaemon::~ServeDaemon() {
+  // Join the manager's workers before results_mu_/results_cv_ are
+  // destroyed: the on_result callback notifies results_cv_, and the
+  // members are declared in the opposite order.
+  manager_.reset();
+}
 
 Counter* ServeDaemon::TenantCounter(const std::string& tenant,
                                     const char* what) {

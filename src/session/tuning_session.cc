@@ -165,9 +165,14 @@ const RunOutcome& TuningSession::Run() {
   if (!spec.resume_path.empty()) {
     const Status st = service.ResumeFromFile(spec.resume_path);
     if (!st.ok()) {
-      std::fprintf(stderr, "resume failed: %s\n", st.ToString().c_str());
+      // A rejected checkpoint (truncated, checksum mismatch, identity or
+      // shape mismatch) must not silently replay a partial prefix — and a
+      // fresh start converges on the identical result anyway, so falling
+      // back is always safe. Loud, then continue un-resumed.
+      std::fprintf(stderr,
+                   "bati: checkpoint %s rejected, starting fresh: %s\n",
+                   spec.resume_path.c_str(), st.ToString().c_str());
     }
-    BATI_CHECK(st.ok() && "resume from checkpoint failed");
   }
   std::unique_ptr<Tuner> tuner = MakeTuner(spec.algorithm, ctx, spec.seed);
   TuningResult result = tuner->Tune(service);
@@ -213,7 +218,8 @@ const RunOutcome& TuningSession::Run() {
     result_json_ = ResultToJson(service, bundle.workload, tuner->name(),
                                 result.best_config, outcome.true_improvement,
                                 registry != nullptr ? &outcome.metrics
-                                                    : nullptr);
+                                                    : nullptr,
+                                options_.canonical_result_json);
   }
   if (options_.capture_layout_csv) {
     layout_csv_ = LayoutToCsv(service, bundle.workload);

@@ -49,7 +49,12 @@ struct RunSpec {
   std::string checkpoint_path;
   /// When non-empty, the run resumes from this checkpoint file (the tuner
   /// replays deterministically from its seed; the engine answers the
-  /// journaled prefix instead of re-invoking the optimizer).
+  /// journaled prefix instead of re-invoking the optimizer). A checkpoint
+  /// that fails validation — truncated, garbled (checksum mismatch), or
+  /// written by a different run identity — is rejected with a loud stderr
+  /// line and the run falls back to a fresh start; since replay converges
+  /// on the identical result, the fallback only costs budget re-spend,
+  /// never correctness.
   std::string resume_path;
   /// When true, the run records engine metrics (histograms, counters) and
   /// the outcome carries a MetricsSnapshot. Off by default: an unobserved
@@ -120,6 +125,12 @@ struct SessionOptions {
   /// Capture ResultToJson() of the finished run (the exact JSON line
   /// bati_tune --json prints) into TuningSession::result_json().
   bool capture_result_json = false;
+  /// Capture the canonical form of the result line: wall-clock noise
+  /// (engine_stats.executor_wall_seconds) is zeroed, so the line is a pure
+  /// function of the spec — the form the fleet byte-compares across crashed
+  /// and resumed attempts (`bati_batch --canonical`, always-on in
+  /// `bati_fleet`).
+  bool canonical_result_json = false;
   /// Capture LayoutToCsv() of the finished run (the full what-if call
   /// trace) into TuningSession::layout_csv().
   bool capture_layout_csv = false;

@@ -6,6 +6,7 @@
 #include <cstring>
 #include <sstream>
 
+#include "common/crc32.h"
 #include "common/file_util.h"
 
 namespace bati {
@@ -25,7 +26,14 @@ bool ParseHexDouble(const std::string& token, double* out) {
 
 namespace {
 
-constexpr char kMagic[] = "bati-checkpoint v1";
+// v2 added the `checksum <crc32> <bytes>` line right after the magic: the
+// whole body (everything following that line, "identity" through "end") is
+// length- and CRC-guarded, so a truncated or bit-flipped checkpoint is
+// rejected with a clear Status instead of silently replaying a partial
+// journal prefix. v1 files (no checksum) are rejected as unsupported; a
+// resuming caller falls back to a fresh start.
+constexpr char kMagic[] = "bati-checkpoint v2";
+constexpr char kMagicV1[] = "bati-checkpoint v1";
 
 bool ParseI64(const std::string& token, int64_t* out) {
   if (token.empty()) return false;
@@ -61,9 +69,9 @@ Status Malformed(const char* what) {
 
 std::string SerializeCheckpoint(const EngineCheckpoint& ckpt) {
   std::string out;
-  out.reserve(128 + ckpt.events.size() * 48);
-  out.append(kMagic);
-  out.push_back('\n');
+  out.reserve(160 + ckpt.events.size() * 48);
+  // The guarded body is assembled first; the header's checksum line is a
+  // pure function of its bytes.
   // The identity may contain spaces; it owns the rest of its line.
   out.append("identity ");
   out.append(ckpt.identity);
@@ -77,8 +85,9 @@ std::string SerializeCheckpoint(const EngineCheckpoint& ckpt) {
   std::snprintf(buf, sizeof(buf), "round %d\n", ckpt.round);
   out.append(buf);
   std::snprintf(buf, sizeof(buf),
-                "counters %" PRId64 " %" PRId64 " %" PRId64 "\n",
-                ckpt.calls_made, ckpt.cache_hits, ckpt.degraded_cells);
+                "counters %" PRId64 " %" PRId64 " %" PRId64 " %" PRId64 "\n",
+                ckpt.calls_made, ckpt.cache_hits, ckpt.degraded_cells,
+                ckpt.batched_cells);
   out.append(buf);
   out.append("sim ");
   AppendHexDouble(&out, ckpt.sim_seconds);
@@ -114,15 +123,51 @@ std::string SerializeCheckpoint(const EngineCheckpoint& ckpt) {
     out.push_back('\n');
   }
   out.append("end\n");
-  return out;
+  char header[96];
+  std::snprintf(header, sizeof(header), "%s\nchecksum %s %zu\n", kMagic,
+                Crc32Hex(Crc32(out)).c_str(), out.size());
+  return header + out;
 }
 
 StatusOr<EngineCheckpoint> ParseCheckpoint(const std::string& text) {
-  std::istringstream in(text);
-  std::string line;
-  if (!std::getline(in, line) || line != kMagic) {
+  // Header: magic, then the checksum line guarding everything after it.
+  const size_t magic_end = text.find('\n');
+  if (magic_end == std::string::npos) {
     return Malformed("missing or unsupported header");
   }
+  const std::string magic = text.substr(0, magic_end);
+  if (magic != kMagic) {
+    if (magic == kMagicV1) {
+      return Malformed(
+          "unsupported version v1 (no checksum); re-run to write a fresh v2 "
+          "checkpoint");
+    }
+    return Malformed("missing or unsupported header");
+  }
+  const size_t checksum_end = text.find('\n', magic_end + 1);
+  if (checksum_end == std::string::npos) {
+    return Malformed("truncated before checksum line");
+  }
+  {
+    const std::vector<std::string> toks = SplitTokens(
+        text.substr(magic_end + 1, checksum_end - magic_end - 1));
+    uint32_t declared_crc = 0;
+    int64_t declared_size = 0;
+    if (toks.size() != 3 || toks[0] != "checksum" ||
+        !ParseCrc32Hex(toks[1], &declared_crc) ||
+        !ParseI64(toks[2], &declared_size) || declared_size < 0) {
+      return Malformed("bad checksum line");
+    }
+    const size_t body_size = text.size() - (checksum_end + 1);
+    if (static_cast<int64_t>(body_size) != declared_size) {
+      return Malformed("body size mismatch (truncated or padded file)");
+    }
+    if (Crc32(text.data() + checksum_end + 1, body_size) != declared_crc) {
+      return Malformed("checksum mismatch (corrupted file)");
+    }
+  }
+  std::istringstream in(text.substr(checksum_end + 1));
+  std::string line;
   EngineCheckpoint ckpt;
   if (!std::getline(in, line) || line.rfind("identity ", 0) != 0) {
     return Malformed("missing identity line");
@@ -151,11 +196,13 @@ StatusOr<EngineCheckpoint> ParseCheckpoint(const std::string& text) {
       ckpt.round < 1) {
     return Malformed("bad round line");
   }
-  if (!next_tokens("counters", 3, &toks) ||
+  if (!next_tokens("counters", 4, &toks) ||
       !ParseI64(toks[1], &ckpt.calls_made) ||
       !ParseI64(toks[2], &ckpt.cache_hits) ||
-      !ParseI64(toks[3], &ckpt.degraded_cells) || ckpt.calls_made < 0 ||
-      ckpt.cache_hits < 0 || ckpt.degraded_cells < 0) {
+      !ParseI64(toks[3], &ckpt.degraded_cells) ||
+      !ParseI64(toks[4], &ckpt.batched_cells) || ckpt.calls_made < 0 ||
+      ckpt.cache_hits < 0 || ckpt.degraded_cells < 0 ||
+      ckpt.batched_cells < 0) {
     return Malformed("bad counters line");
   }
   if (!next_tokens("sim", 1, &toks) ||

@@ -46,6 +46,11 @@ struct EngineCheckpoint {
   int64_t calls_made = 0;
   int64_t cache_hits = 0;
   int64_t degraded_cells = 0;
+  /// Cells that went through live batch execution up to the capture point.
+  /// Replay answers journaled cells without the executor, so resume must
+  /// restore this directly for a resumed run's stats (and result line) to
+  /// match the clean run's byte for byte.
+  int64_t batched_cells = 0;
   double sim_seconds = 0.0;
   // Fault-tolerance counters (all zero for fault-free runs). Replay never
   // consults the fault injector, so resume restores these directly.
@@ -70,14 +75,19 @@ struct EngineCheckpoint {
 void AppendHexDouble(std::string* out, double value);
 bool ParseHexDouble(const std::string& token, double* out);
 
-/// Serializes a checkpoint to its line-based text form. Costs and simulated
-/// seconds are written as hexadecimal floats, so parsing round-trips every
-/// double bit-exactly — a requirement for bit-identical resume.
+/// Serializes a checkpoint to its line-based text form (format v2). Costs
+/// and simulated seconds are written as hexadecimal floats, so parsing
+/// round-trips every double bit-exactly — a requirement for bit-identical
+/// resume. The header carries a `checksum <crc32> <bytes>` line covering
+/// the whole body, so truncation or bit corruption anywhere in the file is
+/// detected up front.
 std::string SerializeCheckpoint(const EngineCheckpoint& ckpt);
 
-/// Parses SerializeCheckpoint() output, validating internal consistency
-/// (event counts against the header counters, the simulated-seconds sum,
-/// position ordering and ranges).
+/// Parses SerializeCheckpoint() output, validating the version + checksum
+/// header first and then internal consistency (event counts against the
+/// header counters, the simulated-seconds sum, position ordering and
+/// ranges). Any truncated, garbled, or tampered input yields a clear
+/// InvalidArgument — never a silently shortened journal.
 StatusOr<EngineCheckpoint> ParseCheckpoint(const std::string& text);
 
 /// Writes the checkpoint to `path` through the shared write-temp-then-

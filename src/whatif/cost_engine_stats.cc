@@ -22,6 +22,12 @@ std::string CostEngineStats::ToString() const {
       static_cast<long long>(index_pruned_entries), index_shards,
       executor_wall_seconds, simulated_whatif_seconds);
   std::string out = buf;
+  if (replayed_calls > 0) {
+    std::snprintf(buf, sizeof(buf),
+                  ", resumed: %lld budget units recovered from checkpoint",
+                  static_cast<long long>(replayed_calls));
+    out += buf;
+  }
   if (degraded_cells > 0 || fault_transient_errors > 0 ||
       fault_sticky_failures > 0 || fault_timeouts > 0 || retry_attempts > 0) {
     std::snprintf(buf, sizeof(buf),

@@ -42,6 +42,15 @@ struct CostEngineStats {
   /// Simulated server-side what-if seconds (paper Figure 2 accounting).
   double simulated_whatif_seconds = 0.0;
 
+  // ---- Crash recovery (zero unless the run resumed from a checkpoint).
+  /// Budget units recovered by resuming: charged what-if calls answered
+  /// from the checkpoint journal instead of re-spending the optimizer.
+  /// Deliberately absent from ToJson(): a resumed run's result line must
+  /// stay byte-identical to the uninterrupted run's (the fleet's recovery
+  /// property), so recovery accounting lives in ToString(), the fleet
+  /// coordinator's summary, and programmatic consumers only.
+  int64_t replayed_calls = 0;
+
   // ---- Fault tolerance (all zero when fault injection is off). ----
   /// Cells that exhausted their retries and were answered with the derived
   /// cost d(q, C) instead of a what-if evaluation (never charged).

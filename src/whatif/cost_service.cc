@@ -576,6 +576,11 @@ EngineCheckpoint CostService::MakeCheckpoint() const {
   ckpt.calls_made = meter_.calls_made();
   ckpt.cache_hits = meter_.cache_hits();
   ckpt.degraded_cells = degraded_cells_;
+  // Replay answers journaled cells without the executor, so a resumed run's
+  // live batch count excludes everything before the resume point; carry the
+  // header's count forward so checkpoint chains stay cumulative.
+  ckpt.batched_cells =
+      executor_.batched_cells() + (resumed_ ? resume_header_.batched_cells : 0);
   ckpt.sim_seconds = executor_.simulated_seconds();
   ckpt.fault_transient = executor_.transient_faults();
   ckpt.fault_sticky = executor_.sticky_faults();
@@ -805,10 +810,12 @@ CostEngineStats CostService::EngineStats() const {
   CostEngineStats stats;
   stats.what_if_calls = meter_.calls_made();
   stats.cache_hits = meter_.cache_hits();
-  stats.batched_cells = executor_.batched_cells();
+  stats.batched_cells =
+      executor_.batched_cells() + (resumed_ ? resume_header_.batched_cells : 0);
   stats.executor_wall_seconds = executor_.wall_seconds();
   stats.simulated_whatif_seconds = executor_.simulated_seconds();
   stats.degraded_cells = degraded_cells_;
+  stats.replayed_calls = resumed_ ? resume_header_.calls_made : 0;
   stats.fault_transient_errors = executor_.transient_faults();
   stats.fault_sticky_failures = executor_.sticky_faults();
   stats.fault_timeouts = executor_.timeout_faults();

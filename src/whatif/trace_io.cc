@@ -44,7 +44,7 @@ std::string ResultToJson(const CostService& service,
                          const Workload& workload,
                          const std::string& algorithm, const Config& config,
                          double true_improvement,
-                         const MetricsSnapshot* metrics) {
+                         const MetricsSnapshot* metrics, bool canonical) {
   char buf[64];
   std::string out = "{";
   out += "\"workload\":\"" + workload.name + "\",";
@@ -65,7 +65,9 @@ std::string ResultToJson(const CostService& service,
     first = false;
   }
   out += "],";
-  out += "\"engine_stats\":" + service.EngineStats().ToJson();
+  CostEngineStats stats = service.EngineStats();
+  if (canonical) stats.executor_wall_seconds = 0.0;
+  out += "\"engine_stats\":" + stats.ToJson();
   if (metrics != nullptr) {
     out += ",\"metrics\":" + metrics->ToJson();
   }

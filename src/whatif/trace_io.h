@@ -28,10 +28,16 @@ Status WriteLayoutCsv(const CostService& service, const Workload& workload,
 ///  "engine_stats":{...CostEngineStats::ToJson()...}}.
 /// With a non-null `metrics` the object additionally carries
 /// "metrics":{...MetricsSnapshot::ToJson()...}.
+/// With `canonical` set, wall-clock noise (engine_stats.executor_wall_seconds
+/// — the only nondeterministic field of the object) is zeroed, making the
+/// line a pure function of the run spec. The fleet's byte-identity property
+/// (`bati_fleet` output == sequential `bati_batch --canonical` output, no
+/// matter which workers died) is defined over this form.
 std::string ResultToJson(const CostService& service, const Workload& workload,
                          const std::string& algorithm, const Config& config,
                          double true_improvement,
-                         const MetricsSnapshot* metrics = nullptr);
+                         const MetricsSnapshot* metrics = nullptr,
+                         bool canonical = false);
 
 }  // namespace bati
 

@@ -31,6 +31,7 @@ EngineCheckpoint SampleCheckpoint() {
   ckpt.calls_made = 2;
   ckpt.cache_hits = 5;
   ckpt.degraded_cells = 1;
+  ckpt.batched_cells = 14;
   ckpt.fault_transient = 6;
   ckpt.fault_sticky = 2;
   ckpt.fault_timeouts = 1;
@@ -75,6 +76,7 @@ TEST(CheckpointFormat, RoundTripsBitExactly) {
   EXPECT_EQ(parsed->calls_made, ckpt.calls_made);
   EXPECT_EQ(parsed->cache_hits, ckpt.cache_hits);
   EXPECT_EQ(parsed->degraded_cells, ckpt.degraded_cells);
+  EXPECT_EQ(parsed->batched_cells, ckpt.batched_cells);
   EXPECT_EQ(parsed->sim_seconds, ckpt.sim_seconds);  // exact, not near
   EXPECT_EQ(parsed->fault_transient, ckpt.fault_transient);
   EXPECT_EQ(parsed->fault_sticky, ckpt.fault_sticky);
@@ -125,6 +127,35 @@ TEST(CheckpointFormat, RejectsCorruption) {
     bad.events[1].round = 0;
     EXPECT_FALSE(ParseCheckpoint(SerializeCheckpoint(bad)).ok());
   }
+}
+
+TEST(CheckpointFormat, RejectsEveryTruncationAndBitFlip) {
+  // The v2 header (magic + body checksum + body length) turns arbitrary
+  // file damage into a clean rejection: every strict prefix and every
+  // single-bit corruption must fail to parse — never crash, never yield a
+  // silently different checkpoint.
+  const std::string good = SerializeCheckpoint(SampleCheckpoint());
+  ASSERT_TRUE(ParseCheckpoint(good).ok());
+  for (size_t len = 0; len < good.size(); ++len) {
+    EXPECT_FALSE(ParseCheckpoint(good.substr(0, len)).ok())
+        << "prefix of length " << len << " accepted";
+  }
+  for (size_t i = 0; i < good.size(); ++i) {
+    std::string flipped = good;
+    flipped[i] ^= 0x01;
+    EXPECT_FALSE(ParseCheckpoint(flipped).ok())
+        << "bit flip at byte " << i << " accepted";
+  }
+}
+
+TEST(CheckpointFormat, RejectsV1FilesWithClearError) {
+  // A pre-checksum checkpoint is not silently trusted; the error names
+  // the version so the operator knows a fresh run rewrites it.
+  const StatusOr<EngineCheckpoint> parsed =
+      ParseCheckpoint("bati-checkpoint v1\nidentity x\nend\n");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().message().find("v1"), std::string::npos)
+      << parsed.status().ToString();
 }
 
 TEST(CheckpointFormat, AtomicWriteLeavesNoTemporary) {
@@ -369,6 +400,55 @@ TEST(Resume, HarnessCheckpointFileRoundTrip) {
   EXPECT_EQ(full.config_size, resumed.config_size);
   EXPECT_EQ(full.whatif_seconds, resumed.whatif_seconds);
   EXPECT_EQ(full.degraded_cells, resumed.degraded_cells);
+  std::remove(path.c_str());
+}
+
+TEST(Resume, CorruptResumeFileFallsBackToFreshRun) {
+  // A truncated checkpoint must not crash the run or change its outcome:
+  // the engine rejects the file (clean Status, loud stderr) and the
+  // session starts fresh, converging on the identical result.
+  const WorkloadBundle& bundle = LoadBundle("toy");
+  const std::string path =
+      testing::TempDir() + "/bati_truncated_resume.ckpt";
+  RunSpec spec;
+  spec.workload = "toy";
+  spec.algorithm = "two-phase-greedy";
+  spec.budget = 40;
+  spec.max_indexes = 3;
+  spec.seed = 7;
+  spec.checkpoint_path = path;
+  const RunOutcome full = RunOnce(bundle, spec);
+
+  std::string good;
+  {
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    char chunk[4096];
+    size_t n = 0;
+    while ((n = std::fread(chunk, 1, sizeof(chunk), f)) > 0) {
+      good.append(chunk, n);
+    }
+    std::fclose(f);
+  }
+  ASSERT_FALSE(good.empty());
+
+  RunSpec resume = spec;
+  resume.checkpoint_path.clear();
+  resume.resume_path = path;
+  for (const size_t len : {size_t{0}, good.size() / 4, good.size() / 2,
+                           3 * good.size() / 4, good.size() - 1}) {
+    SCOPED_TRACE("truncated to " + std::to_string(len) + "/" +
+                 std::to_string(good.size()) + " bytes");
+    ASSERT_TRUE(AtomicWriteFile(path, good.substr(0, len)).ok());
+    const RunOutcome fallback = RunOnce(bundle, resume);
+    EXPECT_EQ(full.true_improvement, fallback.true_improvement);
+    EXPECT_EQ(full.derived_improvement, fallback.derived_improvement);
+    EXPECT_EQ(full.calls_used, fallback.calls_used);
+    EXPECT_EQ(full.config_size, fallback.config_size);
+    EXPECT_EQ(full.whatif_seconds, fallback.whatif_seconds);
+    // Nothing was recovered: the run really did start over.
+    EXPECT_EQ(fallback.engine.replayed_calls, 0);
+  }
   std::remove(path.c_str());
 }
 

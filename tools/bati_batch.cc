@@ -13,6 +13,7 @@
 // the moment runs 1..K have all finished, so a consumer tailing the
 // output (or a pipe) sees results incrementally, not at drain time.
 
+#include <csignal>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -34,6 +35,9 @@ void Usage(const char* argv0) {
       "  --specs FILE        JSONL run specs, one per line ('-' = stdin)\n"
       "  --out FILE          write result JSONL here (default: stdout)\n"
       "  --parallelism N     concurrent sessions (default 1)\n"
+      "  --canonical         scrub wall-clock noise from result lines so\n"
+      "                      the output is a pure function of the specs\n"
+      "                      (what bati_fleet byte-compares against)\n"
       "  --verbose           progress lines on stderr\n"
       "each output line is the bati_tune --json object for the matching\n"
       "input line; a spec whose workload is unknown yields an error object\n"
@@ -57,6 +61,7 @@ int main(int argc, char** argv) {
   std::string specs_path;
   std::string out_path;
   int64_t parallelism = 1;
+  bool canonical = false;
   bool verbose = false;
   // The same strict flag table as bati_tune/bati_export (common/flags.h):
   // unknown or malformed flags print usage and exit 2.
@@ -64,6 +69,7 @@ int main(int argc, char** argv) {
   parser.AddString("specs", &specs_path);
   parser.AddString("out", &out_path);
   parser.AddInt64("parallelism", &parallelism, /*min=*/1);
+  parser.AddBool("canonical", &canonical);
   parser.AddBool("verbose", &verbose);
   if (!parser.Parse(argc, argv)) {
     Usage(argv[0]);
@@ -119,9 +125,14 @@ int main(int argc, char** argv) {
   }
   std::ostream& out = out_path.empty() ? std::cout : out_file;
 
+  // A consumer closing the output pipe early must surface as a write
+  // failure and a clean non-zero exit, not a SIGPIPE kill mid-batch.
+  std::signal(SIGPIPE, SIG_IGN);
+
   SessionManagerOptions options;
   options.parallelism = static_cast<int>(parallelism);
   options.session.capture_result_json = true;
+  options.session.canonical_result_json = canonical;
   // Stream results as they land instead of waiting for the whole batch:
   // the completion callback buffers out-of-order finishes and prints (and
   // flushes) the contiguous prefix in input order, so a consumer tailing
@@ -130,6 +141,7 @@ int main(int argc, char** argv) {
   std::map<uint64_t, std::string> ready;
   uint64_t next_to_print = 1;
   int failures = 0;
+  bool write_failed = false;
   options.on_result = [&](const SessionResult& result) {
     std::string line;
     if (!result.status.ok()) {
@@ -145,6 +157,7 @@ int main(int argc, char** argv) {
     while (!ready.empty() && ready.begin()->first == next_to_print) {
       out << ready.begin()->second << "\n";
       out.flush();
+      if (!out.good()) write_failed = true;
       ready.erase(ready.begin());
       ++next_to_print;
     }
@@ -160,6 +173,10 @@ int main(int argc, char** argv) {
   if (verbose) {
     std::fprintf(stderr, "done: %zu ok, %d failed\n",
                  results.size() - static_cast<size_t>(failures), failures);
+  }
+  if (write_failed) {
+    std::fprintf(stderr, "output write failed (consumer gone?)\n");
+    return 1;
   }
   return failures == 0 ? 0 : 1;
 }

@@ -1,0 +1,224 @@
+// bati_fleet: run a batch of tuning sessions across a crash-tolerant fleet
+// of worker processes.
+//
+//   bati_fleet --specs runs.jsonl --workers 4 --out results.jsonl
+//
+// Same input and output vocabulary as bati_batch (JSONL specs in, one
+// result object per line out, in input order), but each session runs in a
+// forked worker process under a lease: a worker that crashes, stalls, or
+// babbles is killed and its task re-dispatched — resuming from the task's
+// round-boundary checkpoint when one survives — until the task completes
+// or exhausts its attempt budget. Output lines are byte-identical to
+// `bati_batch --canonical` regardless of worker count, crashes, or
+// speculation; see docs/FLEET.md for the determinism argument.
+//
+// SIGTERM/SIGINT persist completed results to --state (when given) and
+// exit 0; a restart with --resume re-emits the full output, re-running
+// only unfinished tasks. --chaos-* flags enable the deterministic fault
+// injector used by the chaos tests.
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/flags.h"
+#include "fleet/coordinator.h"
+#include "session/spec_json.h"
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+void HandleStop(int) { g_stop.store(true); }
+
+void Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s --specs FILE [options]\n"
+      "  --specs FILE          JSONL run specs, one per line ('-' = stdin)\n"
+      "  --out FILE            write result JSONL here (default: stdout)\n"
+      "  --workers N           worker processes (default 2)\n"
+      "  --window N            max in-flight tickets past the emit point\n"
+      "                        (default 4*workers)\n"
+      "  --state FILE          persist completed results here; SIGTERM\n"
+      "                        saves and exits 0\n"
+      "  --resume              load --state and skip completed tasks\n"
+      "  --state-dir DIR       per-task checkpoint directory (default:\n"
+      "                        --state + '.d', else a fresh temp dir)\n"
+      "  --lease-timeout-ms N  kill a worker silent this long (default "
+      "2000)\n"
+      "  --heartbeat-ms N      worker heartbeat interval (default 100)\n"
+      "  --straggler-ms N      speculatively re-dispatch a task running\n"
+      "                        this long; 0 disables (default 0)\n"
+      "  --max-attempts N      per-task attempt budget (default 6)\n"
+      "  --chaos-seed N        fault-injection seed (default 1)\n"
+      "  --chaos-kill R        per-attempt worker crash rate [0,1]\n"
+      "  --chaos-stall R       per-attempt worker stall rate [0,1]\n"
+      "  --chaos-garble R      per-attempt garbled-frame rate [0,1]\n"
+      "  --verbose             fleet events and summary on stderr\n"
+      "output lines are byte-identical to `bati_batch --canonical`;\n"
+      "exit 0 on success (or clean interrupt), 1 if any task failed,\n"
+      "2 on bad input\n",
+      argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace bati;
+  std::string specs_path, out_path;
+  FleetOptions options;
+  int64_t workers = 2, window = 0, lease_timeout_ms = 2000;
+  int64_t heartbeat_ms = 100, straggler_ms = 0, max_attempts = 6;
+  uint64_t chaos_seed = 1;
+  FlagParser parser;
+  parser.AddString("specs", &specs_path);
+  parser.AddString("out", &out_path);
+  parser.AddInt64("workers", &workers, /*min=*/1);
+  parser.AddInt64("window", &window, /*min=*/0);
+  parser.AddString("state", &options.state_path);
+  parser.AddBool("resume", &options.resume);
+  parser.AddString("state-dir", &options.state_dir);
+  parser.AddInt64("lease-timeout-ms", &lease_timeout_ms, /*min=*/1);
+  parser.AddInt64("heartbeat-ms", &heartbeat_ms, /*min=*/1);
+  parser.AddInt64("straggler-ms", &straggler_ms, /*min=*/0);
+  parser.AddInt64("max-attempts", &max_attempts, /*min=*/1);
+  parser.AddUint64("chaos-seed", &chaos_seed);
+  parser.AddRate("chaos-kill", &options.chaos.kill_rate);
+  parser.AddRate("chaos-stall", &options.chaos.stall_rate);
+  parser.AddRate("chaos-garble", &options.chaos.garble_rate);
+  parser.AddBool("verbose", &options.verbose);
+  if (!parser.Parse(argc, argv)) {
+    Usage(argv[0]);
+    return 2;
+  }
+  if (specs_path.empty()) {
+    std::fprintf(stderr, "--specs is required\n");
+    Usage(argv[0]);
+    return 2;
+  }
+  options.workers = static_cast<int>(workers);
+  options.window = static_cast<int>(window);
+  options.lease_timeout_ms = static_cast<int>(lease_timeout_ms);
+  options.heartbeat_ms = static_cast<int>(heartbeat_ms);
+  options.straggler_ms = static_cast<int>(straggler_ms);
+  options.max_attempts = static_cast<int>(max_attempts);
+  if (options.chaos.kill_rate > 0.0 || options.chaos.stall_rate > 0.0 ||
+      options.chaos.garble_rate > 0.0) {
+    options.chaos.enabled = true;
+    options.chaos.seed = chaos_seed;
+  }
+  if (options.resume && options.state_path.empty()) {
+    std::fprintf(stderr, "--resume requires --state\n");
+    return 2;
+  }
+
+  // Parse and validate the whole batch up front, exactly like bati_batch.
+  std::ifstream spec_file;
+  if (specs_path != "-") {
+    spec_file.open(specs_path);
+    if (!spec_file) {
+      std::fprintf(stderr, "cannot read %s\n", specs_path.c_str());
+      return 2;
+    }
+  }
+  std::istream& in = specs_path == "-" ? std::cin : spec_file;
+  std::vector<RunSpec> specs;
+  std::string line;
+  for (int lineno = 1; std::getline(in, line); ++lineno) {
+    bool blank = true;
+    for (char c : line) {
+      if (c != ' ' && c != '\t' && c != '\r') blank = false;
+    }
+    if (blank) continue;
+    RunSpec spec;
+    const Status status = ParseRunSpecJson(line, &spec);
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s line %d: %s\n", specs_path.c_str(), lineno,
+                   status.message().c_str());
+      return 2;
+    }
+    specs.push_back(std::move(spec));
+  }
+  if (specs.empty()) {
+    std::fprintf(stderr, "no specs in %s\n", specs_path.c_str());
+    return 2;
+  }
+
+  // The per-task checkpoint directory: tied to --state so a restarted
+  // coordinator finds the same checkpoints, else a fresh temp directory
+  // (crash recovery then only spans this process's lifetime).
+  bool temp_state_dir = false;
+  if (options.state_dir.empty()) {
+    if (!options.state_path.empty()) {
+      options.state_dir = options.state_path + ".d";
+    } else {
+      char tmpl[] = "/tmp/bati_fleet.XXXXXX";
+      if (mkdtemp(tmpl) == nullptr) {
+        std::fprintf(stderr, "cannot create temp state dir\n");
+        return 2;
+      }
+      options.state_dir = tmpl;
+      temp_state_dir = true;
+    }
+  }
+  if (mkdir(options.state_dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    std::fprintf(stderr, "cannot create %s\n", options.state_dir.c_str());
+    return 2;
+  }
+
+  std::FILE* out = stdout;
+  if (!out_path.empty()) {
+    out = std::fopen(out_path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+      return 2;
+    }
+  }
+
+  // A dying output consumer must surface as a clean error path (emit
+  // returns false, the fleet aborts with non-zero), not a SIGPIPE kill.
+  std::signal(SIGPIPE, SIG_IGN);
+  struct sigaction sa = {};
+  sa.sa_handler = HandleStop;
+  sigemptyset(&sa.sa_mask);
+  // No SA_RESTART: the signal must interrupt poll(2) so the coordinator
+  // notices the stop flag promptly.
+  sigaction(SIGTERM, &sa, nullptr);
+  sigaction(SIGINT, &sa, nullptr);
+
+  const auto emit = [out](const std::string& result_line) {
+    if (std::fwrite(result_line.data(), 1, result_line.size(), out) !=
+        result_line.size()) {
+      return false;
+    }
+    if (std::fputc('\n', out) == EOF) return false;
+    return std::fflush(out) == 0;
+  };
+
+  FleetStats stats;
+  const Status status = RunFleet(options, specs, emit, &g_stop, &stats);
+  if (out != stdout) std::fclose(out);
+  if (temp_state_dir) {
+    // Best-effort: completed runs delete their checkpoints already.
+    rmdir(options.state_dir.c_str());
+  }
+  if (options.verbose || stats.interrupted) {
+    std::fprintf(stderr, "bati_fleet: %s\n", stats.ToString().c_str());
+  }
+  if (!status.ok()) {
+    std::fprintf(stderr, "bati_fleet: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  if (stats.interrupted) return 0;
+  return stats.failed == 0 ? 0 : 1;
+}

@@ -115,10 +115,15 @@ void Usage(const char* argv0) {
       argv0);
 }
 
-void EmitChunk(const std::string& chunk) {
-  if (chunk.empty()) return;
-  std::fwrite(chunk.data(), 1, chunk.size(), stdout);
-  std::fflush(stdout);
+/// True while stdout still accepts our answer lines. A consumer closing
+/// the pipe flips this (SIGPIPE is ignored, so fwrite fails with EPIPE
+/// instead of killing the daemon mid-checkpoint).
+bool EmitChunk(const std::string& chunk) {
+  if (chunk.empty()) return true;
+  if (std::fwrite(chunk.data(), 1, chunk.size(), stdout) != chunk.size()) {
+    return false;
+  }
+  return std::fflush(stdout) == 0;
 }
 
 }  // namespace
@@ -180,6 +185,10 @@ int main(int argc, char** argv) {
     }
   }
 
+  // A consumer closing stdout must become a write error we can turn into
+  // a clean drain + non-zero exit, not a SIGPIPE kill.
+  std::signal(SIGPIPE, SIG_IGN);
+
   // Graceful shutdown: no SA_RESTART, so a blocked read returns EINTR and
   // the loop sees the stop flag right away.
   struct sigaction action = {};
@@ -201,6 +210,7 @@ int main(int argc, char** argv) {
   std::string line;
   std::string out;
   bool stopped = false;
+  bool write_failed = false;
   for (;;) {
     const LineReader::Result result = reader.Next(&line);
     if (result == LineReader::Result::kStop) {
@@ -210,7 +220,13 @@ int main(int argc, char** argv) {
     if (result == LineReader::Result::kEof) break;
     out.clear();
     daemon.ProcessLine(line, &out);
-    EmitChunk(out);
+    if (!EmitChunk(out)) {
+      // Output is gone; drain through the checkpoint path so no accepted
+      // work is lost, then report the failure.
+      write_failed = true;
+      stopped = true;
+      break;
+    }
   }
 
   int exit_code = 0;
@@ -224,7 +240,11 @@ int main(int argc, char** argv) {
   } else {
     out.clear();
     daemon.Finish(&out);
-    EmitChunk(out);
+    if (!EmitChunk(out)) write_failed = true;
+  }
+  if (write_failed) {
+    std::fprintf(stderr, "output write failed (consumer gone?)\n");
+    exit_code = 1;
   }
 
   if (!metrics_path.empty()) {
