@@ -1,0 +1,85 @@
+#include "exec/correlation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+
+#include "common/macros.h"
+
+namespace bati::exec {
+
+std::vector<double> FractionalRanks(const std::vector<double>& values) {
+  const size_t n = values.size();
+  std::vector<size_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return values[a] < values[b];
+  });
+  std::vector<double> ranks(n, 0.0);
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j + 1 < n && values[order[j + 1]] == values[order[i]]) ++j;
+    // Positions i..j (0-based) are tied: all get the mean 1-based rank.
+    const double rank = (static_cast<double>(i) + static_cast<double>(j)) /
+                            2.0 +
+                        1.0;
+    for (size_t k = i; k <= j; ++k) ranks[order[k]] = rank;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+double SpearmanRho(const std::vector<double>& x, const std::vector<double>& y) {
+  BATI_CHECK(x.size() == y.size());
+  const size_t n = x.size();
+  if (n < 2) return 0.0;
+  const std::vector<double> rx = FractionalRanks(x);
+  const std::vector<double> ry = FractionalRanks(y);
+  double mean = (static_cast<double>(n) + 1.0) / 2.0;
+  double num = 0.0, denx = 0.0, deny = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double dx = rx[i] - mean;
+    const double dy = ry[i] - mean;
+    num += dx * dy;
+    denx += dx * dx;
+    deny += dy * dy;
+  }
+  if (denx <= 0.0 || deny <= 0.0) return 0.0;
+  return num / std::sqrt(denx * deny);
+}
+
+double KendallTau(const std::vector<double>& x, const std::vector<double>& y) {
+  BATI_CHECK(x.size() == y.size());
+  const size_t n = x.size();
+  if (n < 2) return 0.0;
+  // O(n^2) pair walk: config counts here are tens, never thousands.
+  int64_t concordant = 0, discordant = 0, ties_x = 0, ties_y = 0;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      const double dx = x[i] - x[j];
+      const double dy = y[i] - y[j];
+      if (dx == 0.0 && dy == 0.0) {
+        ++ties_x;
+        ++ties_y;
+      } else if (dx == 0.0) {
+        ++ties_x;
+      } else if (dy == 0.0) {
+        ++ties_y;
+      } else if ((dx > 0.0) == (dy > 0.0)) {
+        ++concordant;
+      } else {
+        ++discordant;
+      }
+    }
+  }
+  const int64_t pairs = static_cast<int64_t>(n) *
+                        (static_cast<int64_t>(n) - 1) / 2;
+  const double den =
+      std::sqrt(static_cast<double>(pairs - ties_x)) *
+      std::sqrt(static_cast<double>(pairs - ties_y));
+  if (den <= 0.0) return 0.0;
+  return static_cast<double>(concordant - discordant) / den;
+}
+
+}  // namespace bati::exec

@@ -1,0 +1,24 @@
+#ifndef BATI_EXEC_CORRELATION_H_
+#define BATI_EXEC_CORRELATION_H_
+
+#include <vector>
+
+namespace bati::exec {
+
+/// Fractional (average) ranks of `values`, 1-based: ties share the mean of
+/// the ranks they span, the convention Spearman's rho expects.
+std::vector<double> FractionalRanks(const std::vector<double>& values);
+
+/// Spearman rank correlation between paired samples `x` and `y` (Pearson
+/// correlation of their fractional ranks, so ties are handled exactly).
+/// Returns 0 for fewer than 2 pairs or when either side is constant.
+double SpearmanRho(const std::vector<double>& x, const std::vector<double>& y);
+
+/// Kendall tau-b rank correlation: concordant minus discordant pairs over
+/// the geometric mean of tie-adjusted pair counts. Returns 0 for fewer than
+/// 2 pairs or when either side is constant.
+double KendallTau(const std::vector<double>& x, const std::vector<double>& y);
+
+}  // namespace bati::exec
+
+#endif  // BATI_EXEC_CORRELATION_H_

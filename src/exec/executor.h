@@ -1,0 +1,139 @@
+#ifndef BATI_EXEC_EXECUTOR_H_
+#define BATI_EXEC_EXECUTOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "exec/btree.h"
+#include "exec/column_store.h"
+#include "exec/predicate.h"
+#include "obs/metrics.h"
+#include "optimizer/what_if.h"
+#include "storage/index.h"
+#include "workload/query.h"
+
+namespace bati::exec {
+
+/// Result of executing one query. All three fields are pure functions of
+/// (store, query, predicate seed) — independent of the index configuration
+/// and of the physical plan — so any two executors over the same store must
+/// agree exactly; the tests and the smoke gate hold them to that.
+struct ExecResult {
+  /// Rows in the joined, filtered result (before aggregation/output).
+  int64_t joined_rows = 0;
+  /// Rows delivered to the client (group count under aggregation).
+  int64_t output_rows = 0;
+  /// Order-independent 64-bit checksum over the projected column values of
+  /// every joined row.
+  uint64_t checksum = 0;
+
+  bool operator==(const ExecResult& o) const {
+    return joined_rows == o.joined_rows && output_rows == o.output_rows &&
+           checksum == o.checksum;
+  }
+};
+
+/// Per-operator observability counters, resolved once against a
+/// MetricsRegistry (or left null for zero-overhead detached runs).
+struct ExecCounters {
+  Counter* seq_scans = nullptr;
+  Counter* seq_rows = nullptr;
+  Counter* index_seeks = nullptr;
+  Counter* index_entries = nullptr;
+  Counter* index_full_scans = nullptr;
+  Counter* heap_lookups = nullptr;
+  Counter* hash_builds = nullptr;
+  Counter* hash_build_rows = nullptr;
+  Counter* hash_probe_rows = nullptr;
+  Counter* merge_rows = nullptr;
+  Counter* sort_rows = nullptr;
+  Counter* agg_groups = nullptr;
+  Counter* result_rows = nullptr;
+  Counter* trees_built = nullptr;
+  Counter* tree_cache_hits = nullptr;
+
+  /// Resolves the "exec.*" counter family; `registry` may be null.
+  static ExecCounters Resolve(MetricsRegistry* registry);
+};
+
+/// The execution engine: a materialized store plus a what-if optimizer over
+/// the same statistics, able to run every workload query under any index
+/// configuration by following the optimizer's own plan — access paths, join
+/// order, and join methods all come from PlanExplanation, so measured time
+/// reflects the plan the what-if cost claims to price. Covering B+-trees
+/// are materialized on demand and cached across configurations by content.
+class ExecutionEngine {
+ public:
+  /// `workload` must outlive the engine. The store materializes
+  /// database.row_count() rows per table: pass a workload scaled to what
+  /// memory affords (see StoreOptions::max_rows_per_table).
+  ExecutionEngine(const Workload& workload, const StoreOptions& options,
+                  MetricsRegistry* metrics = nullptr);
+
+  const Workload& workload() const { return workload_; }
+  const ColumnStore& store() const { return store_; }
+  const WhatIfOptimizer& optimizer() const { return optimizer_; }
+
+  /// Sum of what-if costs over all workload queries under `config`.
+  double WhatIfWorkloadCost(const std::vector<Index>& config) const;
+
+  struct RunResult {
+    std::vector<ExecResult> per_query;
+    /// Best (minimum) wall-clock seconds per query across the requested
+    /// repetitions; index materialization is excluded (and cached across
+    /// configurations anyway).
+    std::vector<double> per_query_seconds;
+    /// Sum of per_query_seconds.
+    double seconds = 0.0;
+  };
+
+  /// Executes every query under `config` following its what-if plan.
+  RunResult ExecuteWorkload(const std::vector<Index>& config,
+                            int repetitions = 1);
+
+  /// Scalar reference executor: heap scans and hash joins only, no indexes
+  /// — the independent oracle the plan-driven executor is validated
+  /// against (row-count exact, checksum exact).
+  ExecResult ExecuteReference(int query_index);
+
+  /// Per-query diagnostics: one query under one configuration, with its
+  /// measured seconds and what-if cost side by side.
+  struct QueryTiming {
+    ExecResult result;
+    double seconds = 0.0;
+    double whatif_cost = 0.0;
+  };
+  QueryTiming ExecuteOne(int query_index, const std::vector<Index>& config);
+
+  /// The materialized covering B+-tree for `ix` (built and cached on first
+  /// use; canonical `ix` expected).
+  const BTree* GetOrBuildTree(const Index& ix);
+
+ private:
+  ExecResult ExecuteQuery(
+      const Query& query,
+      const std::vector<std::vector<ExecPredicate>>& preds_by_scan,
+      const std::vector<Index>& config, const PlanExplanation& plan,
+      bool force_reference);
+
+  const Workload& workload_;
+  WhatIfOptimizer optimizer_;
+  ColumnStore store_;
+  ExecCounters counters_;
+  uint64_t predicate_seed_;
+  /// Realized predicates per query (by scan) — fixed across configs.
+  std::vector<std::vector<std::vector<ExecPredicate>>> preds_;
+  /// Content-keyed tree cache: hash -> (index, tree) pairs (linear probe
+  /// within a bucket; candidate universes are tens of indexes).
+  std::vector<std::pair<Index, std::unique_ptr<BTree>>> trees_;
+};
+
+/// Materializes a covering B+-tree for `ix` over the store (sorted bulk
+/// load; deterministic). Exposed for tests and the YCSB harness.
+std::unique_ptr<BTree> MaterializeIndex(const ColumnStore& store,
+                                        const Index& ix);
+
+}  // namespace bati::exec
+
+#endif  // BATI_EXEC_EXECUTOR_H_

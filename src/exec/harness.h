@@ -1,0 +1,89 @@
+#ifndef BATI_EXEC_HARNESS_H_
+#define BATI_EXEC_HARNESS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "exec/executor.h"
+#include "storage/index.h"
+
+namespace bati::exec {
+
+/// Options for one rank-correlation run: execute a set of index
+/// configurations end to end and compare the what-if cost ordering against
+/// measured wall-clock.
+struct CorrelationOptions {
+  /// Configurations actually executed (the empty configuration is always
+  /// one of them).
+  int num_configs = 8;
+  /// Random configurations sampled (and what-if costed) before selection.
+  int sample_configs = 64;
+  /// Max indexes per sampled configuration.
+  int max_config_size = 4;
+  /// Select executed configs spread evenly across the sampled what-if cost
+  /// range (robust correlation); false takes the first `num_configs`
+  /// samples as drawn.
+  bool spread = true;
+  /// Seed the sampled pool with the greedy tuning trajectory: prefixes of
+  /// a forward selection that repeatedly adds the candidate with the best
+  /// predicted improvement. These are the configurations index tuning
+  /// actually visits, and they anchor the cheap end of the cost range.
+  bool trajectory = true;
+  /// Timed repetitions per configuration; the minimum is kept.
+  int repetitions = 2;
+  /// Full measurement passes over all configurations; per-pass correlations
+  /// expose run-to-run reproducibility.
+  int passes = 2;
+  /// Cross-check every configuration's results against each other and
+  /// against the scalar reference executor (exact row counts + checksums).
+  bool validate = true;
+  uint64_t seed = 0xC0FFEE;
+};
+
+/// One executed configuration.
+struct ConfigMeasurement {
+  /// Positions into the candidate universe (empty = no indexes).
+  std::vector<int> positions;
+  double whatif_cost = 0.0;
+  /// Measured seconds per pass (sum of per-query best-of-repetitions).
+  std::vector<double> seconds;
+  /// Sum of per-query minima across every pass and repetition — the most
+  /// noise-resistant single number for this configuration.
+  double seconds_best = 0.0;
+  /// Per-query minimum seconds across every pass and repetition
+  /// (diagnostics: which queries drive a configuration's measured time).
+  std::vector<double> per_query_seconds;
+};
+
+struct CorrelationReport {
+  int num_configs = 0;
+  /// Spearman rank correlation between what-if cost and measured seconds,
+  /// one value per pass, plus the minimum across passes (the
+  /// reproducibility signal).
+  std::vector<double> spearman_per_pass;
+  double spearman_min = 0.0;
+  /// Spearman over ConfigMeasurement::seconds_best — per-query minima
+  /// pooled across every pass and repetition. The most stable number and
+  /// the one the gates use.
+  double spearman_combined = 0.0;
+  /// Kendall tau-b over seconds_best.
+  double kendall = 0.0;
+  /// True when validation ran and every configuration agreed with the
+  /// scalar reference executor on every query.
+  bool validated = false;
+  int64_t store_rows = 0;
+  std::vector<ConfigMeasurement> configs;
+};
+
+/// Samples configurations over `universe`, executes them under `engine`,
+/// and correlates what-if cost ordering with measured time. Dies (CHECK)
+/// if validation is on and any configuration disagrees with the reference
+/// executor — a wrong executor must never produce a gated number.
+CorrelationReport RunCorrelation(ExecutionEngine* engine,
+                                 const std::vector<Index>& universe,
+                                 const CorrelationOptions& options);
+
+}  // namespace bati::exec
+
+#endif  // BATI_EXEC_HARNESS_H_

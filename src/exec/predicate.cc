@@ -1,0 +1,116 @@
+#include "exec/predicate.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+namespace bati::exec {
+
+namespace {
+
+uint64_t Mix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+uint64_t DoubleBits(double v) {
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+double Uniform01(uint64_t bits) {
+  return static_cast<double>(bits >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+bool ExecPredicate::Matches(double v) const {
+  switch (kind) {
+    case Kind::kEquality:
+      return v == values[0];
+    case Kind::kIn:
+      return std::binary_search(values.begin(), values.end(), v);
+    case Kind::kRange:
+      return v >= lo && v <= hi;
+    case Kind::kHashThreshold:
+      return Mix64(DoubleBits(v) ^ hash_seed) < hash_threshold;
+  }
+  return false;
+}
+
+std::vector<std::vector<ExecPredicate>> RealizePredicates(
+    const Query& query, const ColumnStore& store, uint64_t seed) {
+  std::vector<std::vector<ExecPredicate>> by_scan(
+      static_cast<size_t>(query.num_scans()));
+  for (size_t fi = 0; fi < query.filters.size(); ++fi) {
+    const BoundFilter& f = query.filters[fi];
+    const int t = f.column.table_id;
+    const int c = f.column.column_id;
+    const std::vector<double>& pool = store.pool(t, c);
+    const uint64_t fseed =
+        Mix64(seed ^ Mix64(static_cast<uint64_t>(query.id) * 2654435761ULL +
+                           fi));
+
+    ExecPredicate p;
+    p.scan_id = f.scan_id;
+    p.column_id = c;
+    p.estimated_selectivity = f.selectivity;
+    switch (f.kind) {
+      case FilterKind::kEquality: {
+        p.kind = ExecPredicate::Kind::kEquality;
+        p.values.push_back(
+            pool[static_cast<size_t>(fseed % pool.size())]);
+        break;
+      }
+      case FilterKind::kIn: {
+        p.kind = ExecPredicate::Kind::kIn;
+        const int64_t n = static_cast<int64_t>(pool.size());
+        int64_t m = static_cast<int64_t>(
+            std::llround(f.selectivity * static_cast<double>(n)));
+        m = std::max<int64_t>(1, std::min(n, m));
+        const int64_t start = static_cast<int64_t>(
+            fseed % static_cast<uint64_t>(n));
+        for (int64_t j = 0; j < m; ++j) {
+          const int64_t idx = (start + j * n / m) % n;
+          p.values.push_back(pool[static_cast<size_t>(idx)]);
+        }
+        std::sort(p.values.begin(), p.values.end());
+        p.values.erase(std::unique(p.values.begin(), p.values.end()),
+                       p.values.end());
+        break;
+      }
+      case FilterKind::kRange: {
+        // A probability window of mass ~sel whose placement is a
+        // deterministic function of the filter identity: independent range
+        // filters on one column then intersect like independent events, the
+        // assumption the cost model's selectivity product encodes.
+        p.kind = ExecPredicate::Kind::kRange;
+        const double sel = std::min(1.0, std::max(0.0, f.selectivity));
+        const double start = Uniform01(Mix64(fseed ^ 0xA5A5ULL)) *
+                             (1.0 - sel);
+        p.lo = store.Quantile(t, c, start);
+        p.hi = store.Quantile(t, c, start + sel);
+        break;
+      }
+      case FilterKind::kLike:
+      case FilterKind::kNotEqual:
+      case FilterKind::kColumnColumn:
+      case FilterKind::kOr: {
+        p.kind = ExecPredicate::Kind::kHashThreshold;
+        p.hash_seed = fseed;
+        const double sel = std::min(1.0, std::max(0.0, f.selectivity));
+        p.hash_threshold = static_cast<uint64_t>(
+            sel * 18446744073709549568.0);  // ~sel * 2^64, sub-ULP safe
+        break;
+      }
+    }
+    by_scan[static_cast<size_t>(f.scan_id)].push_back(std::move(p));
+  }
+  return by_scan;
+}
+
+}  // namespace bati::exec

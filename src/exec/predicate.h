@@ -1,0 +1,64 @@
+#ifndef BATI_EXEC_PREDICATE_H_
+#define BATI_EXEC_PREDICATE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "exec/column_store.h"
+#include "workload/query.h"
+
+namespace bati::exec {
+
+/// A bound filter realized into a concrete, executable predicate over the
+/// materialized store. The Query IR keeps only each conjunct's *estimated
+/// selectivity* (exactly what a real optimizer's cardinality model retains),
+/// so execution re-derives a concrete predicate whose realized fraction
+/// tracks that estimate:
+///
+///  * equality  -> one concrete value from the column's pool;
+///  * IN        -> round(sel * NDV) distinct pool values;
+///  * range     -> a value window [lo, hi] of probability mass ~sel, placed
+///                 deterministically within the domain so that independent
+///                 windows on the same column overlap like independent
+///                 predicates (the model's independence assumption);
+///  * LIKE / <> / OR / column-column -> a value-hash threshold keeping a
+///                 ~sel fraction (non-sargable, exactly as the model treats
+///                 them).
+///
+/// Realization depends only on (query, filter ordinal, seed) — never on the
+/// index configuration — so every configuration executes the identical
+/// logical query.
+struct ExecPredicate {
+  enum class Kind { kEquality, kIn, kRange, kHashThreshold };
+
+  int scan_id = -1;
+  int column_id = -1;  // ordinal within the scan's table
+  Kind kind = Kind::kHashThreshold;
+  /// kEquality: 1 value; kIn: m ascending distinct values.
+  std::vector<double> values;
+  /// kRange window (inclusive both ends).
+  double lo = 0.0;
+  double hi = 0.0;
+  /// kHashThreshold: keep rows with Mix64(bits(v) ^ seed) < threshold.
+  uint64_t hash_seed = 0;
+  uint64_t hash_threshold = 0;
+  /// The binder's estimate, kept for diagnostics.
+  double estimated_selectivity = 1.0;
+
+  bool Matches(double v) const;
+
+  /// Equality-capable predicates can bind any index key prefix position
+  /// (the executor mirrors the cost model's sargability rule).
+  bool equality_capable() const {
+    return kind == Kind::kEquality || kind == Kind::kIn;
+  }
+};
+
+/// Realizes every filter of `query` against `store`; result is indexed by
+/// scan id. `seed` must match across executors comparing results.
+std::vector<std::vector<ExecPredicate>> RealizePredicates(
+    const Query& query, const ColumnStore& store, uint64_t seed);
+
+}  // namespace bati::exec
+
+#endif  // BATI_EXEC_PREDICATE_H_

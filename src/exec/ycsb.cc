@@ -1,0 +1,234 @@
+#include "exec/ycsb.h"
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <limits>
+#include <mutex>
+#include <shared_mutex>
+#include <thread>
+#include <vector>
+
+#include "common/macros.h"
+#include "exec/btree.h"
+
+namespace bati::exec {
+
+namespace {
+
+uint64_t Mix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+/// xorshift-style per-worker PRNG (splitmix-seeded); cheap and local.
+class Rng64 {
+ public:
+  explicit Rng64(uint64_t seed) : state_(Mix64(seed)) {}
+  uint64_t Next() {
+    state_ = Mix64(state_);
+    return state_;
+  }
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  uint64_t state_;
+};
+
+class CounterGenerator : public KeyGenerator {
+ public:
+  CounterGenerator(uint64_t key_space, uint64_t start)
+      : key_space_(key_space), next_(start) {}
+  uint64_t Next() override { return next_++ % key_space_; }
+
+ private:
+  const uint64_t key_space_;
+  uint64_t next_;
+};
+
+class UniformGenerator : public KeyGenerator {
+ public:
+  UniformGenerator(uint64_t key_space, uint64_t seed)
+      : key_space_(key_space), rng_(seed) {}
+  uint64_t Next() override { return rng_.Next() % key_space_; }
+
+ private:
+  const uint64_t key_space_;
+  Rng64 rng_;
+};
+
+/// The standard YCSB zipfian generator (Gray et al.): draws ids with
+/// P(i) ~ 1/i^theta over [0, n). zeta(n) is computed once up front.
+class ZipfianGenerator : public KeyGenerator {
+ public:
+  ZipfianGenerator(uint64_t n, uint64_t seed, double theta)
+      : n_(n), theta_(theta), rng_(seed) {
+    BATI_CHECK(n_ >= 1);
+    zetan_ = 0.0;
+    for (uint64_t i = 1; i <= n_; ++i) {
+      zetan_ += 1.0 / std::pow(static_cast<double>(i), theta_);
+    }
+    const double zeta2 = 1.0 + 1.0 / std::pow(2.0, theta_);
+    alpha_ = 1.0 / (1.0 - theta_);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+           (1.0 - zeta2 / zetan_);
+  }
+
+  uint64_t Next() override {
+    const double u = rng_.NextDouble();
+    const double uz = u * zetan_;
+    if (uz < 1.0) return 0;
+    if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+    const double v = static_cast<double>(n_) *
+                     std::pow(eta_ * u - eta_ + 1.0, alpha_);
+    uint64_t key = static_cast<uint64_t>(v);
+    return key >= n_ ? n_ - 1 : key;
+  }
+
+ private:
+  const uint64_t n_;
+  const double theta_;
+  Rng64 rng_;
+  double zetan_ = 0.0;
+  double alpha_ = 0.0;
+  double eta_ = 0.0;
+};
+
+/// Zipfian with the skew spread over the whole key space by hashing (YCSB's
+/// "scrambled zipfian"): hot keys are no longer the smallest ids.
+class ScrambledZipfianGenerator : public KeyGenerator {
+ public:
+  ScrambledZipfianGenerator(uint64_t n, uint64_t seed, double theta)
+      : n_(n), inner_(n, seed, theta) {}
+  uint64_t Next() override { return Mix64(inner_.Next()) % n_; }
+
+ private:
+  const uint64_t n_;
+  ZipfianGenerator inner_;
+};
+
+double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+std::unique_ptr<KeyGenerator> MakeKeyGenerator(KeyDistribution dist,
+                                               uint64_t key_space,
+                                               uint64_t seed, double theta) {
+  switch (dist) {
+    case KeyDistribution::kCounter:
+      return std::make_unique<CounterGenerator>(key_space, seed % key_space);
+    case KeyDistribution::kUniform:
+      return std::make_unique<UniformGenerator>(key_space, seed);
+    case KeyDistribution::kZipfian:
+      return std::make_unique<ZipfianGenerator>(key_space, seed, theta);
+    case KeyDistribution::kScrambledZipfian:
+      return std::make_unique<ScrambledZipfianGenerator>(key_space, seed,
+                                                         theta);
+  }
+  return nullptr;
+}
+
+YcsbReport RunYcsb(const YcsbOptions& options) {
+  BATI_CHECK(options.workers >= 1);
+  BATI_CHECK(options.key_space >= 1);
+  BATI_CHECK(options.read_fraction + options.scan_fraction <= 1.0);
+
+  // Preload: counter keys with the key doubled into a 1-double payload
+  // (a covering index shape, so reads validate the payload round-trip).
+  BTree tree(/*key_width=*/1, /*payload_width=*/1);
+  {
+    std::vector<double> keys(static_cast<size_t>(options.key_space));
+    std::vector<double> payloads(static_cast<size_t>(options.key_space));
+    std::vector<uint32_t> rows(static_cast<size_t>(options.key_space));
+    for (int64_t i = 0; i < options.key_space; ++i) {
+      keys[static_cast<size_t>(i)] = static_cast<double>(i);
+      payloads[static_cast<size_t>(i)] = static_cast<double>(i) * 2.0;
+      rows[static_cast<size_t>(i)] = static_cast<uint32_t>(i);
+    }
+    tree.BulkLoad(keys, payloads, rows);
+  }
+
+  std::shared_mutex tree_mu;  // readers share; inserts take it exclusively
+  std::atomic<int64_t> reads{0};
+  std::atomic<int64_t> read_hits{0};
+  std::atomic<int64_t> scans{0};
+  std::atomic<int64_t> scanned{0};
+  std::atomic<int64_t> inserts{0};
+  std::atomic<uint32_t> next_row{
+      static_cast<uint32_t>(options.key_space)};
+
+  auto worker = [&](int w) {
+    Rng64 op_rng(options.seed ^ (0x57ULL + static_cast<uint64_t>(w)));
+    std::unique_ptr<KeyGenerator> gen = MakeKeyGenerator(
+        options.distribution, static_cast<uint64_t>(options.key_space),
+        options.seed + static_cast<uint64_t>(w) * 1000003ULL,
+        options.zipfian_theta);
+    int64_t my_reads = 0;
+    int64_t my_hits = 0;
+    int64_t my_scans = 0;
+    int64_t my_scanned = 0;
+    int64_t my_inserts = 0;
+    for (int64_t op = 0; op < options.ops_per_worker; ++op) {
+      const double roll = op_rng.NextDouble();
+      const double key = static_cast<double>(gen->Next());
+      if (roll < options.read_fraction) {
+        ++my_reads;
+        std::shared_lock<std::shared_mutex> lock(tree_mu);
+        tree.SeekPrefix(&key, 1, [&](const BTree::Entry& e) {
+          if (e.payload[0] == e.key[0] * 2.0) ++my_hits;
+          return false;  // point read: first match suffices
+        });
+      } else if (roll < options.read_fraction + options.scan_fraction) {
+        ++my_scans;
+        int left = options.scan_length;
+        std::shared_lock<std::shared_mutex> lock(tree_mu);
+        tree.SeekRange(nullptr, 0, key,
+                       std::numeric_limits<double>::infinity(),
+                       [&](const BTree::Entry&) {
+                         ++my_scanned;
+                         return --left > 0;
+                       });
+      } else {
+        ++my_inserts;
+        const double payload = key * 2.0;
+        std::unique_lock<std::shared_mutex> lock(tree_mu);
+        tree.Insert(&key, &payload, next_row.fetch_add(1));
+      }
+    }
+    reads += my_reads;
+    read_hits += my_hits;
+    scans += my_scans;
+    scanned += my_scanned;
+    inserts += my_inserts;
+  };
+
+  const double t0 = NowSeconds();
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(options.workers));
+  for (int w = 0; w < options.workers; ++w) threads.emplace_back(worker, w);
+  for (std::thread& th : threads) th.join();
+  const double dt = NowSeconds() - t0;
+
+  YcsbReport report;
+  report.reads = reads.load();
+  report.read_hits = read_hits.load();
+  report.scans = scans.load();
+  report.scanned_entries = scanned.load();
+  report.inserts = inserts.load();
+  report.tree_size = tree.size();
+  report.seconds = dt;
+  const double total_ops = static_cast<double>(
+      options.workers * options.ops_per_worker);
+  report.ops_per_second = dt > 0.0 ? total_ops / dt : 0.0;
+  return report;
+}
+
+}  // namespace bati::exec

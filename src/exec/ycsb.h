@@ -1,0 +1,68 @@
+#ifndef BATI_EXEC_YCSB_H_
+#define BATI_EXEC_YCSB_H_
+
+#include <cstdint>
+#include <memory>
+
+namespace bati::exec {
+
+/// Key distributions for the YCSB-style micro-harness, the classic set a
+/// key-value benchmark worker draws from: a monotone counter (insert
+/// order), uniform, and (scrambled) zipfian skew.
+enum class KeyDistribution { kCounter, kUniform, kZipfian, kScrambledZipfian };
+
+/// One YCSB-style key generator; implementations are single-threaded (each
+/// worker owns one).
+class KeyGenerator {
+ public:
+  virtual ~KeyGenerator() = default;
+  /// Next key id in [0, key_space).
+  virtual uint64_t Next() = 0;
+};
+
+/// Factory; `seed` differentiates workers, `theta` applies to the zipfian
+/// family (0.99 is the YCSB default skew).
+std::unique_ptr<KeyGenerator> MakeKeyGenerator(KeyDistribution dist,
+                                               uint64_t key_space,
+                                               uint64_t seed,
+                                               double theta = 0.99);
+
+/// A YCSB-style mixed workload over one B+-tree: point reads, short range
+/// scans, and inserts, split across a worker pool. Reads run lock-free
+/// under a shared lock; inserts serialize on the writer side (the tree is
+/// a single-writer structure).
+struct YcsbOptions {
+  int workers = 4;
+  int64_t ops_per_worker = 100 * 1000;
+  /// Operation mix; read + scan <= 1, the rest are inserts.
+  double read_fraction = 0.85;
+  double scan_fraction = 0.10;
+  /// Entries preloaded (counter keys 0..key_space-1) and the id domain the
+  /// generators draw from.
+  int64_t key_space = 1000 * 1000;
+  /// Max entries visited per range scan.
+  int scan_length = 32;
+  KeyDistribution distribution = KeyDistribution::kZipfian;
+  double zipfian_theta = 0.99;
+  uint64_t seed = 42;
+};
+
+struct YcsbReport {
+  int64_t reads = 0;
+  int64_t read_hits = 0;
+  int64_t scans = 0;
+  int64_t scanned_entries = 0;
+  int64_t inserts = 0;
+  int64_t tree_size = 0;
+  double seconds = 0.0;
+  double ops_per_second = 0.0;
+};
+
+/// Builds a fresh single-key-column tree preloaded with `key_space` counter
+/// keys, then runs the mixed workload across `workers` threads.
+/// Deterministic in everything except timing.
+YcsbReport RunYcsb(const YcsbOptions& options);
+
+}  // namespace bati::exec
+
+#endif  // BATI_EXEC_YCSB_H_

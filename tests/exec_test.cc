@@ -1,0 +1,471 @@
+// Tests for the execution engine: the covering B+-tree against a std::map
+// oracle, deterministic store materialization, predicate realization,
+// rank-correlation statistics, the YCSB key generators, and — the contract
+// everything else rests on — plan-driven execution agreeing exactly with
+// the scalar reference executor under every index configuration.
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <random>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "exec/btree.h"
+#include "exec/correlation.h"
+#include "exec/executor.h"
+#include "exec/harness.h"
+#include "exec/ycsb.h"
+#include "tuner/candidate_gen.h"
+#include "workload/generators.h"
+
+namespace bati::exec {
+namespace {
+
+// ---------------------------------------------------------------------------
+// B+-tree vs std::map oracle.
+
+using OracleKey = std::pair<std::vector<double>, uint32_t>;  // key, row_id
+using Oracle = std::map<OracleKey, std::vector<double>>;     // -> payload
+
+std::vector<BTree::Entry> Collect(const BTree& tree) {
+  std::vector<BTree::Entry> out;
+  tree.Scan([&](const BTree::Entry& e) {
+    out.push_back(e);
+    return true;
+  });
+  return out;
+}
+
+void ExpectMatchesOracle(const BTree& tree, const Oracle& oracle, int kw,
+                         int pw) {
+  const std::vector<BTree::Entry> got = Collect(tree);
+  ASSERT_EQ(got.size(), oracle.size());
+  size_t i = 0;
+  for (const auto& [key, payload] : oracle) {
+    for (int k = 0; k < kw; ++k) {
+      EXPECT_EQ(got[i].key[k], key.first[static_cast<size_t>(k)]);
+    }
+    EXPECT_EQ(got[i].row_id, key.second);
+    for (int p = 0; p < pw; ++p) {
+      EXPECT_EQ(got[i].payload[p], payload[static_cast<size_t>(p)]);
+    }
+    ++i;
+  }
+}
+
+TEST(BTree, InsertMatchesOracleWithSplits) {
+  const int kw = 2, pw = 2;
+  BTree tree(kw, pw, /*leaf_capacity=*/4);  // tiny leaves force splits
+  Oracle oracle;
+  std::mt19937_64 rng(7);
+  std::uniform_int_distribution<int> val(0, 40);  // collisions guaranteed
+  for (uint32_t r = 0; r < 500; ++r) {
+    std::vector<double> key = {static_cast<double>(val(rng)),
+                               static_cast<double>(val(rng))};
+    std::vector<double> payload = {static_cast<double>(r) * 0.5,
+                                   static_cast<double>(r) * 2.0};
+    tree.Insert(key.data(), payload.data(), r);
+    oracle[{key, r}] = payload;
+  }
+  EXPECT_EQ(tree.size(), 500);
+  EXPECT_GT(tree.height(), 2);
+  ExpectMatchesOracle(tree, oracle, kw, pw);
+}
+
+TEST(BTree, BulkLoadMatchesInsertBuilt) {
+  const int kw = 1, pw = 1;
+  std::mt19937_64 rng(11);
+  std::uniform_int_distribution<int> val(0, 99);
+  std::vector<std::pair<OracleKey, double>> entries;
+  for (uint32_t r = 0; r < 300; ++r) {
+    entries.push_back(
+        {{{static_cast<double>(val(rng))}, r}, static_cast<double>(r)});
+  }
+  std::sort(entries.begin(), entries.end());
+
+  BTree bulk(kw, pw, 8);
+  std::vector<double> keys, payloads;
+  std::vector<uint32_t> rows;
+  for (const auto& [key, payload] : entries) {
+    keys.push_back(key.first[0]);
+    payloads.push_back(payload);
+    rows.push_back(key.second);
+  }
+  bulk.BulkLoad(keys, payloads, rows);
+
+  BTree inserted(kw, pw, 8);
+  for (const auto& [key, payload] : entries) {
+    inserted.Insert(key.first.data(), &payload, key.second);
+  }
+
+  const auto a = Collect(bulk);
+  const auto b = Collect(inserted);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].key[0], b[i].key[0]);
+    EXPECT_EQ(a[i].row_id, b[i].row_id);
+    EXPECT_EQ(a[i].payload[0], b[i].payload[0]);
+  }
+}
+
+TEST(BTree, SeekPrefixMatchesOracle) {
+  const int kw = 2, pw = 1;
+  BTree tree(kw, pw, 4);
+  Oracle oracle;
+  std::mt19937_64 rng(13);
+  std::uniform_int_distribution<int> val(0, 15);
+  for (uint32_t r = 0; r < 400; ++r) {
+    std::vector<double> key = {static_cast<double>(val(rng)),
+                               static_cast<double>(val(rng))};
+    std::vector<double> payload = {static_cast<double>(r)};
+    tree.Insert(key.data(), payload.data(), r);
+    oracle[{key, r}] = payload;
+  }
+  for (int first = 0; first <= 15; ++first) {
+    // Full-prefix and partial-prefix seeks against a filtered oracle walk.
+    const double p1[2] = {static_cast<double>(first), 7.0};
+    std::vector<uint32_t> got;
+    tree.SeekPrefix(p1, 2, [&](const BTree::Entry& e) {
+      got.push_back(e.row_id);
+      return true;
+    });
+    std::vector<uint32_t> want;
+    for (const auto& [key, payload] : oracle) {
+      if (key.first[0] == p1[0] && key.first[1] == p1[1]) {
+        want.push_back(key.second);
+      }
+    }
+    EXPECT_EQ(got, want) << "full prefix " << first;
+
+    got.clear();
+    tree.SeekPrefix(p1, 1, [&](const BTree::Entry& e) {
+      got.push_back(e.row_id);
+      return true;
+    });
+    want.clear();
+    for (const auto& [key, payload] : oracle) {
+      if (key.first[0] == p1[0]) want.push_back(key.second);
+    }
+    EXPECT_EQ(got, want) << "partial prefix " << first;
+  }
+}
+
+TEST(BTree, SeekRangeMatchesOracle) {
+  const int kw = 2, pw = 1;
+  BTree tree(kw, pw, 4);
+  Oracle oracle;
+  std::mt19937_64 rng(17);
+  std::uniform_int_distribution<int> val(0, 20);
+  for (uint32_t r = 0; r < 400; ++r) {
+    std::vector<double> key = {static_cast<double>(val(rng)),
+                               static_cast<double>(val(rng))};
+    std::vector<double> payload = {static_cast<double>(r)};
+    tree.Insert(key.data(), payload.data(), r);
+    oracle[{key, r}] = payload;
+  }
+  // Range on the second column under an equality prefix, and a pure range
+  // on the leading column (prefix_len 0).
+  const double prefix[1] = {9.0};
+  std::vector<uint32_t> got;
+  tree.SeekRange(prefix, 1, 5.0, 12.0, [&](const BTree::Entry& e) {
+    got.push_back(e.row_id);
+    return true;
+  });
+  std::vector<uint32_t> want;
+  for (const auto& [key, payload] : oracle) {
+    if (key.first[0] == 9.0 && key.first[1] >= 5.0 && key.first[1] <= 12.0) {
+      want.push_back(key.second);
+    }
+  }
+  EXPECT_EQ(got, want);
+
+  got.clear();
+  tree.SeekRange(nullptr, 0, 3.0, 6.0, [&](const BTree::Entry& e) {
+    got.push_back(e.row_id);
+    return true;
+  });
+  want.clear();
+  for (const auto& [key, payload] : oracle) {
+    if (key.first[0] >= 3.0 && key.first[0] <= 6.0) {
+      want.push_back(key.second);
+    }
+  }
+  EXPECT_EQ(got, want);
+}
+
+TEST(BTree, VisitorEarlyStop) {
+  BTree tree(1, 1, 4);
+  for (uint32_t r = 0; r < 100; ++r) {
+    const double k = static_cast<double>(r);
+    const double p = 0.0;
+    tree.Insert(&k, &p, r);
+  }
+  int visited = 0;
+  tree.Scan([&](const BTree::Entry&) { return ++visited < 10; });
+  EXPECT_EQ(visited, 10);
+}
+
+// ---------------------------------------------------------------------------
+// Store materialization.
+
+TEST(ColumnStore, DeterministicAndPoolAligned) {
+  WorkloadOptions wopts;
+  wopts.scale = 0.001;
+  const Workload w = MakeWorkloadByName("tpch", wopts);
+  ASSERT_NE(w.database, nullptr);
+  StoreOptions sopts;
+  const ColumnStore a(*w.database, sopts);
+  const ColumnStore b(*w.database, sopts);
+  ASSERT_EQ(a.num_tables(), b.num_tables());
+  for (int t = 0; t < a.num_tables(); ++t) {
+    EXPECT_EQ(a.rows(t), w.database->table(t).row_count());
+    ASSERT_EQ(a.heap(t), b.heap(t)) << "store not deterministic, table "
+                                    << t;
+    for (int c = 0; c < a.num_cols(t); ++c) {
+      const std::vector<double>& pool = a.pool(t, c);
+      ASSERT_FALSE(pool.empty());
+      EXPECT_TRUE(std::is_sorted(pool.begin(), pool.end()));
+      // Every materialized value comes from the pool.
+      std::set<double> pool_set(pool.begin(), pool.end());
+      for (int64_t r = 0; r < std::min<int64_t>(a.rows(t), 200); ++r) {
+        EXPECT_TRUE(pool_set.count(a.value(t, r, c)))
+            << "table " << t << " col " << c << " row " << r;
+      }
+    }
+  }
+}
+
+TEST(ColumnStore, QuantileBracketsDistribution) {
+  WorkloadOptions wopts;
+  wopts.scale = 0.001;
+  const Workload w = MakeWorkloadByName("tpch", wopts);
+  const ColumnStore store(*w.database, StoreOptions{});
+  // Quantile(f) is the smallest pool value whose cumulative mass reaches
+  // `f`, so at least an `f` fraction of rows lies at or below it (modulo
+  // sampling noise) — the bracketing property range-predicate realization
+  // relies on. The overshoot above `f` is bounded by pool granularity, so
+  // we only assert the one-sided bracket plus monotonicity in `f`.
+  const int t = 0;
+  const int c = 0;
+  double prev_v = -std::numeric_limits<double>::infinity();
+  double prev_realized = 0.0;
+  for (double f : {0.25, 0.5, 0.75}) {
+    const double v = store.Quantile(t, c, f);
+    EXPECT_GE(v, prev_v) << "f=" << f;
+    prev_v = v;
+    int64_t at_or_below = 0;
+    for (int64_t r = 0; r < store.rows(t); ++r) {
+      if (store.value(t, r, c) <= v) ++at_or_below;
+    }
+    const double realized = static_cast<double>(at_or_below) /
+                            static_cast<double>(store.rows(t));
+    EXPECT_GE(realized, f - 0.05) << "f=" << f;
+    EXPECT_GE(realized, prev_realized) << "f=" << f;
+    prev_realized = realized;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Correlation statistics.
+
+TEST(Correlation, KnownValues) {
+  const std::vector<double> x = {1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(SpearmanRho(x, {2, 4, 6, 8, 10}), 1.0);
+  EXPECT_DOUBLE_EQ(SpearmanRho(x, {10, 8, 6, 4, 2}), -1.0);
+  EXPECT_DOUBLE_EQ(KendallTau(x, {2, 4, 6, 8, 10}), 1.0);
+  EXPECT_DOUBLE_EQ(KendallTau(x, {10, 8, 6, 4, 2}), -1.0);
+  // Constant side: defined as 0, not NaN.
+  EXPECT_DOUBLE_EQ(SpearmanRho(x, {7, 7, 7, 7, 7}), 0.0);
+  EXPECT_DOUBLE_EQ(KendallTau(x, {7, 7, 7, 7, 7}), 0.0);
+  // One swap away from perfect.
+  const double rho = SpearmanRho(x, {2, 4, 8, 6, 10});
+  EXPECT_GT(rho, 0.8);
+  EXPECT_LT(rho, 1.0);
+}
+
+TEST(Correlation, FractionalRanksAverageTies) {
+  const std::vector<double> ranks = FractionalRanks({10, 20, 20, 30});
+  ASSERT_EQ(ranks.size(), 4u);
+  EXPECT_DOUBLE_EQ(ranks[0], 1.0);
+  EXPECT_DOUBLE_EQ(ranks[1], 2.5);
+  EXPECT_DOUBLE_EQ(ranks[2], 2.5);
+  EXPECT_DOUBLE_EQ(ranks[3], 4.0);
+}
+
+// ---------------------------------------------------------------------------
+// YCSB key generators.
+
+TEST(Ycsb, CounterGeneratorIsSequential) {
+  // The counter starts at its seed (mod key space) and then walks the key
+  // space one step at a time, wrapping at the end.
+  auto gen = MakeKeyGenerator(KeyDistribution::kCounter, 1000, 42);
+  for (uint64_t i = 0; i < 10; ++i) EXPECT_EQ(gen->Next(), (42 + i) % 1000);
+  auto wrap = MakeKeyGenerator(KeyDistribution::kCounter, 5, 3);
+  for (uint64_t i = 0; i < 10; ++i) EXPECT_EQ(wrap->Next(), (3 + i) % 5);
+}
+
+TEST(Ycsb, UniformGeneratorStaysInRangeAndCoversIt) {
+  auto gen = MakeKeyGenerator(KeyDistribution::kUniform, 100, 42);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 5000; ++i) {
+    const uint64_t k = gen->Next();
+    ASSERT_LT(k, 100u);
+    seen.insert(k);
+  }
+  EXPECT_GT(seen.size(), 90u);  // essentially all keys hit
+}
+
+TEST(Ycsb, ZipfianSkewsTowardSmallKeys) {
+  auto gen = MakeKeyGenerator(KeyDistribution::kZipfian, 10000, 42);
+  int64_t small = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (gen->Next() < 100) ++small;  // hottest 1% of the key space
+  }
+  // Under theta=0.99 zipf the head dominates; uniform would give ~1%.
+  EXPECT_GT(small, n / 4);
+}
+
+TEST(Ycsb, ScrambledZipfianSpreadsTheHead) {
+  auto gen =
+      MakeKeyGenerator(KeyDistribution::kScrambledZipfian, 10000, 42);
+  int64_t small = 0;
+  std::set<uint64_t> seen;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const uint64_t k = gen->Next();
+    ASSERT_LT(k, 10000u);
+    if (k < 100) ++small;
+    seen.insert(k);
+  }
+  // Still skewed onto few distinct keys, but the hot set is hashed away
+  // from the low ids.
+  EXPECT_LT(small, n / 10);
+  EXPECT_LT(seen.size(), 5000u);
+}
+
+TEST(Ycsb, MixedWorkloadRunsAndCounts) {
+  YcsbOptions opts;
+  opts.workers = 2;
+  opts.ops_per_worker = 2000;
+  opts.key_space = 10000;
+  const YcsbReport r = RunYcsb(opts);
+  EXPECT_EQ(r.reads + r.scans + r.inserts, 2 * 2000);
+  EXPECT_EQ(r.read_hits, r.reads);  // preloaded key space: every read hits
+  EXPECT_EQ(r.tree_size, 10000 + r.inserts);
+  EXPECT_GT(r.ops_per_second, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Plan-driven execution vs the scalar reference executor.
+
+TEST(Executor, EveryConfigurationMatchesReference) {
+  WorkloadOptions wopts;
+  wopts.scale = 0.001;
+  const Workload w = MakeWorkloadByName("tpch", wopts);
+  ASSERT_NE(w.database, nullptr);
+  ExecutionEngine engine(w, StoreOptions{});
+  const CandidateSet candidates = GenerateCandidates(w);
+  ASSERT_GT(candidates.size(), 0);
+
+  // The reference result is configuration-independent by construction;
+  // every plan the optimizer picks must reproduce it exactly.
+  std::vector<ExecResult> reference;
+  for (int qi = 0; qi < w.num_queries(); ++qi) {
+    reference.push_back(engine.ExecuteReference(qi));
+    EXPECT_GE(reference.back().output_rows, 0);
+  }
+
+  std::mt19937_64 rng(0xE7);
+  std::uniform_int_distribution<int> pick(0,
+                                          candidates.size() - 1);
+  for (int trial = 0; trial < 6; ++trial) {
+    std::vector<Index> config;
+    for (int k = 0; k <= trial; ++k) {
+      config.push_back(
+          candidates.indexes[static_cast<size_t>(pick(rng))]);
+    }
+    const ExecutionEngine::RunResult run = engine.ExecuteWorkload(config);
+    ASSERT_EQ(run.per_query.size(), reference.size());
+    for (size_t qi = 0; qi < reference.size(); ++qi) {
+      EXPECT_TRUE(run.per_query[qi] == reference[qi])
+          << "trial " << trial << " query " << qi << ": got ("
+          << run.per_query[qi].joined_rows << ", "
+          << run.per_query[qi].output_rows << ", "
+          << run.per_query[qi].checksum << ") want ("
+          << reference[qi].joined_rows << ", " << reference[qi].output_rows
+          << ", " << reference[qi].checksum << ")";
+    }
+  }
+}
+
+TEST(Executor, ToyWorkloadMatchesReferenceUnderFullCandidateSet) {
+  const Workload w = MakeWorkloadByName("toy");
+  ASSERT_NE(w.database, nullptr);
+  ExecutionEngine engine(w, StoreOptions{});
+  const CandidateSet candidates = GenerateCandidates(w);
+  const ExecutionEngine::RunResult run =
+      engine.ExecuteWorkload(candidates.indexes);
+  for (int qi = 0; qi < w.num_queries(); ++qi) {
+    const ExecResult ref = engine.ExecuteReference(qi);
+    EXPECT_TRUE(run.per_query[static_cast<size_t>(qi)] == ref)
+        << "query " << qi;
+    EXPECT_GT(ref.joined_rows, 0) << "toy query " << qi
+                                  << " selects nothing — dead test";
+  }
+}
+
+TEST(Harness, CorrelationReportShapeAndValidation) {
+  WorkloadOptions wopts;
+  wopts.scale = 0.001;
+  const Workload w = MakeWorkloadByName("tpch", wopts);
+  ExecutionEngine engine(w, StoreOptions{});
+  const CandidateSet candidates = GenerateCandidates(w);
+
+  CorrelationOptions copts;
+  copts.num_configs = 4;
+  copts.sample_configs = 12;
+  copts.max_config_size = 3;
+  copts.repetitions = 1;
+  copts.passes = 2;
+  const CorrelationReport report =
+      RunCorrelation(&engine, candidates.indexes, copts);
+  EXPECT_EQ(report.num_configs, 4);
+  EXPECT_EQ(report.configs.size(), 4u);
+  EXPECT_EQ(report.spearman_per_pass.size(), 2u);
+  EXPECT_TRUE(report.validated);
+  EXPECT_EQ(report.store_rows, engine.store().total_rows());
+  // Costs ascend (spread selection keeps sort order) and the empty config
+  // is the dearest end of the trajectory-seeded pool.
+  for (size_t i = 1; i < report.configs.size(); ++i) {
+    EXPECT_GE(report.configs[i].whatif_cost,
+              report.configs[i - 1].whatif_cost);
+  }
+  for (const ConfigMeasurement& m : report.configs) {
+    EXPECT_EQ(m.seconds.size(), 2u);
+    EXPECT_GT(m.seconds_best, 0.0);
+    EXPECT_EQ(m.per_query_seconds.size(),
+              static_cast<size_t>(w.num_queries()));
+  }
+}
+
+TEST(Executor, CountersTrackOperators) {
+  MetricsRegistry metrics;
+  const Workload w = MakeWorkloadByName("toy");
+  ExecutionEngine engine(w, StoreOptions{}, &metrics);
+  const CandidateSet candidates = GenerateCandidates(w);
+  engine.ExecuteWorkload({});                  // heap scans only
+  engine.ExecuteWorkload(candidates.indexes);  // index plans
+  const MetricsSnapshot snap = metrics.Snapshot();
+  const std::string json = snap.ToJson();
+  EXPECT_NE(json.find("exec.seqscan.scans"), std::string::npos);
+  EXPECT_NE(json.find("exec.index.seeks"), std::string::npos);
+  EXPECT_NE(json.find("exec.trees.built"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bati::exec

@@ -30,6 +30,46 @@ TEST(Index, CanonicalizeDedupesAndRemovesKeyOverlap) {
   EXPECT_EQ(ix.include_columns, (std::vector<int>{2}));
 }
 
+TEST(Index, CanonicalizeWithEmptyKeyListKeepsSortedUniqueIncludes) {
+  // A keyless index is degenerate but must not crash: every include
+  // survives (there are no keys to overlap), sorted and deduped.
+  Index ix;
+  ix.table_id = 0;
+  ix.key_columns = {};
+  ix.include_columns = {2, 0, 2, 1, 0};
+  ix.Canonicalize();
+  EXPECT_TRUE(ix.key_columns.empty());
+  EXPECT_EQ(ix.include_columns, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(Index, CanonicalizeWhenEveryIncludeIsAKey) {
+  // include == key overlap in full: the include list canonicalizes to
+  // empty and the index compares equal to its bare-key form.
+  Index ix;
+  ix.table_id = 0;
+  ix.key_columns = {0, 1, 2};
+  ix.include_columns = {2, 2, 0, 1};
+  ix.Canonicalize();
+  EXPECT_TRUE(ix.include_columns.empty());
+  Index bare;
+  bare.table_id = 0;
+  bare.key_columns = {0, 1, 2};
+  EXPECT_TRUE(ix == bare);
+  EXPECT_EQ(ix.Hash(), bare.Hash());
+}
+
+TEST(Index, CanonicalizeIsIdempotent) {
+  Index ix;
+  ix.table_id = 0;
+  ix.key_columns = {1};
+  ix.include_columns = {2, 0, 2};
+  ix.Canonicalize();
+  const std::vector<int> once = ix.include_columns;
+  ix.Canonicalize();
+  EXPECT_EQ(ix.include_columns, once);
+  EXPECT_EQ(ix.include_columns, (std::vector<int>{0, 2}));
+}
+
 TEST(Index, EqualityDependsOnKeyOrder) {
   Index a, b;
   a.table_id = b.table_id = 0;

@@ -1,45 +1,76 @@
 #!/usr/bin/env bash
-# Build (Release) and run the tracked what-if hot-path benchmark.
+# Build (Release) and run the tracked benchmark suites.
 #
 # Usage:
 #   tools/run_benchmarks.sh [--quick] [--update-baseline]
+#                           [--whatif-only | --exec-only]
 #
-# Writes build-bench/BENCH_whatif.json and gates against the committed
-# BENCH_whatif.json at the repo root: the run fails if any workload's
-# fast-path speedup regresses by more than 10% (see bench/bench_whatif.cc).
-# --update-baseline copies the fresh result over the committed baseline
+# Two suites, both gated against committed baselines at the repo root:
+#
+#   * bench_whatif -> build-bench/BENCH_whatif.json, gated against
+#     BENCH_whatif.json: fails if any workload's fast-path speedup
+#     regresses by more than 10% (see bench/bench_whatif.cc).
+#   * bench_exec -> build-bench/BENCH_exec.json, gated against
+#     BENCH_exec.json: fails if any gated workload's combined Spearman
+#     correlation between what-if cost ordering and measured execution
+#     time falls below 0.6, or regresses by more than 0.05 absolute
+#     against the baseline (see bench/bench_exec.cc).
+#
+# --update-baseline copies the fresh results over the committed baselines
 # after a successful gated run.
 set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 BUILD_DIR="${BUILD_DIR:-$REPO_ROOT/build-bench}"
-BASELINE="$REPO_ROOT/BENCH_whatif.json"
-OUT="$BUILD_DIR/BENCH_whatif.json"
 
 QUICK=""
 UPDATE_BASELINE=0
+RUN_WHATIF=1
+RUN_EXEC=1
 for arg in "$@"; do
   case "$arg" in
     --quick) QUICK="--quick" ;;
     --update-baseline) UPDATE_BASELINE=1 ;;
+    --whatif-only) RUN_EXEC=0 ;;
+    --exec-only) RUN_WHATIF=0 ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
 done
 
+if [[ "$RUN_WHATIF" == 0 && "$RUN_EXEC" == 0 ]]; then
+  echo "--whatif-only and --exec-only are mutually exclusive" >&2
+  exit 2
+fi
+
+TARGETS=()
+[[ "$RUN_WHATIF" == 1 ]] && TARGETS+=(bench_whatif)
+[[ "$RUN_EXEC" == 1 ]] && TARGETS+=(bench_exec)
+
 cmake -S "$REPO_ROOT" -B "$BUILD_DIR" -DCMAKE_BUILD_TYPE=Release >/dev/null
-cmake --build "$BUILD_DIR" --target bench_whatif -j "$(nproc)"
+cmake --build "$BUILD_DIR" --target "${TARGETS[@]}" -j "$(nproc)"
 
-GATE_ARGS=()
-if [[ -f "$BASELINE" ]]; then
-  GATE_ARGS+=(--baseline "$BASELINE" --max-regression 10)
-else
-  echo "note: no committed baseline at $BASELINE; running ungated" >&2
+run_suite() {
+  local bench="$1" baseline="$2" out="$3"
+  shift 3
+  local gate_args=()
+  if [[ -f "$baseline" ]]; then
+    gate_args+=(--baseline "$baseline" "$@")
+  else
+    echo "note: no committed baseline at $baseline; running ungated" >&2
+  fi
+  "$BUILD_DIR/bench/$bench" --out "$out" $QUICK "${gate_args[@]}"
+  if [[ "$UPDATE_BASELINE" == 1 ]]; then
+    cp "$out" "$baseline"
+    echo "baseline updated: $baseline"
+  fi
+  echo "benchmark result: $out"
+}
+
+if [[ "$RUN_WHATIF" == 1 ]]; then
+  run_suite bench_whatif "$REPO_ROOT/BENCH_whatif.json" \
+    "$BUILD_DIR/BENCH_whatif.json" --max-regression 10
 fi
-
-"$BUILD_DIR/bench/bench_whatif" --out "$OUT" $QUICK "${GATE_ARGS[@]}"
-
-if [[ "$UPDATE_BASELINE" == 1 ]]; then
-  cp "$OUT" "$BASELINE"
-  echo "baseline updated: $BASELINE"
+if [[ "$RUN_EXEC" == 1 ]]; then
+  run_suite bench_exec "$REPO_ROOT/BENCH_exec.json" \
+    "$BUILD_DIR/BENCH_exec.json" --max-regression 0.05
 fi
-echo "benchmark result: $OUT"
