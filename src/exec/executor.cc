@@ -9,6 +9,7 @@
 #include <utility>
 
 #include "common/macros.h"
+#include "exec/store_cache.h"
 
 namespace bati::exec {
 
@@ -269,12 +270,12 @@ ExecutionEngine::ExecutionEngine(const Workload& workload,
                                  MetricsRegistry* metrics)
     : workload_(workload),
       optimizer_(workload.database),
-      store_(*workload.database, options),
+      store_(GetOrMaterializeStore(workload.database, options)),
       counters_(ExecCounters::Resolve(metrics)),
       predicate_seed_(options.seed) {
   preds_.reserve(workload.queries.size());
   for (const Query& q : workload.queries) {
-    preds_.push_back(RealizePredicates(q, store_, predicate_seed_));
+    preds_.push_back(RealizePredicates(q, *store_, predicate_seed_));
   }
 }
 
@@ -292,7 +293,7 @@ const BTree* ExecutionEngine::GetOrBuildTree(const Index& ix) {
       return tree.get();
     }
   }
-  trees_.emplace_back(ix, MaterializeIndex(store_, ix));
+  trees_.emplace_back(ix, MaterializeIndex(*store_, ix));
   Bump(counters_.trees_built);
   return trees_.back().second.get();
 }
@@ -377,7 +378,7 @@ ExecResult ExecutionEngine::ExecuteQuery(
     const std::vector<std::vector<ExecPredicate>>& preds_by_scan,
     const std::vector<Index>& config, const PlanExplanation& plan,
     bool force_reference) {
-  const ColumnStore& store = store_;
+  const ColumnStore& store = *store_;
   const ExecCounters& c = counters_;
 
   // ---- Access-path row collection for one scan. ----

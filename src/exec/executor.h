@@ -72,7 +72,7 @@ class ExecutionEngine {
                   MetricsRegistry* metrics = nullptr);
 
   const Workload& workload() const { return workload_; }
-  const ColumnStore& store() const { return store_; }
+  const ColumnStore& store() const { return *store_; }
   const WhatIfOptimizer& optimizer() const { return optimizer_; }
 
   /// Sum of what-if costs over all workload queries under `config`.
@@ -119,7 +119,10 @@ class ExecutionEngine {
 
   const Workload& workload_;
   WhatIfOptimizer optimizer_;
-  ColumnStore store_;
+  /// Shared, immutable, and cached process-wide (exec/store_cache.h):
+  /// engines over the same catalog and StoreOptions reuse one store
+  /// instead of re-materializing it per correlation run.
+  std::shared_ptr<const ColumnStore> store_;
   ExecCounters counters_;
   uint64_t predicate_seed_;
   /// Realized predicates per query (by scan) — fixed across configs.

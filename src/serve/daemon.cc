@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cctype>
 #include <cinttypes>
+#include <cmath>
 #include <cstdio>
 
 #include "common/macros.h"
@@ -33,6 +34,27 @@ void AppendPositionsField(std::string* out, const char* key,
     out->append(buf);
   }
   out->append("\"");
+}
+
+/// Appends the signal provenance of a lifecycle decision. Decisions judged
+/// by the default what-if signal emit nothing — the legacy output stays
+/// byte-identical.
+void AppendSignalFields(std::string* out,
+                        const LifecycleDecision& decision) {
+  if (decision.signal == SignalKind::kWhatIf) return;
+  out->append(",\"signal\":\"");
+  out->append(SignalKindName(decision.signal));
+  out->append("\",\"estimated\":");
+  out->append(decision.estimated ? "true" : "false");
+  if (decision.estimated) {
+    out->append(",\"calibration\":");
+    AppendNumber(out, decision.calibration);
+  } else {
+    out->append(",\"deployed_cost\":");
+    AppendNumber(out, decision.deployed_cost);
+    out->append(",\"candidate_cost\":");
+    AppendNumber(out, decision.candidate_cost);
+  }
 }
 
 bool ValidTenantName(const std::string& name) {
@@ -106,6 +128,7 @@ ServeDaemon::ServeDaemon(const ServeOptions& options) : options_(options) {
     results_cv_.notify_all();
   };
   manager_ = std::make_unique<SessionManager>(manager_options);
+  hub_ = std::make_unique<SignalHub>(options_.signal_options, &metrics_);
 }
 
 ServeDaemon::~ServeDaemon() {
@@ -131,6 +154,10 @@ Status ServeDaemon::Resume() {
 }
 
 Status ServeDaemon::RestoreFromCheckpoint(const ServeCheckpoint& ckpt) {
+  // The checkpoint's signal kind is authoritative: the stream's decision
+  // trail was produced under it, and switching signals mid-stream would
+  // break resume-to-identical-state.
+  options_.signal = ckpt.signal;
   for (const ServeTenantState& t : ckpt.tenants) {
     RunSpec spec;
     Status st = ParseRunSpecJson(t.spec_json, &spec);
@@ -162,6 +189,9 @@ Status ServeDaemon::RestoreFromCheckpoint(const ServeCheckpoint& ckpt) {
                                      "\": malformed observer state");
     }
     tenant->generation = t.generation;
+    tenant->calib_samples = t.calib_samples;
+    tenant->calib_sum = t.calib_sum;
+    if (tenant->calib_samples > 0) PublishCalibration(tenant.get());
     tenants_.emplace(t.name, std::move(tenant));
   }
   for (const ServePendingTune& p : ckpt.pending) {
@@ -423,8 +453,7 @@ void ServeDaemon::HandleDeploy(const ServeEvent& event, std::string* out) {
       return;
     }
   }
-  const LifecycleDecision decision = t->lifecycle.Apply(
-      *t->bundle, t->observer.WindowSupport(), event.config);
+  const LifecycleDecision decision = Judge(t, "deploy", event.config);
   if (decision.action == LifecycleDecision::Action::kShipped) {
     ++shipped_;
     metrics_.GetCounter("serve.shipped")->Increment();
@@ -444,6 +473,7 @@ void ServeDaemon::HandleDeploy(const ServeEvent& event, std::string* out) {
                     LifecycleActionName(decision.action) +
                     "\",\"regression\":";
   AppendNumber(&ack, decision.regression);
+  AppendSignalFields(&ack, decision);
   AppendPositionsField(&ack, "create", decision.created);
   AppendPositionsField(&ack, "drop", decision.dropped);
   ack += "}\n";
@@ -549,8 +579,8 @@ void ServeDaemon::ApplyTune(PendingTune* tune, std::string* out) {
     return;
   }
 
-  const LifecycleDecision decision = t->lifecycle.Apply(
-      *t->bundle, t->observer.WindowSupport(), tune->positions);
+  const LifecycleDecision decision =
+      Judge(t, tune->origin, tune->positions);
   if (decision.action == LifecycleDecision::Action::kShipped) {
     ++shipped_;
     metrics_.GetCounter("serve.shipped")->Increment();
@@ -571,10 +601,76 @@ void ServeDaemon::ApplyTune(PendingTune* tune, std::string* out) {
   line += LifecycleActionName(decision.action);
   line += "\",\"regression\":";
   AppendNumber(&line, decision.regression);
+  AppendSignalFields(&line, decision);
   AppendPositionsField(&line, "create", decision.created);
   AppendPositionsField(&line, "drop", decision.dropped);
   line += "}\n";
   out->append(line);
+}
+
+LifecycleDecision ServeDaemon::Judge(Tenant* t, const std::string& origin,
+                                     const std::vector<size_t>& candidate) {
+  const std::vector<std::pair<int, double>> window =
+      t->observer.WindowSupport();
+  if (options_.signal == SignalKind::kWhatIf) {
+    // The pre-signal-layer pathway, byte for byte: built-in what-if
+    // signal, calibration 1.0, no signal metrics.
+    return t->lifecycle.Apply(*t->bundle, window, candidate);
+  }
+
+  metrics_.GetCounter("serve.signal.evals")->Increment();
+  DeploymentSignal* signal = hub_->Get(options_.signal);
+  // Drift re-tunes fire on every window shift — too often to pay for a
+  // full execution-backed evaluation. They take the Wii-style cheap
+  // stand-in: the derived what-if cost scaled by the tenant's running
+  // observed/what-if ratio. Oversized stores fall back the same way.
+  const bool estimate = origin == "drift";
+  Status ready = Status::Ok();
+  if (!estimate) {
+    ready = signal->Ready(*t->bundle);
+    if (!ready.ok()) {
+      metrics_.GetCounter("serve.signal.fallbacks")->Increment();
+      tracer_.Instant("signal-fallback", "serve", clock_, {});
+    }
+  } else {
+    metrics_.GetCounter("serve.signal.estimates")->Increment();
+  }
+
+  LifecycleDecision decision;
+  if (estimate || !ready.ok()) {
+    const double calibration = t->calibration();
+    decision =
+        t->lifecycle.Apply(*t->bundle, window, candidate,
+                           hub_->Get(SignalKind::kWhatIf), calibration);
+    decision.estimated = true;
+    decision.calibration = calibration;
+  } else {
+    decision = t->lifecycle.Apply(*t->bundle, window, candidate, signal);
+    UpdateCalibration(t, decision);
+  }
+  decision.signal = options_.signal;
+  return decision;
+}
+
+void ServeDaemon::UpdateCalibration(Tenant* t,
+                                    const LifecycleDecision& decision) {
+  const auto sample = [&](double observed, double whatif) {
+    if (!(observed > 0.0) || !(whatif > 0.0)) return;
+    const double ratio = observed / whatif;
+    if (!std::isfinite(ratio)) return;
+    t->calib_sum += ratio;
+    ++t->calib_samples;
+  };
+  sample(decision.deployed_cost, decision.whatif_deployed_cost);
+  sample(decision.candidate_cost, decision.whatif_candidate_cost);
+  PublishCalibration(t);
+}
+
+void ServeDaemon::PublishCalibration(Tenant* t) {
+  metrics_.GetGauge("serve.tenant." + t->name + ".calibration")
+      ->Set(t->calibration());
+  metrics_.GetGauge("serve.tenant." + t->name + ".calibration_samples")
+      ->Set(static_cast<double>(t->calib_samples));
 }
 
 void ServeDaemon::EnsureResult(PendingTune* tune) {
@@ -623,6 +719,7 @@ ServeCheckpoint ServeDaemon::BuildCheckpoint() {
   ckpt.drift_retunes = drift_retunes_;
   ckpt.shipped = shipped_;
   ckpt.rollbacks = rollbacks_;
+  ckpt.signal = options_.signal;
   for (const auto& [name, tenant] : tenants_) {
     ServeTenantState t;
     t.name = name;
@@ -632,6 +729,8 @@ ServeCheckpoint ServeDaemon::BuildCheckpoint() {
     t.pending = tenant->admission.pending();
     t.budget_used = tenant->admission.budget_used();
     t.generation = tenant->generation;
+    t.calib_samples = tenant->calib_samples;
+    t.calib_sum = tenant->calib_sum;
     t.deployed = tenant->lifecycle.deployed();
     t.observer_state = tenant->observer.Serialize();
     ckpt.tenants.push_back(std::move(t));

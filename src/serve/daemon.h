@@ -19,6 +19,7 @@
 #include "serve/serve_checkpoint.h"
 #include "serve/workload_observer.h"
 #include "session/session_manager.h"
+#include "signal/signal_hub.h"
 
 namespace bati {
 
@@ -39,6 +40,14 @@ struct ServeOptions {
   /// When > 0, a checkpoint is also written after every N processed
   /// events, not just at shutdown — crash recovery at event granularity.
   int64_t checkpoint_every = 0;
+  /// Which deployment signal judges lifecycle decisions. kWhatIf is the
+  /// pre-signal-layer behavior, byte for byte. The exec-backed kinds run
+  /// both configurations through src/exec and feed the measured cost back
+  /// into the ship/rollback decision — closing the loop on execution.
+  /// Resume overrides this with the checkpoint's kind.
+  SignalKind signal = SignalKind::kWhatIf;
+  /// Tunables for the exec-backed signals (repetitions, store cap, seed).
+  ExecSignalOptions signal_options;
 };
 
 /// The long-running tuning daemon: consumes a JSONL event stream (one
@@ -111,6 +120,18 @@ class ServeDaemon {
     IndexLifecycle lifecycle;
     WorkloadObserver observer;
     uint64_t generation = 0;
+    /// Running observed/what-if ratio: every non-estimated signal
+    /// evaluation contributes one sample per configuration side. The mean
+    /// calibrates what-if estimates where the full signal is skipped
+    /// (drift re-tunes, store-cap fallbacks).
+    int64_t calib_samples = 0;
+    double calib_sum = 0.0;
+
+    double calibration() const {
+      return calib_samples > 0
+                 ? calib_sum / static_cast<double>(calib_samples)
+                 : 1.0;
+    }
 
     Tenant(std::string tenant_name, RunSpec template_spec,
            const WorkloadBundle* base, int64_t queue_quota,
@@ -169,6 +190,19 @@ class ServeDaemon {
   void ApplyMatured(bool force, std::string* out);
   void ApplyTune(PendingTune* tune, std::string* out);
 
+  /// Runs `candidate` through the tenant's lifecycle under the daemon's
+  /// configured deployment signal. Under kWhatIf this is exactly the old
+  /// direct lifecycle call. Under an exec-backed signal, drift-origin
+  /// decisions and tenants whose store exceeds the signal's cap fall back
+  /// to the calibrated what-if estimate; full evaluations feed the
+  /// tenant's observed/what-if calibration ratio.
+  LifecycleDecision Judge(Tenant* t, const std::string& origin,
+                          const std::vector<size_t>& candidate);
+  /// Folds one full signal evaluation into the tenant's calibration ratio
+  /// and republishes the calibration gauges.
+  void UpdateCalibration(Tenant* t, const LifecycleDecision& decision);
+  void PublishCalibration(Tenant* t);
+
   /// Blocks until the SessionManager delivered the run's result, then
   /// copies it into the pending entry.
   void EnsureResult(PendingTune* tune);
@@ -186,6 +220,10 @@ class ServeDaemon {
   MetricsRegistry metrics_;
   Tracer tracer_;
   std::unique_ptr<SessionManager> manager_;
+  /// Deployment signals + their shared execution engines; exec.* operator
+  /// counters land in metrics_. Constructed lazily per kind, so a
+  /// what-if-only daemon never materializes a column store.
+  std::unique_ptr<SignalHub> hub_;
 
   /// Results crossing from the session pool's worker threads to the event
   /// loop, keyed by manager ticket.

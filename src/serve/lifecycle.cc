@@ -3,7 +3,6 @@
 #include <algorithm>
 
 #include "common/macros.h"
-#include "storage/index.h"
 
 namespace bati {
 
@@ -19,43 +18,24 @@ const char* LifecycleActionName(LifecycleDecision::Action action) {
   return "unknown";
 }
 
-double IndexLifecycle::WindowCost(
-    const WorkloadBundle& bundle,
-    const std::vector<std::pair<int, double>>& window,
-    const std::vector<size_t>& positions) const {
-  std::vector<Index> config;
-  config.reserve(positions.size());
-  for (size_t pos : positions) {
-    BATI_CHECK(pos < bundle.candidates.indexes.size());
-    config.push_back(bundle.candidates.indexes[pos]);
-  }
-  double cost = 0.0;
-  if (window.empty()) {
-    // No live observations yet: fall back to the tuning-time assumption of
-    // a uniformly weighted workload.
-    for (const Query& query : bundle.workload.queries) {
-      cost += bundle.optimizer->Cost(query, config);
-    }
-    return cost;
-  }
-  for (const auto& [query_id, weight] : window) {
-    BATI_CHECK(query_id >= 0 &&
-               query_id < bundle.workload.num_queries());
-    cost += weight * bundle.optimizer->Cost(
-                         bundle.workload.queries[static_cast<size_t>(
-                             query_id)],
-                         config);
-  }
-  return cost;
-}
-
 LifecycleDecision IndexLifecycle::Apply(
     const WorkloadBundle& bundle,
     const std::vector<std::pair<int, double>>& window,
-    const std::vector<size_t>& candidate) {
+    const std::vector<size_t>& candidate, DeploymentSignal* signal,
+    double calibration) {
+  static WhatIfSignal default_signal;  // stateless, safe to share
+  if (signal == nullptr) signal = &default_signal;
+
+  const SignalCosts costs =
+      signal->Evaluate(bundle, window, deployed_, candidate);
   LifecycleDecision decision;
-  decision.deployed_cost = WindowCost(bundle, window, deployed_);
-  decision.candidate_cost = WindowCost(bundle, window, candidate);
+  // calibration is exactly 1.0 on every uncalibrated path, and x * 1.0 is
+  // bit-exact — the what-if signal's decisions are byte-identical to the
+  // pre-signal-layer lifecycle.
+  decision.deployed_cost = calibration * costs.deployed;
+  decision.candidate_cost = calibration * costs.candidate;
+  decision.whatif_deployed_cost = costs.whatif_deployed;
+  decision.whatif_candidate_cost = costs.whatif_candidate;
   decision.regression =
       decision.deployed_cost > 0.0
           ? (decision.candidate_cost - decision.deployed_cost) /

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "session/bundle_registry.h"
+#include "signal/deployment_signal.h"
 
 namespace bati {
 
@@ -28,11 +29,23 @@ struct LifecycleDecision {
   /// otherwise), ascending.
   std::vector<size_t> created;
   std::vector<size_t> dropped;
-  /// Weighted derived costs of both configurations on the live window.
+  /// Signal costs of both configurations on the live window, after the
+  /// calibration multiplier. Under the default what-if signal these are
+  /// the weighted derived costs, exactly as before the signal layer.
   double deployed_cost = 0.0;
   double candidate_cost = 0.0;
   /// (candidate - deployed) / deployed; negative is an improvement.
   double regression = 0.0;
+  /// The pure what-if window costs the signal reported alongside its own
+  /// (uncalibrated) — the denominator of the observed/what-if ratio.
+  double whatif_deployed_cost = 0.0;
+  double whatif_candidate_cost = 0.0;
+  /// Reporting fields stamped by the caller (the daemon): which signal
+  /// kind judged this tenant's decision, whether a calibrated what-if
+  /// estimate stood in for it, and the multiplier that was applied.
+  SignalKind signal = SignalKind::kWhatIf;
+  bool estimated = false;
+  double calibration = 1.0;
 };
 
 const char* LifecycleActionName(LifecycleDecision::Action action);
@@ -40,10 +53,12 @@ const char* LifecycleActionName(LifecycleDecision::Action action);
 /// One tenant's index lifecycle: tracks the deployed configuration (as
 /// candidate positions in the tenant bundle's universe) and evaluates each
 /// recommended or operator-proposed candidate against it on the *live*
-/// window before anything ships. The evaluation uses the bundle's pure
-/// what-if optimizer as the derived cost model — the serve-side analogue of
-/// DBA-bandits' safety check. Single-threaded: only the daemon's event loop
-/// applies decisions.
+/// window before anything ships. The evaluation runs through a pluggable
+/// DeploymentSignal — pure what-if by default (the serve-side analogue of
+/// DBA-bandits' safety check on derived cost), or one of the
+/// execution-backed signals when the daemon closes the loop on real
+/// execution. Single-threaded: only the daemon's event loop applies
+/// decisions.
 class IndexLifecycle {
  public:
   /// `safety_bound` is the maximum tolerated relative regression of the
@@ -57,9 +72,16 @@ class IndexLifecycle {
   /// observer's WindowSupport(); uniform over the whole workload when
   /// empty). Ships it — updating deployed() — unless it equals the
   /// deployed configuration or regresses past the safety bound.
+  ///
+  /// `signal` supplies both configurations' window costs; null means the
+  /// built-in what-if signal. `calibration` scales the signal's costs —
+  /// the daemon passes its running observed/what-if ratio when a what-if
+  /// estimate stands in for an expensive signal, and 1.0 otherwise.
   LifecycleDecision Apply(const WorkloadBundle& bundle,
                           const std::vector<std::pair<int, double>>& window,
-                          const std::vector<size_t>& candidate);
+                          const std::vector<size_t>& candidate,
+                          DeploymentSignal* signal = nullptr,
+                          double calibration = 1.0);
 
   const std::vector<size_t>& deployed() const { return deployed_; }
 
@@ -71,11 +93,6 @@ class IndexLifecycle {
   double safety_bound() const { return safety_bound_; }
 
  private:
-  /// Window-weighted cost of a configuration given by positions.
-  double WindowCost(const WorkloadBundle& bundle,
-                    const std::vector<std::pair<int, double>>& window,
-                    const std::vector<size_t>& positions) const;
-
   double safety_bound_;
   std::vector<size_t> deployed_;
 };

@@ -12,7 +12,11 @@ namespace bati {
 
 namespace {
 
-constexpr char kMagic[] = "bati-serve v1";
+constexpr char kMagic[] = "bati-serve v2";
+/// v1 checkpoints (pre-signal-layer) are still readable: they lack the
+/// signal and per-tenant calibration lines, which default to what-if /
+/// uncalibrated.
+constexpr char kMagicV1[] = "bati-serve v1";
 
 Status Malformed(const char* what) {
   return Status::InvalidArgument(std::string("malformed serve checkpoint: ") +
@@ -102,6 +106,9 @@ std::string SerializeServeCheckpoint(const ServeCheckpoint& ckpt) {
                 ckpt.errors, ckpt.drift_retunes, ckpt.shipped,
                 ckpt.rollbacks);
   out.append(buf);
+  out.append("signal ");
+  out.append(SignalKindName(ckpt.signal));
+  out.push_back('\n');
 
   std::snprintf(buf, sizeof(buf), "tenants %zu\n", ckpt.tenants.size());
   out.append(buf);
@@ -121,6 +128,11 @@ std::string SerializeServeCheckpoint(const ServeCheckpoint& ckpt) {
     std::snprintf(buf, sizeof(buf), "generation %" PRIu64 "\n",
                   t.generation);
     out.append(buf);
+    std::snprintf(buf, sizeof(buf), "calibration %" PRId64 " ",
+                  t.calib_samples);
+    out.append(buf);
+    AppendHexDouble(&out, t.calib_sum);
+    out.push_back('\n');
     AppendPositions(&out, "deployed", t.deployed);
     // The observer payload is line-based itself; frame it by line count.
     size_t observer_lines = 0;
@@ -168,9 +180,10 @@ std::string SerializeServeCheckpoint(const ServeCheckpoint& ckpt) {
 StatusOr<ServeCheckpoint> ParseServeCheckpoint(const std::string& text) {
   std::istringstream in(text);
   std::string line;
-  if (!std::getline(in, line) || line != kMagic) {
+  if (!std::getline(in, line) || (line != kMagic && line != kMagicV1)) {
     return Malformed("missing or unsupported header");
   }
+  const bool v1 = line == kMagicV1;
   ServeCheckpoint ckpt;
   std::vector<std::string> toks;
   auto next_tokens = [&](const char* keyword, size_t count) -> bool {
@@ -200,6 +213,12 @@ StatusOr<ServeCheckpoint> ParseServeCheckpoint(const std::string& text) {
       !ParseI64(toks[7], &ckpt.rollbacks)) {
     return Malformed("bad counters line");
   }
+  if (!v1) {
+    if (!next_tokens("signal", 1) ||
+        !ParseSignalKind(toks[1], &ckpt.signal)) {
+      return Malformed("bad signal line");
+    }
+  }
 
   int64_t num_tenants = 0;
   if (!next_tokens("tenants", 1) || !ParseI64(toks[1], &num_tenants) ||
@@ -227,6 +246,14 @@ StatusOr<ServeCheckpoint> ParseServeCheckpoint(const std::string& text) {
     if (!next_tokens("generation", 1) ||
         !ParseU64(toks[1], &t.generation)) {
       return Malformed("bad generation line");
+    }
+    if (!v1) {
+      if (!next_tokens("calibration", 2) ||
+          !ParseI64(toks[1], &t.calib_samples) ||
+          !ParseHexDouble(toks[2], &t.calib_sum) || t.calib_samples < 0 ||
+          t.calib_sum < 0.0) {
+        return Malformed("bad calibration line");
+      }
     }
     if (!std::getline(in, line)) return Malformed("missing deployed line");
     toks = SplitTokens(line);

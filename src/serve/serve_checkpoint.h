@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "signal/deployment_signal.h"
 
 namespace bati {
 
@@ -47,6 +48,10 @@ struct ServeTenantState {
   uint64_t generation = 0;
   /// Deployed configuration, ascending candidate positions.
   std::vector<size_t> deployed;
+  /// Running observed/what-if calibration ratio, as sample count and sum
+  /// (mean = sum / samples). Zero samples means "uncalibrated" (ratio 1).
+  int64_t calib_samples = 0;
+  double calib_sum = 0.0;
   /// WorkloadObserver::Serialize() payload.
   std::string observer_state;
 
@@ -60,6 +65,10 @@ struct ServeCheckpoint {
   int64_t events_processed = 0;
   double clock = 0.0;
   uint64_t next_tune_id = 1;
+  /// The deployment signal the run was judging decisions with. Resume
+  /// adopts it: a daemon restarted with a different --signal keeps the
+  /// checkpoint's kind so the stream's decision trail stays consistent.
+  SignalKind signal = SignalKind::kWhatIf;
   // Lifetime summary counters.
   int64_t queries = 0;
   int64_t tunes_submitted = 0;

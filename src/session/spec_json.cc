@@ -254,6 +254,18 @@ Status ParseRunSpecJson(const std::string& line, RunSpec* spec) {
       st = WantString(key, value, &spec->resume_path);
     } else if (key == "trace_out") {
       st = WantString(key, value, &spec->trace_path);
+    } else if (key == "signal") {
+      st = WantString(key, value, &spec->deploy_signal);
+      // The valid names mirror src/signal's ParseSignalKind — the session
+      // layer sits below the signal layer and cannot call it, so the list
+      // is spelled out here (cross-checked by a test).
+      if (st.ok() && !spec->deploy_signal.empty() &&
+          spec->deploy_signal != "whatif" &&
+          spec->deploy_signal != "exec-deterministic" &&
+          spec->deploy_signal != "measured") {
+        st = Status::InvalidArgument("unknown signal \"" +
+                                     spec->deploy_signal + "\"");
+      }
     } else {
       st = Status::InvalidArgument("unknown key \"" + key + "\"");
     }
@@ -394,6 +406,9 @@ std::string RunSpecToJson(const RunSpec& spec) {
   }
   if (!spec.trace_path.empty()) {
     AppendString(&out, "trace_out", spec.trace_path);
+  }
+  if (!spec.deploy_signal.empty()) {
+    AppendString(&out, "signal", spec.deploy_signal);
   }
   out.push_back('}');
   return out;

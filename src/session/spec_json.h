@@ -28,6 +28,7 @@ namespace bati {
 ///   retry_attempts          integer >= 1
 ///   retry_timeout           number >= 0 (simulated seconds; 0 disables)
 ///   checkpoint, resume, trace_out                 path strings
+///   signal                  "whatif" | "exec-deterministic" | "measured"
 ///
 /// Validation is strict, mirroring the CLI tools: an unknown key, a
 /// malformed value, an out-of-range value, or an unknown algorithm name is

@@ -1,0 +1,78 @@
+#include "signal/deployment_signal.h"
+
+#include "common/macros.h"
+#include "storage/index.h"
+
+namespace bati {
+
+const char* SignalKindName(SignalKind kind) {
+  switch (kind) {
+    case SignalKind::kWhatIf:
+      return "whatif";
+    case SignalKind::kDeterministicExec:
+      return "exec-deterministic";
+    case SignalKind::kMeasured:
+      return "measured";
+  }
+  return "unknown";
+}
+
+bool ParseSignalKind(const std::string& name, SignalKind* kind) {
+  if (name == "whatif") {
+    *kind = SignalKind::kWhatIf;
+    return true;
+  }
+  if (name == "exec-deterministic") {
+    *kind = SignalKind::kDeterministicExec;
+    return true;
+  }
+  if (name == "measured") {
+    *kind = SignalKind::kMeasured;
+    return true;
+  }
+  return false;
+}
+
+double WindowWhatIfCost(const WorkloadBundle& bundle,
+                        const std::vector<std::pair<int, double>>& window,
+                        const std::vector<size_t>& positions) {
+  std::vector<Index> config;
+  config.reserve(positions.size());
+  for (size_t pos : positions) {
+    BATI_CHECK(pos < bundle.candidates.indexes.size());
+    config.push_back(bundle.candidates.indexes[pos]);
+  }
+  double cost = 0.0;
+  if (window.empty()) {
+    // No live observations yet: fall back to the tuning-time assumption of
+    // a uniformly weighted workload.
+    for (const Query& query : bundle.workload.queries) {
+      cost += bundle.optimizer->Cost(query, config);
+    }
+    return cost;
+  }
+  for (const auto& [query_id, weight] : window) {
+    BATI_CHECK(query_id >= 0 &&
+               query_id < bundle.workload.num_queries());
+    cost += weight * bundle.optimizer->Cost(
+                         bundle.workload.queries[static_cast<size_t>(
+                             query_id)],
+                         config);
+  }
+  return cost;
+}
+
+SignalCosts WhatIfSignal::Evaluate(
+    const WorkloadBundle& bundle,
+    const std::vector<std::pair<int, double>>& window,
+    const std::vector<size_t>& deployed,
+    const std::vector<size_t>& candidate) {
+  SignalCosts costs;
+  costs.deployed = WindowWhatIfCost(bundle, window, deployed);
+  costs.candidate = WindowWhatIfCost(bundle, window, candidate);
+  costs.whatif_deployed = costs.deployed;
+  costs.whatif_candidate = costs.candidate;
+  return costs;
+}
+
+}  // namespace bati

@@ -1,0 +1,103 @@
+#ifndef BATI_SIGNAL_DEPLOYMENT_SIGNAL_H_
+#define BATI_SIGNAL_DEPLOYMENT_SIGNAL_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "session/bundle_registry.h"
+
+namespace bati {
+
+/// Which regression signal judges a deployment.
+enum class SignalKind {
+  /// The bundle's pure what-if optimizer — today's derived cost model and
+  /// the default. Bit-identical to the pre-signal-layer serve daemon.
+  kWhatIf = 0,
+  /// Operator-counter-weighted cost units from the real executor: every
+  /// window query is executed through src/exec following its what-if plan,
+  /// and the cost is a fixed weighted sum of the per-operator work counts
+  /// (rows scanned, seeks, probes, ...). A pure function of plan + store —
+  /// no wall-clock anywhere — so serve output stays byte-reproducible
+  /// across replays and parallelism settings.
+  kDeterministicExec = 1,
+  /// Measured wall-clock seconds from src/exec, pooled per-query minima
+  /// over interleaved repetitions (the correlation harness's estimator).
+  /// The DBA-bandits never-regress guarantee on *observed* execution; not
+  /// byte-reproducible, by construction.
+  kMeasured = 2,
+};
+
+/// "whatif" | "exec-deterministic" | "measured" — the spelling used by
+/// --signal, the "signal" spec key, and the checkpoint.
+const char* SignalKindName(SignalKind kind);
+
+/// Inverse of SignalKindName(); false on an unknown spelling.
+bool ParseSignalKind(const std::string& name, SignalKind* kind);
+
+/// Both configurations' window-weighted costs under one signal, plus the
+/// matching what-if costs (always filled): the observed/what-if pairs feed
+/// the serve daemon's calibration ratio, and for WhatIfSignal the two
+/// pairs coincide.
+struct SignalCosts {
+  double deployed = 0.0;
+  double candidate = 0.0;
+  double whatif_deployed = 0.0;
+  double whatif_candidate = 0.0;
+};
+
+/// A pluggable deployment-regression signal: given a tenant's bundle, its
+/// live window (the observer's WindowSupport(); uniform over the whole
+/// workload when empty), and the deployed/candidate configurations as
+/// ascending candidate positions, produce comparable costs for both sides.
+///
+/// Implementations must be deterministic functions of their inputs except
+/// where the signal's contract is explicitly wall-clock (kMeasured).
+/// Single-threaded: the serve event loop is the only caller.
+class DeploymentSignal {
+ public:
+  virtual ~DeploymentSignal() = default;
+
+  virtual SignalKind kind() const = 0;
+
+  /// Whether Evaluate() may be called for `bundle`. Exec-backed signals
+  /// refuse catalogs too large to materialize within their row budget
+  /// (FailedPrecondition); the caller then falls back to the calibrated
+  /// what-if estimate. Deterministic, so fallback decisions replay
+  /// identically.
+  virtual Status Ready(const WorkloadBundle& bundle) const {
+    (void)bundle;
+    return Status::Ok();
+  }
+
+  /// Costs both configurations on the window. Positions must be in range
+  /// for bundle.candidates.indexes (CHECK). Ready() must have returned Ok.
+  virtual SignalCosts Evaluate(
+      const WorkloadBundle& bundle,
+      const std::vector<std::pair<int, double>>& window,
+      const std::vector<size_t>& deployed,
+      const std::vector<size_t>& candidate) = 0;
+};
+
+/// Window-weighted what-if cost of a configuration — the exact arithmetic
+/// (loop order, fallback, accumulation) the pre-signal-layer lifecycle
+/// used, shared by WhatIfSignal and by the exec-backed signals' what-if
+/// sides so every signal's calibration baseline agrees to the bit.
+double WindowWhatIfCost(const WorkloadBundle& bundle,
+                        const std::vector<std::pair<int, double>>& window,
+                        const std::vector<size_t>& positions);
+
+/// The default signal: both cost pairs are the pure what-if window costs.
+class WhatIfSignal : public DeploymentSignal {
+ public:
+  SignalKind kind() const override { return SignalKind::kWhatIf; }
+  SignalCosts Evaluate(const WorkloadBundle& bundle,
+                       const std::vector<std::pair<int, double>>& window,
+                       const std::vector<size_t>& deployed,
+                       const std::vector<size_t>& candidate) override;
+};
+
+}  // namespace bati
+
+#endif  // BATI_SIGNAL_DEPLOYMENT_SIGNAL_H_

@@ -1,0 +1,42 @@
+#include "signal/signal_hub.h"
+
+#include "common/macros.h"
+
+namespace bati {
+
+SignalHub::SignalHub(const ExecSignalOptions& options,
+                     MetricsRegistry* metrics)
+    : options_(options) {
+  if (metrics == nullptr) {
+    owned_metrics_ = std::make_unique<MetricsRegistry>();
+    metrics = owned_metrics_.get();
+  }
+  options_.metrics = metrics;
+}
+
+SignalHub::~SignalHub() = default;
+
+DeploymentSignal* SignalHub::Get(SignalKind kind) {
+  const size_t slot = static_cast<size_t>(kind);
+  BATI_CHECK(slot < 3);
+  if (signals_[slot] == nullptr) {
+    if (engines_ == nullptr && kind != SignalKind::kWhatIf) {
+      engines_ = std::make_unique<SignalEngineCache>(options_);
+    }
+    switch (kind) {
+      case SignalKind::kWhatIf:
+        signals_[slot] = std::make_unique<WhatIfSignal>();
+        break;
+      case SignalKind::kDeterministicExec:
+        signals_[slot] =
+            std::make_unique<DeterministicExecSignal>(engines_.get());
+        break;
+      case SignalKind::kMeasured:
+        signals_[slot] = std::make_unique<MeasuredSignal>(engines_.get());
+        break;
+    }
+  }
+  return signals_[slot].get();
+}
+
+}  // namespace bati

@@ -1,0 +1,38 @@
+#ifndef BATI_SIGNAL_SIGNAL_HUB_H_
+#define BATI_SIGNAL_SIGNAL_HUB_H_
+
+#include <memory>
+
+#include "obs/metrics.h"
+#include "signal/exec_signal.h"
+
+namespace bati {
+
+/// Owns one instance of every deployment signal plus the execution-engine
+/// cache the exec-backed ones share. The serve daemon holds one hub and
+/// resolves the signal per tenant per decision; signals are constructed
+/// lazily, so a what-if-only daemon never materializes a store. Single-
+/// threaded (serve event loop).
+class SignalHub {
+ public:
+  /// `metrics` receives the engines' "exec.*" operator counters; when
+  /// null, the hub owns a private registry (detached use in tests).
+  SignalHub(const ExecSignalOptions& options, MetricsRegistry* metrics);
+  ~SignalHub();
+
+  SignalHub(const SignalHub&) = delete;
+  SignalHub& operator=(const SignalHub&) = delete;
+
+  /// The signal instance for `kind`; stable for the hub's lifetime.
+  DeploymentSignal* Get(SignalKind kind);
+
+ private:
+  std::unique_ptr<MetricsRegistry> owned_metrics_;
+  ExecSignalOptions options_;
+  std::unique_ptr<SignalEngineCache> engines_;
+  std::unique_ptr<DeploymentSignal> signals_[3];
+};
+
+}  // namespace bati
+
+#endif  // BATI_SIGNAL_SIGNAL_HUB_H_

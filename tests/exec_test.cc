@@ -467,5 +467,29 @@ TEST(Executor, CountersTrackOperators) {
   EXPECT_NE(json.find("exec.trees.built"), std::string::npos);
 }
 
+TEST(StoreCache, EnginesShareOneMaterializedStore) {
+  // Two engines over the same database and store options share one
+  // materialized ColumnStore — re-materialization per engine was the cost
+  // that made repeated correlation runs (and per-decision signal
+  // evaluations) quadratic in store size.
+  const Workload w = MakeWorkloadByName("toy");
+  ASSERT_NE(w.database, nullptr);
+  ExecutionEngine a(w, StoreOptions{});
+  ExecutionEngine b(w, StoreOptions{});
+  EXPECT_EQ(&a.store(), &b.store());
+  // A different seed is a different store: the cache keys on the exact
+  // (database, seed, row-cap) triple, never on "close enough".
+  StoreOptions reseeded;
+  reseeded.seed = reseeded.seed + 1;
+  ExecutionEngine c(w, reseeded);
+  EXPECT_NE(&a.store(), &c.store());
+  EXPECT_EQ(a.store().total_rows(), c.store().total_rows());
+  // A copy of the workload shares the database object, so it shares the
+  // store too — the cache follows identity, not name equality.
+  const Workload copy = w;
+  ExecutionEngine d(copy, StoreOptions{});
+  EXPECT_EQ(&a.store(), &d.store());
+}
+
 }  // namespace
 }  // namespace bati::exec

@@ -107,6 +107,14 @@ void Usage(const char* argv0) {
       "                        rollback (default 0.02)\n"
       "  --checkpoint-every N  also checkpoint every N events (default:\n"
       "                        only at shutdown)\n"
+      "  --signal KIND         deployment signal judging ship/rollback:\n"
+      "                        whatif (default) | exec-deterministic |\n"
+      "                        measured (see docs/SERVE.md)\n"
+      "  --signal-reps N       measured-signal repetitions per side\n"
+      "                        (default 3)\n"
+      "  --signal-max-rows N   exec-signal store cap in catalog rows;\n"
+      "                        larger tenants fall back to calibrated\n"
+      "                        what-if (default 2000000)\n"
       "  --metrics FILE        write the metrics snapshot JSON at exit\n"
       "  --trace FILE          write the Chrome trace JSON at exit\n"
       "one stdout JSONL line answers each input event; tune results are\n"
@@ -142,6 +150,9 @@ int main(int argc, char** argv) {
   double tick = 1.0;
   double drift_threshold = 0.25;
   double safety_bound = 0.02;
+  std::string signal_name = "whatif";
+  int64_t signal_reps = 3;
+  int64_t signal_max_rows = 2 * 1000 * 1000;
   ServeOptions options;
 
   FlagParser parser;
@@ -156,6 +167,9 @@ int main(int argc, char** argv) {
   parser.AddRate("drift-threshold", &drift_threshold);
   parser.AddDouble("safety-bound", &safety_bound, /*min=*/0.0);
   parser.AddInt64("checkpoint-every", &checkpoint_every, /*min=*/0);
+  parser.AddString("signal", &signal_name);
+  parser.AddInt64("signal-reps", &signal_reps, /*min=*/1);
+  parser.AddInt64("signal-max-rows", &signal_max_rows, /*min=*/1);
   parser.AddString("metrics", &metrics_path);
   parser.AddString("trace", &trace_path);
   if (!parser.Parse(argc, argv)) {
@@ -170,6 +184,14 @@ int main(int argc, char** argv) {
   options.observer.drift_threshold = drift_threshold;
   options.safety_bound = safety_bound;
   options.checkpoint_every = checkpoint_every;
+  if (!ParseSignalKind(signal_name, &options.signal)) {
+    std::fprintf(stderr, "unknown --signal \"%s\"\n", signal_name.c_str());
+    Usage(argv[0]);
+    return 2;
+  }
+  options.signal_options.measured_repetitions =
+      static_cast<int>(signal_reps);
+  options.signal_options.max_store_rows = signal_max_rows;
   if (resume && options.state_path.empty()) {
     std::fprintf(stderr, "--resume requires --state\n");
     Usage(argv[0]);
